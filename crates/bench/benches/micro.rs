@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the substrate hot paths: SGEMM, the
+//! relaxed subset sampler, the contrastive loss, NPMI construction,
+//! KMeans, and a collapsed-Gibbs fit.
+
+use contratopic::{
+    relaxed_subset, AblationVariant, ContrastiveRegularizer, SimilarityKernel,
+    SubsetSamplerConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_corpus::{generate, NpmiMatrix, SynthSpec};
+use ct_eval::kmeans;
+use ct_models::{Lda, LdaConfig};
+use ct_tensor::{Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sgemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let b = Tensor::randn(256, 256, 1.0, &mut rng);
+    c.bench_function("sgemm_nn_256", |bencher| {
+        bencher.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("sgemm_nt_256", |bencher| {
+        bencher.iter(|| black_box(a.matmul_nt(&b)))
+    });
+}
+
+fn small_corpus() -> ct_corpus::BowCorpus {
+    let spec = SynthSpec {
+        vocab_size: 500,
+        num_topics: 8,
+        num_docs: 300,
+        avg_doc_len: 40.0,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    generate(&spec, &mut rng).corpus
+}
+
+fn bench_npmi_build(c: &mut Criterion) {
+    let corpus = small_corpus();
+    c.bench_function("npmi_build_v500", |bencher| {
+        bencher.iter(|| black_box(NpmiMatrix::from_corpus(&corpus)))
+    });
+}
+
+fn bench_subset_sampler(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let beta_t = Tensor::rand_uniform(40, 1000, 0.0, 1.0, &mut rng).softmax_rows(1.0);
+    let cfg = SubsetSamplerConfig { v: 10, tau_g: 0.5 };
+    c.bench_function("relaxed_subset_k40_v1000", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let beta = tape.leaf(beta_t.clone());
+            black_box(relaxed_subset(&tape, beta, &cfg, &mut rng).vhot.value())
+        })
+    });
+}
+
+fn bench_contrastive_loss(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let npmi = NpmiMatrix::from_corpus(&corpus);
+    let kernel = SimilarityKernel::npmi(&npmi);
+    let mut rng = StdRng::seed_from_u64(4);
+    let v = corpus.vocab_size();
+    let beta_t = Tensor::rand_uniform(40, v, 0.0, 1.0, &mut rng).softmax_rows(1.0);
+    let reg = ContrastiveRegularizer::new(
+        kernel,
+        SubsetSamplerConfig { v: 10, tau_g: 0.5 },
+        AblationVariant::Full,
+    );
+    c.bench_function("contrastive_loss_fwd_bwd_k40_v500", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let beta = tape.leaf(beta_t.clone());
+            let loss = reg.loss(&tape, beta, &mut rng);
+            black_box(tape.backward(loss).get(beta).unwrap().norm())
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = Tensor::rand_uniform(500, 40, 0.0, 1.0, &mut rng);
+    c.bench_function("kmeans_500x40_k10", |bencher| {
+        bencher.iter(|| black_box(kmeans(&data, 10, 20, &mut rng).inertia))
+    });
+}
+
+fn bench_gibbs_fit(c: &mut Criterion) {
+    let corpus = small_corpus();
+    c.bench_function("lda_gibbs_fit_10iter", |bencher| {
+        bencher.iter(|| {
+            black_box(Lda::fit(
+                &corpus,
+                LdaConfig {
+                    num_topics: 8,
+                    iterations: 10,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sgemm, bench_npmi_build, bench_subset_sampler,
+              bench_contrastive_loss, bench_kmeans, bench_gibbs_fit
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Per-model single-epoch training cost (the §V-E computational analysis,
+//! Criterion form). Runs every neural model for exactly one epoch on a
+//! small shared corpus so the relative per-epoch overheads are comparable
+//! — the paper's point is that ContraTopic's regularizer adds a modest,
+//! bounded cost over its ETM backbone.
+
+use contratopic::fit_contratopic;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_corpus::{generate, train_embeddings, NpmiMatrix, SynthSpec};
+use ct_models::{
+    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda,
+    TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Fixture {
+    corpus: ct_corpus::BowCorpus,
+    emb: ct_tensor::Tensor,
+    npmi: Arc<NpmiMatrix>,
+    config: TrainConfig,
+}
+
+fn fixture() -> Fixture {
+    let spec = SynthSpec {
+        vocab_size: 600,
+        num_topics: 10,
+        num_docs: 400,
+        avg_doc_len: 40.0,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus = generate(&spec, &mut rng).corpus;
+    let emb = train_embeddings(&corpus, 32, &mut rng);
+    let npmi = Arc::new(NpmiMatrix::from_corpus(&corpus));
+    let config = TrainConfig {
+        num_topics: 16,
+        hidden: 64,
+        epochs: 1,
+        batch_size: 200,
+        embed_dim: 32,
+        ..TrainConfig::default()
+    };
+    Fixture {
+        corpus,
+        emb,
+        npmi,
+        config,
+    }
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+    group.bench_function("ProdLDA", |b| {
+        b.iter(|| black_box(fit_prodlda(&f.corpus, &f.config)))
+    });
+    group.bench_function("WLDA", |b| {
+        b.iter(|| black_box(fit_wlda(&f.corpus, &f.config)))
+    });
+    group.bench_function("ETM", |b| {
+        b.iter(|| black_box(fit_etm(&f.corpus, f.emb.clone(), &f.config)))
+    });
+    group.bench_function("NSTM", |b| {
+        b.iter(|| black_box(fit_nstm(&f.corpus, f.emb.clone(), &f.config)))
+    });
+    group.bench_function("WeTe", |b| {
+        b.iter(|| black_box(fit_wete(&f.corpus, f.emb.clone(), &f.config)))
+    });
+    group.bench_function("NTM-R", |b| {
+        b.iter(|| black_box(fit_ntmr(&f.corpus, f.emb.clone(), &f.config)))
+    });
+    group.bench_function("VTMRL", |b| {
+        b.iter(|| {
+            black_box(fit_vtmrl(
+                &f.corpus,
+                f.emb.clone(),
+                f.npmi.clone(),
+                &f.config,
+            ))
+        })
+    });
+    group.bench_function("CLNTM", |b| {
+        b.iter(|| black_box(fit_clntm(&f.corpus, f.emb.clone(), &f.config)))
+    });
+    group.bench_function("ContraTopic", |b| {
+        b.iter(|| {
+            black_box(fit_contratopic(
+                &f.corpus,
+                f.emb.clone(),
+                &f.npmi,
+                &f.config,
+                &Default::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 2: topic coherence (NPMI) and topic diversity versus the
+//! proportion of selected topics (10%..100%), for all ten models on all
+//! three datasets. Each model is run over `CT_SEEDS` seeds and the mean is
+//! reported, as in the paper (3 seeds, error bars omitted).
+//!
+//! Expected shape: ContraTopic dominates coherence at every proportion and
+//! stays near the top on diversity; CLNTM shows a coherent head with weak
+//! diversity; several baselines decay sharply in coherence as lower-ranked
+//! topics are included.
+
+use ct_bench::{
+    evaluate_interpretability, fmt_header, fmt_row, num_seeds, ExperimentContext, ModelKind,
+};
+use ct_corpus::{DatasetPreset, Scale};
+use ct_eval::PERCENTAGES;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = num_seeds();
+    // Optional filter: pass model names as args to run a subset.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let models: Vec<ModelKind> = if args.is_empty() {
+        ModelKind::ALL.to_vec()
+    } else {
+        ModelKind::ALL
+            .into_iter()
+            .filter(|m| args.iter().any(|a| a.eq_ignore_ascii_case(m.name())))
+            .collect()
+    };
+    let cols: Vec<String> = PERCENTAGES.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+
+    println!("Figure 2 — topic interpretability (scale {scale:?}, {seeds} seed(s))");
+    for preset in DatasetPreset::ALL {
+        let ctx = ExperimentContext::build(preset, scale, 42);
+        println!("\n=== {} ===", preset.name());
+        println!("[topic coherence (mean NPMI over selected topics)]");
+        println!("{}", fmt_header("model", &cols));
+        let mut diversity_rows = Vec::new();
+        for &model in &models {
+            let mut coh = vec![0.0f64; PERCENTAGES.len()];
+            let mut div = vec![0.0f64; PERCENTAGES.len()];
+            for s in 0..seeds {
+                let fitted = model.fit(&ctx, 42 + s as u64);
+                let r = evaluate_interpretability(&fitted.beta(), &ctx.npmi_test);
+                for i in 0..PERCENTAGES.len() {
+                    coh[i] += r.coherence[i] / seeds as f64;
+                    div[i] += r.diversity[i] / seeds as f64;
+                }
+            }
+            println!("{}", fmt_row(model.name(), &coh));
+            diversity_rows.push((model.name(), div));
+        }
+        println!("[topic diversity (unique fraction of top-25 words)]");
+        println!("{}", fmt_header("model", &cols));
+        for (name, div) in diversity_rows {
+            println!("{}", fmt_row(name, &div));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 3: document-representation quality. KMeans is run on the
+//! test-set document-topic distributions at several cluster counts
+//! (paper: 20..100) and scored with purity and NMI against the document
+//! labels, on the two labelled datasets (20NG-like, Yahoo-like).
+
+use ct_bench::{
+    cluster_counts, evaluate_clustering, fmt_header, fmt_row, num_seeds, ExperimentContext,
+    ModelKind,
+};
+use ct_corpus::{DatasetPreset, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seeds = num_seeds();
+    let counts = cluster_counts(scale);
+    let cols: Vec<String> = counts.iter().map(|c| format!("k={c}")).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let models: Vec<ModelKind> = if args.is_empty() {
+        ModelKind::ALL.to_vec()
+    } else {
+        ModelKind::ALL
+            .into_iter()
+            .filter(|m| args.iter().any(|a| a.eq_ignore_ascii_case(m.name())))
+            .collect()
+    };
+
+    println!("Figure 3 — km-Purity / km-NMI on labelled datasets (scale {scale:?}, {seeds} seed(s))");
+    for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
+        let ctx = ExperimentContext::build(preset, scale, 42);
+        let labels = ctx.test.labels.clone().expect("labelled preset");
+        println!("\n=== {} ===", preset.name());
+        let mut purity_rows = Vec::new();
+        let mut nmi_rows = Vec::new();
+        for &model in &models {
+            let mut pur = vec![0.0f64; counts.len()];
+            let mut nm = vec![0.0f64; counts.len()];
+            for s in 0..seeds {
+                let fitted = model.fit(&ctx, 42 + s as u64);
+                let theta = fitted.theta(&ctx.test);
+                for (i, &k) in counts.iter().enumerate() {
+                    let (p, n) = evaluate_clustering(&theta, &labels, k, 7 + s as u64);
+                    pur[i] += p / seeds as f64;
+                    nm[i] += n / seeds as f64;
+                }
+            }
+            purity_rows.push((model.name(), pur));
+            nmi_rows.push((model.name(), nm));
+        }
+        println!("[km-Purity]");
+        println!("{}", fmt_header("model", &cols));
+        for (name, row) in &purity_rows {
+            println!("{}", fmt_row(name, row));
+        }
+        println!("[km-NMI]");
+        println!("{}", fmt_header("model", &cols));
+        for (name, row) in &nmi_rows {
+            println!("{}", fmt_row(name, row));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 4: sensitivity to lambda (regularizer weight) and v (words
+//! sampled per topic) on 20NG-like and Yahoo-like.
+//!
+//! As in the paper, only the max-percentage and min-percentage scores are
+//! reported: coherence at 10% and 90%, diversity at 10% and 90%, and
+//! km-Purity at the smallest and largest cluster counts.
+//!
+//! Expected shape: coherence rises with lambda; diversity and purity rise
+//! then fall once lambda gets large; v rises quickly then plateaus.
+
+use contratopic::fit_contratopic;
+use ct_bench::{cluster_counts, evaluate_clustering, ExperimentContext};
+use ct_corpus::{DatasetPreset, Scale};
+use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
+use ct_models::TopicModel;
+
+fn eval_point(
+    ctx: &ExperimentContext,
+    lambda: f32,
+    v: usize,
+) -> (f64, f64, f64, f64, f64, f64) {
+    let base = ctx.train_config(42);
+    let cfg = ctx.contratopic_config().with_lambda(lambda).with_v(v);
+    let model = fit_contratopic(
+        &ctx.train,
+        ctx.embeddings.clone(),
+        &ctx.npmi_train,
+        &base,
+        &cfg,
+    );
+    let beta = model.beta();
+    let scores = TopicScores::compute(&beta, &ctx.npmi_test, K_TC);
+    let counts = cluster_counts(ctx.scale);
+    let labels = ctx.test.labels.clone().expect("labelled preset");
+    let theta = model.theta(&ctx.test);
+    let (p_min, _) = evaluate_clustering(&theta, &labels, counts[0], 7);
+    let (p_max, _) = evaluate_clustering(&theta, &labels, *counts.last().unwrap(), 7);
+    (
+        scores.coherence_at(0.1),
+        scores.coherence_at(0.9),
+        diversity_at(&beta, &scores, 0.1, K_TD),
+        diversity_at(&beta, &scores, 0.9, K_TD),
+        p_min,
+        p_max,
+    )
+}
+
+fn sweep(ctx: &ExperimentContext, lambdas: &[f32], vs: &[usize]) {
+    println!(
+        "\n=== {} ===\n[lambda sweep, v = 10]\n{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        ctx.preset.name(),
+        "lambda", "coh@10%", "coh@90%", "div@10%", "div@90%", "pur@min", "pur@max"
+    );
+    for &l in lambdas {
+        let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, l, 10);
+        println!(
+            "{l:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}"
+        );
+    }
+    println!(
+        "[v sweep, lambda = {}]\n{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        ctx.default_lambda(),
+        "v", "coh@10%", "coh@90%", "div@10%", "div@90%", "pur@min", "pur@max"
+    );
+    for &v in vs {
+        let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, ctx.default_lambda(), v);
+        println!(
+            "{v:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}"
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Paper sweeps lambda 0..90 and v 1..19 on these datasets.
+    let lambdas = [0.0f32, 100.0, 400.0, 1200.0];
+    let vs = [1usize, 7, 13, 19];
+    println!("Figure 4 — sensitivity to lambda and v (scale {scale:?})");
+    for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
+        let ctx = ExperimentContext::build(preset, scale, 42);
+        sweep(&ctx, &lambdas, &vs);
+    }
+}

@@ -1,0 +1,57 @@
+//! §V-E computational analysis: the extra cost of the regularizer.
+//!
+//! The paper reports: NPMI precomputation ≈ 30 training epochs; the dense
+//! NPMI matrix costs O(V^2) memory (14.5 GB GPU / 8.6 GB CPU-resident at
+//! NYTimes scale); ContraTopic spends 65.68 s/epoch on NYTimes. Here we
+//! time NPMI construction, report the dense kernel footprint, and compare
+//! ContraTopic's epoch time against the plain ETM backbone on each preset.
+
+use std::time::Instant;
+
+use contratopic::{fit_contratopic, SimilarityKernel};
+use ct_bench::ExperimentContext;
+use ct_corpus::{DatasetPreset, NpmiMatrix, Scale};
+use ct_models::fit_etm;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("§V-E — computational analysis (scale {scale:?})\n");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>14} {:>14}",
+        "dataset", "V", "npmi-build", "kernel-mem", "ETM s/epoch", "CT s/epoch"
+    );
+    for preset in DatasetPreset::ALL {
+        let ctx = ExperimentContext::build(preset, scale, 42);
+        let t0 = Instant::now();
+        let npmi = NpmiMatrix::from_corpus(&ctx.train);
+        let npmi_secs = t0.elapsed().as_secs_f64();
+        let kernel = SimilarityKernel::npmi(&npmi);
+        let mem_mb = kernel.memory_bytes() as f64 / (1024.0 * 1024.0);
+
+        // Time a short run of each and normalize per epoch.
+        let mut base = ctx.train_config(42);
+        base.epochs = 2;
+        let t0 = Instant::now();
+        let _ = fit_etm(&ctx.train, ctx.embeddings.clone(), &base);
+        let etm_epoch = t0.elapsed().as_secs_f64() / base.epochs as f64;
+        let t0 = Instant::now();
+        let _ = fit_contratopic(
+            &ctx.train,
+            ctx.embeddings.clone(),
+            &ctx.npmi_train,
+            &base,
+            &ctx.contratopic_config(),
+        );
+        let ct_epoch = t0.elapsed().as_secs_f64() / base.epochs as f64;
+        println!(
+            "{:<14} {:>6} {:>10.2}s {:>10.1}MB {:>13.2}s {:>13.2}s",
+            preset.name(),
+            ctx.train.vocab_size(),
+            npmi_secs,
+            mem_mb,
+            etm_epoch,
+            ct_epoch,
+        );
+    }
+    println!("\npaper (NYTimes, V=34,330): 65.68 s/epoch, 14,593 MiB with the NPMI matrix in GPU memory");
+}

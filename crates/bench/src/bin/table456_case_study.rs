@@ -1,0 +1,38 @@
+//! Tables IV–VI: case study. For each dataset, the top-5 highest-NPMI
+//! topics of LDA, ETM, WeTe, CLNTM and ContraTopic are printed with their
+//! top words, plus template descriptions of ContraTopic's topics (the
+//! paper uses an LLM for the descriptions; we derive them from the planted
+//! themes).
+
+use ct_bench::{ExperimentContext, ModelKind};
+use ct_corpus::{DatasetPreset, Scale};
+use ct_eval::{describe_topic, top_topics};
+
+fn main() {
+    let scale = Scale::from_env();
+    let models = [
+        ModelKind::Lda,
+        ModelKind::Etm,
+        ModelKind::WeTe,
+        ModelKind::Clntm,
+        ModelKind::ContraTopic,
+    ];
+    for preset in DatasetPreset::ALL {
+        let ctx = ExperimentContext::build(preset, scale, 42);
+        println!("\n==== {} (Tables IV–VI) ====", preset.name());
+        for model in models {
+            let fitted = model.fit(&ctx, 42);
+            println!("\n-- {} --", model.name());
+            let tops = top_topics(&fitted.beta(), &ctx.npmi_test, &ctx.train.vocab, 5, 8);
+            for t in &tops {
+                println!("  {:.2}  {}", t.npmi, t.top_words.join(" "));
+            }
+            if model == ModelKind::ContraTopic {
+                println!("\n  Topic descriptions for {}:", preset.name());
+                for t in &tops {
+                    println!("  • {}", describe_topic(t));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal flag parser (`--key value` pairs plus a subcommand), kept
+//! dependency-free on purpose.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand plus `--key value` flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = args.into_iter().map(Into::into);
+        let command = it.next().unwrap_or_default();
+        let mut flags = HashMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got '{key}'"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} is missing its value"));
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("--{name} given twice"));
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// Optional flag parsed to `T`, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Flags that were provided but not consumed by the command's schema.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.flags
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(["train", "--topics", "20", "--out", "m.ckpt"]).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("topics"), Some("20"));
+        assert_eq!(a.require("out").unwrap(), "m.ckpt");
+        assert_eq!(a.get_or("epochs", 7usize).unwrap(), 7);
+        assert_eq!(a.get_or("topics", 0usize).unwrap(), 20);
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(Args::parse(["x", "oops"]).is_err());
+        assert!(Args::parse(["x", "--a"]).is_err());
+        assert!(Args::parse(["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn reports_unknown_flags() {
+        let a = Args::parse(["x", "--good", "1", "--bad", "2"]).unwrap();
+        assert_eq!(a.unknown_flags(&["good"]), vec!["bad".to_string()]);
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = Args::parse(["x"]).unwrap();
+        assert!(a.require("out").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Trained-model bundle: a text metadata file (`<prefix>.meta`) carrying
+//! the architecture hyper-parameters and vocabulary, plus a binary
+//! checkpoint (`<prefix>.ckpt`) with the trained parameters (format in
+//! `ct_tensor::checkpoint`). Together they are enough to reconstruct the
+//! model for inference on new documents.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use ct_corpus::Vocab;
+use ct_models::{EtmBackbone, TrainConfig};
+use ct_tensor::{Params, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const META_MAGIC: &str = "CTMODEL01";
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> io::Result<T> {
+    value.parse().map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("bad value for {key}"))
+    })
+}
+
+/// Everything needed to rebuild a trained ContraTopic/ETM model.
+#[derive(Debug)]
+pub struct ModelBundle {
+    pub config: TrainConfig,
+    pub vocab: Vocab,
+}
+
+impl ModelBundle {
+    /// Write `<prefix>.meta` and `<prefix>.ckpt`.
+    pub fn save(
+        prefix: &str,
+        config: &TrainConfig,
+        vocab: &Vocab,
+        params: &Params,
+    ) -> io::Result<()> {
+        let mut meta = BufWriter::new(File::create(format!("{prefix}.meta"))?);
+        writeln!(meta, "{META_MAGIC}")?;
+        writeln!(meta, "num_topics={}", config.num_topics)?;
+        writeln!(meta, "hidden={}", config.hidden)?;
+        writeln!(meta, "encoder_depth={}", config.encoder_depth)?;
+        writeln!(meta, "embed_dim={}", config.embed_dim)?;
+        writeln!(meta, "tau_beta={}", config.tau_beta)?;
+        writeln!(meta, "dropout={}", config.dropout)?;
+        writeln!(meta, "seed={}", config.seed)?;
+        writeln!(meta, "vocab_size={}", vocab.len())?;
+        for w in vocab.words() {
+            writeln!(meta, "{w}")?;
+        }
+        meta.flush()?;
+        let mut ckpt = BufWriter::new(File::create(format!("{prefix}.ckpt"))?);
+        params.save(&mut ckpt)?;
+        ckpt.flush()
+    }
+
+    /// Read `<prefix>.meta` back.
+    pub fn load_meta(prefix: &str) -> io::Result<ModelBundle> {
+        let path = format!("{prefix}.meta");
+        let file = BufReader::new(File::open(Path::new(&path))?);
+        let mut lines = file.lines();
+        let magic = lines.next().transpose()?.unwrap_or_default();
+        if magic != META_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{path}: not a model bundle (bad magic)"),
+            ));
+        }
+        let mut config = TrainConfig::default();
+        let mut vocab_size = 0usize;
+        for _ in 0..8 {
+            let line = lines.next().transpose()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "truncated meta header")
+            })?;
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad meta line '{line}'"))
+            })?;
+            match key {
+                "num_topics" => config.num_topics = parse_num(key, value)?,
+                "hidden" => config.hidden = parse_num(key, value)?,
+                "encoder_depth" => config.encoder_depth = parse_num(key, value)?,
+                "embed_dim" => config.embed_dim = parse_num(key, value)?,
+                "tau_beta" => config.tau_beta = parse_num(key, value)?,
+                "dropout" => config.dropout = parse_num(key, value)?,
+                "seed" => config.seed = parse_num(key, value)?,
+                "vocab_size" => vocab_size = parse_num(key, value)?,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown meta key '{other}'"),
+                    ))
+                }
+            }
+        }
+        let mut vocab = Vocab::new();
+        for _ in 0..vocab_size {
+            let word = lines.next().transpose()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "truncated vocabulary")
+            })?;
+            vocab.add(word);
+        }
+        Ok(ModelBundle { config, vocab })
+    }
+
+    /// Rebuild the ETM backbone and load the trained parameters from
+    /// `<prefix>.ckpt`.
+    pub fn load_model(prefix: &str) -> io::Result<(ModelBundle, EtmBackbone, Params)> {
+        let bundle = Self::load_meta(prefix)?;
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(bundle.config.seed);
+        // Placeholder embeddings: real values are restored from the
+        // checkpoint (rho is stored like any other parameter).
+        let placeholder = Tensor::ones(bundle.vocab.len(), bundle.config.embed_dim);
+        let backbone = EtmBackbone::new(
+            &mut params,
+            bundle.vocab.len(),
+            placeholder,
+            &bundle.config,
+            &mut rng,
+        );
+        let mut ckpt = BufReader::new(File::open(format!("{prefix}.ckpt"))?);
+        params.load_named(&mut ckpt)?;
+        Ok((bundle, backbone, params))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_models::Backbone;
+
+    #[test]
+    fn bundle_roundtrip_restores_beta() {
+        let dir = std::env::temp_dir().join(format!("ct_bundle_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("model");
+        let prefix = prefix.to_str().unwrap();
+
+        let vocab = Vocab::from_words((0..12).map(|i| format!("w{i}")));
+        let config = TrainConfig {
+            num_topics: 3,
+            hidden: 16,
+            embed_dim: 6,
+            ..TrainConfig::tiny()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Tensor::randn(12, 6, 1.0, &mut rng);
+        let mut params = Params::new();
+        let backbone = EtmBackbone::new(&mut params, 12, emb, &config, &mut rng);
+        let beta_before = backbone.beta_tensor(&params);
+
+        ModelBundle::save(prefix, &config, &vocab, &params).unwrap();
+        let (bundle, backbone2, params2) = ModelBundle::load_model(prefix).unwrap();
+        assert_eq!(bundle.vocab.len(), 12);
+        assert_eq!(bundle.config.num_topics, 3);
+        assert_eq!(bundle.vocab.word(3), "w3");
+        let beta_after = backbone2.beta_tensor(&params2);
+        assert_eq!(beta_before, beta_after);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_meta_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("ct_bundle_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("bad");
+        std::fs::write(format!("{}.meta", prefix.display()), "NOT A MODEL\n").unwrap();
+        let err = ModelBundle::load_meta(prefix.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,291 @@
+//! The four CLI subcommands.
+
+use std::fs;
+
+use contratopic::{AblationVariant, ContraTopicConfig, SubsetSamplerConfig};
+use ct_corpus::{
+    generate as synth_generate, render_text_with_stopwords, train_embeddings, BowCorpus,
+    DatasetPreset, NpmiMatrix, Pipeline, PipelineConfig, Scale,
+};
+use ct_eval::{
+    describe_topic, diversity_at, perplexity, top_topics, TopicScores, K_TC, K_TD,
+};
+use ct_models::{Backbone, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Args;
+use crate::bundle::ModelBundle;
+
+fn parse_preset(s: &str) -> Result<DatasetPreset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "20ng" | "ng20" => Ok(DatasetPreset::Ng20Like),
+        "yahoo" => Ok(DatasetPreset::YahooLike),
+        "nytimes" | "nyt" => Ok(DatasetPreset::NyTimesLike),
+        other => Err(format!("unknown preset '{other}' (20ng|yahoo|nytimes)")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(Scale::Tiny),
+        "quick" => Ok(Scale::Quick),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale '{other}' (tiny|quick|full)")),
+    }
+}
+
+fn parse_variant(s: &str) -> Result<AblationVariant, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "full" => Ok(AblationVariant::Full),
+        "p" => Ok(AblationVariant::PositiveOnly),
+        "n" => Ok(AblationVariant::NegativeOnly),
+        "i" => Ok(AblationVariant::InnerProduct),
+        "s" => Ok(AblationVariant::NoSampling),
+        other => Err(format!("unknown variant '{other}' (full|p|n|i|s)")),
+    }
+}
+
+/// Read a plain-text corpus (one document per line) through the
+/// preprocessing pipeline, with optional integer labels (one per line).
+fn read_corpus(path: &str, labels_path: Option<&str>) -> Result<BowCorpus, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let docs: Vec<&str> = text.lines().collect();
+    let labels: Option<Vec<usize>> = match labels_path {
+        None => None,
+        Some(lp) => {
+            let ltext = fs::read_to_string(lp).map_err(|e| format!("{lp}: {e}"))?;
+            let parsed: Result<Vec<usize>, _> =
+                ltext.lines().map(|l| l.trim().parse::<usize>()).collect();
+            Some(parsed.map_err(|e| format!("{lp}: bad label: {e}"))?)
+        }
+    };
+    if let Some(l) = &labels {
+        if l.len() != docs.len() {
+            return Err(format!(
+                "{} docs but {} labels",
+                docs.len(),
+                l.len()
+            ));
+        }
+    }
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let corpus = pipeline.build(&docs, labels.as_deref());
+    if corpus.num_docs() == 0 {
+        return Err("corpus is empty after preprocessing".into());
+    }
+    Ok(corpus)
+}
+
+pub fn generate(args: &Args) -> Result<(), String> {
+    if let Some(f) = args
+        .unknown_flags(&["preset", "scale", "out", "labels", "seed"])
+        .into_iter()
+        .next()
+    {
+        return Err(format!("unknown flag --{f} for generate"));
+    }
+    let preset = parse_preset(args.get_or("preset", "20ng".to_string())?.as_str())?;
+    let scale = parse_scale(args.get_or("scale", "tiny".to_string())?.as_str())?;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let synth = synth_generate(&preset.spec(scale), &mut rng);
+    let texts = render_text_with_stopwords(&synth, 0.35, &mut rng);
+    fs::write(out, texts.join("\n")).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {} documents to {out}", texts.len());
+    if let Some(labels_path) = args.get("labels") {
+        let labels = synth
+            .corpus
+            .labels
+            .as_ref()
+            .ok_or("preset has no labels")?;
+        let body: Vec<String> = labels.iter().map(|l| l.to_string()).collect();
+        fs::write(labels_path, body.join("\n")).map_err(|e| format!("{labels_path}: {e}"))?;
+        eprintln!("wrote labels to {labels_path}");
+    }
+    Ok(())
+}
+
+pub fn train(args: &Args) -> Result<(), String> {
+    if let Some(f) = args
+        .unknown_flags(&[
+            "corpus", "out", "labels", "topics", "epochs", "lambda", "v", "hidden",
+            "embed-dim", "batch", "lr", "variant", "seed",
+        ])
+        .into_iter()
+        .next()
+    {
+        return Err(format!("unknown flag --{f} for train"));
+    }
+    let corpus = read_corpus(args.require("corpus")?, args.get("labels"))?;
+    let out = args.require("out")?;
+    let config = TrainConfig {
+        num_topics: args.get_or("topics", 20)?,
+        hidden: args.get_or("hidden", 64)?,
+        embed_dim: args.get_or("embed-dim", 32)?,
+        epochs: args.get_or("epochs", 15)?,
+        batch_size: args.get_or("batch", 256)?,
+        learning_rate: args.get_or("lr", 3e-3)?,
+        seed: args.get_or("seed", 42)?,
+        ..TrainConfig::default()
+    };
+    let ct_config = ContraTopicConfig {
+        lambda: args.get_or("lambda", 100.0)?,
+        sampler: SubsetSamplerConfig {
+            v: args.get_or("v", 10)?,
+            tau_g: 0.5,
+        },
+        variant: parse_variant(args.get_or("variant", "full".to_string())?.as_str())?,
+    };
+    eprintln!(
+        "training ContraTopic: {} docs, vocab {}, K={}, {} epochs, lambda={}",
+        corpus.num_docs(),
+        corpus.vocab_size(),
+        config.num_topics,
+        config.epochs,
+        ct_config.lambda
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let npmi = NpmiMatrix::from_corpus(&corpus);
+    let embeddings = train_embeddings(&corpus, config.embed_dim, &mut rng);
+    let model = contratopic::fit_contratopic(&corpus, embeddings, &npmi, &config, &ct_config);
+    ModelBundle::save(out, &config, &corpus.vocab, &model.inner.params)
+        .map_err(|e| format!("saving {out}: {e}"))?;
+    eprintln!("saved {out}.meta and {out}.ckpt");
+    Ok(())
+}
+
+pub fn topics(args: &Args) -> Result<(), String> {
+    if let Some(f) = args
+        .unknown_flags(&["model", "corpus", "top"])
+        .into_iter()
+        .next()
+    {
+        return Err(format!("unknown flag --{f} for topics"));
+    }
+    let prefix = args.require("model")?;
+    let top: usize = args.get_or("top", 10)?;
+    let (bundle, backbone, params) =
+        ModelBundle::load_model(prefix).map_err(|e| format!("{prefix}: {e}"))?;
+    let beta = backbone.beta_tensor(&params);
+    if let Some(cpath) = args.get("corpus") {
+        {
+            // Rank topics by NPMI coherence against the given corpus.
+            let corpus = read_corpus(cpath, None)?;
+            if corpus.vocab_size() != bundle.vocab.len() {
+                eprintln!(
+                    "note: corpus vocabulary ({}) differs from the model's ({}); \
+                     ranking by model vocabulary ids",
+                    corpus.vocab_size(),
+                    bundle.vocab.len()
+                );
+            }
+            let npmi = NpmiMatrix::from_corpus(&corpus);
+            if npmi.vocab_size() == bundle.vocab.len() {
+                for t in top_topics(&beta, &npmi, &bundle.vocab, beta.rows(), top) {
+                    println!("[{:+.3}] {}", t.npmi, t.top_words.join(" "));
+                    println!("        {}", describe_topic(&t));
+                }
+                return Ok(());
+            }
+        }
+    }
+    for t in 0..beta.rows() {
+        let words: Vec<&str> = beta
+            .top_k_row(t, top)
+            .into_iter()
+            .map(|w| bundle.vocab.word(w as u32))
+            .collect();
+        println!("topic {:>3}: {}", t + 1, words.join(" "));
+    }
+    Ok(())
+}
+
+pub fn eval(args: &Args) -> Result<(), String> {
+    if let Some(f) = args
+        .unknown_flags(&["model", "corpus"])
+        .into_iter()
+        .next()
+    {
+        return Err(format!("unknown flag --{f} for eval"));
+    }
+    let prefix = args.require("model")?;
+    let (bundle, backbone, params) =
+        ModelBundle::load_model(prefix).map_err(|e| format!("{prefix}: {e}"))?;
+    let corpus = read_corpus(args.require("corpus")?, None)?;
+    if corpus.vocab_size() != bundle.vocab.len() {
+        return Err(format!(
+            "corpus vocabulary ({}) does not match the model's ({}): evaluate on \
+             text preprocessed identically to training",
+            corpus.vocab_size(),
+            bundle.vocab.len()
+        ));
+    }
+    let npmi = NpmiMatrix::from_corpus(&corpus);
+    let beta = backbone.beta_tensor(&params);
+    let scores = TopicScores::compute(&beta, &npmi, K_TC);
+    let theta = ct_models::common::infer_theta_blocked(&corpus, backbone.num_topics(), |x| {
+        backbone.infer_theta_batch(&params, x)
+    });
+    println!("topics:              {}", backbone.num_topics());
+    println!("coherence @10%:      {:+.4}", scores.coherence_at(0.1));
+    println!("coherence @100%:     {:+.4}", scores.coherence_at(1.0));
+    println!(
+        "diversity @100%:     {:.4}",
+        diversity_at(&beta, &scores, 1.0, K_TD)
+    );
+    println!(
+        "perplexity:          {:.2}",
+        perplexity(&theta, &beta, &corpus)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsers_accept_known_values() {
+        assert_eq!(parse_preset("20NG").unwrap(), DatasetPreset::Ng20Like);
+        assert_eq!(parse_scale("QUICK").unwrap(), Scale::Quick);
+        assert_eq!(parse_variant("s").unwrap(), AblationVariant::NoSampling);
+        assert!(parse_preset("bogus").is_err());
+        assert!(parse_scale("huge").is_err());
+        assert!(parse_variant("x").is_err());
+    }
+
+    #[test]
+    fn cli_end_to_end_generate_train_topics_eval() {
+        let dir = std::env::temp_dir().join(format!("ct_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.txt");
+        let model_prefix = dir.join("model");
+        let cp = corpus_path.to_str().unwrap().to_string();
+        let mp = model_prefix.to_str().unwrap().to_string();
+
+        generate(
+            &Args::parse(["generate", "--preset", "20ng", "--scale", "tiny", "--out", &cp])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(corpus_path.exists());
+
+        train(
+            &Args::parse([
+                "train", "--corpus", &cp, "--out", &mp, "--topics", "6", "--epochs", "2",
+                "--hidden", "24", "--embed-dim", "12", "--lambda", "10",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(dir.join("model.meta").exists());
+        assert!(dir.join("model.ckpt").exists());
+
+        topics(&Args::parse(["topics", "--model", &mp, "--top", "5"]).unwrap()).unwrap();
+        eval(&Args::parse(["eval", "--model", &mp, "--corpus", &cp]).unwrap()).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

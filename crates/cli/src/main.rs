@@ -1,0 +1,91 @@
+//! `contratopic` — command-line interface for the ContraTopic
+//! reproduction.
+//!
+//! ```sh
+//! contratopic generate --preset 20ng --scale tiny --out corpus.txt --labels labels.txt
+//! contratopic train    --corpus corpus.txt --topics 20 --epochs 15 --lambda 100 --out model
+//! contratopic topics   --model model --corpus corpus.txt --top 10
+//! contratopic eval     --model model --corpus corpus.txt
+//! ```
+
+mod args;
+mod bundle;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+contratopic — topic-wise contrastive neural topic modeling (ICDE 2024 reproduction)
+
+USAGE:
+  contratopic <command> [--flag value]...
+
+COMMANDS:
+  generate   Write a synthetic labelled corpus as plain text
+             --preset 20ng|yahoo|nytimes  --scale tiny|quick|full
+             --out corpus.txt  [--labels labels.txt]  [--seed N]
+  train      Train ContraTopic on a plain-text corpus (one doc per line)
+             --corpus corpus.txt  --out model-prefix
+             [--labels labels.txt] [--topics K] [--epochs N] [--lambda L]
+             [--v N] [--hidden N] [--embed-dim N] [--batch N] [--lr F]
+             [--variant full|p|n|i|s] [--seed N]
+  topics     Print each topic's top words from a trained model
+             --model model-prefix  [--corpus corpus.txt]  [--top N]
+  eval       Score a trained model on a corpus (coherence/diversity/perplexity)
+             --model model-prefix  --corpus corpus.txt
+  help       Show this message
+";
+
+fn main() {
+    // Exit quietly when stdout is closed early (e.g. piped into `head`).
+    reset_sigpipe();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "train" => commands::train(&args),
+        "topics" => commands::topics(&args),
+        "eval" => commands::eval(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Restore the default SIGPIPE disposition so writes to a closed pipe kill
+/// the process silently instead of panicking (Rust ignores SIGPIPE by
+/// default). Uses the unstable-free raw syscall via `std::process` absence;
+/// on non-Unix targets this is a no-op.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    // SAFETY: installing SIG_DFL for SIGPIPE is async-signal-safe and has
+    // no preconditions.
+    unsafe {
+        // signal(SIGPIPE=13, SIG_DFL=0)
+        type SigHandler = usize;
+        extern "C" {
+            fn signal(signum: i32, handler: SigHandler) -> SigHandler;
+        }
+        signal(13, 0);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}

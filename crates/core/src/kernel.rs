@@ -1,0 +1,121 @@
+//! Similarity kernels `K(·,·)` for the contrastive regularizer (§IV-A).
+//!
+//! The paper's choice is the corpus-precomputed NPMI matrix — the positive
+//! pairs then *directly* optimize the coherence metric. The
+//! `ContraTopic-I` ablation replaces it with word-embedding inner products
+//! (the NTM-R-style kernel), which the paper shows is weaker.
+
+use std::rc::Rc;
+
+use ct_corpus::NpmiMatrix;
+use ct_tensor::Tensor;
+
+/// A fixed (non-trainable) word-pair similarity matrix `(V, V)`.
+#[derive(Clone)]
+pub struct SimilarityKernel {
+    matrix: Rc<Tensor>,
+    name: &'static str,
+}
+
+impl SimilarityKernel {
+    /// The paper's kernel: precomputed NPMI on the *training* corpus.
+    pub fn npmi(npmi: &NpmiMatrix) -> Self {
+        Self {
+            matrix: Rc::new(npmi.matrix().clone()),
+            name: "npmi",
+        }
+    }
+
+    /// Take ownership of an NPMI matrix without copying.
+    pub fn from_npmi_owned(npmi: NpmiMatrix) -> Self {
+        Self {
+            matrix: Rc::new(npmi.into_matrix()),
+            name: "npmi",
+        }
+    }
+
+    /// ContraTopic-I ablation: cosine similarity of word embeddings.
+    pub fn embedding_inner(embeddings: &Tensor) -> Self {
+        // Normalize rows, then a single V x V gram matrix.
+        let mut e = embeddings.clone();
+        for r in 0..e.rows() {
+            let row = e.row_mut(r);
+            let n = row.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt() as f32;
+            if n > 1e-8 {
+                for v in row.iter_mut() {
+                    *v /= n;
+                }
+            }
+        }
+        let gram = e.matmul_nt(&e);
+        Self {
+            matrix: Rc::new(gram),
+            name: "embedding-inner",
+        }
+    }
+
+    /// Arbitrary symmetric similarity matrix.
+    pub fn custom(matrix: Tensor, name: &'static str) -> Self {
+        assert_eq!(matrix.rows(), matrix.cols(), "kernel must be square");
+        Self {
+            matrix: Rc::new(matrix),
+            name,
+        }
+    }
+
+    /// The `(V, V)` similarity matrix (shared; never receives gradients).
+    pub fn matrix(&self) -> &Rc<Tensor> {
+        &self.matrix
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Memory footprint of the dense kernel in bytes (the paper's §V-E
+    /// `O(V^2)` analysis).
+    pub fn memory_bytes(&self) -> usize {
+        self.matrix.numel() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::{BowCorpus, SparseDoc, Vocab};
+
+    #[test]
+    fn npmi_kernel_wraps_matrix() {
+        let vocab = Vocab::from_words(["a", "b", "c"]);
+        let mut c = BowCorpus::new(vocab);
+        c.docs.push(SparseDoc::from_tokens(&[0, 1]));
+        c.docs.push(SparseDoc::from_tokens(&[0, 1]));
+        c.docs.push(SparseDoc::from_tokens(&[2]));
+        let n = NpmiMatrix::from_corpus(&c);
+        let k = SimilarityKernel::npmi(&n);
+        assert_eq!(k.vocab_size(), 3);
+        assert_eq!(k.name(), "npmi");
+        assert!(k.matrix().get(0, 1) > 0.5);
+        assert_eq!(k.memory_bytes(), 9 * 4);
+    }
+
+    #[test]
+    fn embedding_kernel_is_cosine() {
+        let emb = Tensor::from_vec(vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0], 3, 2);
+        let k = SimilarityKernel::embedding_inner(&emb);
+        // Rows 0 and 1 are parallel; row 2 orthogonal.
+        assert!((k.matrix().get(0, 1) - 1.0).abs() < 1e-5);
+        assert!(k.matrix().get(0, 2).abs() < 1e-5);
+        assert!((k.matrix().get(2, 2) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn custom_rejects_non_square() {
+        let _ = SimilarityKernel::custom(Tensor::zeros(2, 3), "bad");
+    }
+}

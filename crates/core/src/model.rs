@@ -1,0 +1,312 @@
+//! ContraTopic: a backbone NTM trained with the topic-wise contrastive
+//! regularizer (paper Eq. 6 and Algorithm 1):
+//! `L = L_rec + L_kl + lambda * L_con`.
+
+use ct_corpus::{BowCorpus, NpmiMatrix};
+use ct_models::{
+    fit_backbone_with_regularizer, Backbone, EtmBackbone, Fitted, TopicModel, TrainConfig,
+    WeTeBackbone, WldaBackbone,
+};
+use ct_tensor::{Params, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gumbel::SubsetSamplerConfig;
+use crate::kernel::SimilarityKernel;
+use crate::regularizer::{AblationVariant, ContrastiveRegularizer};
+
+/// ContraTopic-specific hyper-parameters (on top of [`TrainConfig`]).
+#[derive(Clone, Debug)]
+pub struct ContraTopicConfig {
+    /// Regularizer weight `lambda` (paper: 40 on 20NG/Yahoo, 300 on
+    /// NYTimes).
+    pub lambda: f32,
+    /// Subset sampler settings (`v` = 10, `tau_g` = 0.5 in the paper).
+    pub sampler: SubsetSamplerConfig,
+    /// Which variant to train (Table II ablations).
+    pub variant: AblationVariant,
+}
+
+impl Default for ContraTopicConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 40.0,
+            sampler: SubsetSamplerConfig::default(),
+            variant: AblationVariant::Full,
+        }
+    }
+}
+
+impl ContraTopicConfig {
+    pub fn with_lambda(mut self, lambda: f32) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    pub fn with_v(mut self, v: usize) -> Self {
+        self.sampler.v = v;
+        self
+    }
+
+    pub fn with_variant(mut self, variant: AblationVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+}
+
+/// Pick the similarity kernel a variant calls for: NPMI for everything
+/// except `ContraTopic-I`, which uses embedding inner products.
+pub fn build_kernel(
+    variant: AblationVariant,
+    npmi: &NpmiMatrix,
+    embeddings: &Tensor,
+) -> SimilarityKernel {
+    match variant {
+        AblationVariant::InnerProduct => SimilarityKernel::embedding_inner(embeddings),
+        _ => SimilarityKernel::npmi(npmi),
+    }
+}
+
+/// A fitted ContraTopic model over any backbone.
+pub struct ContraTopic<B: Backbone> {
+    pub inner: Fitted<B>,
+    pub variant: AblationVariant,
+    name: &'static str,
+}
+
+impl<B: Backbone> ContraTopic<B> {
+    /// Human-readable label combining variant and backbone.
+    fn label_for(backbone_name: &str, variant: AblationVariant) -> &'static str {
+        match (backbone_name, variant) {
+            ("ETM", v) => v.label(),
+            ("WLDA", _) => "ContraTopic(WLDA)",
+            ("WeTe", _) => "ContraTopic(WeTe)",
+            ("NSTM", _) => "ContraTopic(NSTM)",
+            ("ProdLDA", _) => "ContraTopic(ProdLDA)",
+            ("CLNTM", _) => "ContraTopic-ML",
+            _ => "ContraTopic(+)",
+        }
+    }
+}
+
+impl<B: Backbone> TopicModel for ContraTopic<B> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn beta(&self) -> Tensor {
+        self.inner.beta()
+    }
+
+    fn theta(&self, corpus: &BowCorpus) -> Tensor {
+        self.inner.theta(corpus)
+    }
+
+    fn num_topics(&self) -> usize {
+        self.inner.num_topics()
+    }
+}
+
+/// Train any backbone with the contrastive regularizer attached
+/// (Algorithm 1).
+pub fn fit_with_backbone<B: Backbone>(
+    backbone: B,
+    params: Params,
+    corpus: &BowCorpus,
+    kernel: SimilarityKernel,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+) -> ContraTopic<B> {
+    let reg = ContrastiveRegularizer::new(kernel, config.sampler, config.variant);
+    let name = ContraTopic::<B>::label_for(backbone.name(), config.variant);
+    let inner = fit_backbone_with_regularizer(
+        backbone,
+        params,
+        corpus,
+        base,
+        config.lambda,
+        |tape, beta, rng| reg.loss(tape, beta, rng),
+    );
+    ContraTopic {
+        inner,
+        variant: config.variant,
+        name,
+    }
+}
+
+/// Fit the paper's default model: ETM backbone + contrastive regularizer.
+/// `npmi` must come from the *training* corpus (the test corpus stays
+/// held out for evaluation).
+pub fn fit_contratopic(
+    corpus: &BowCorpus,
+    embeddings: Tensor,
+    npmi: &NpmiMatrix,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+) -> ContraTopic<EtmBackbone> {
+    let kernel = build_kernel(config.variant, npmi, &embeddings);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(base.seed);
+    let backbone = EtmBackbone::new(&mut params, corpus.vocab_size(), embeddings, base, &mut rng);
+    fit_with_backbone(backbone, params, corpus, kernel, base, config)
+}
+
+/// §V-I backbone substitution: WLDA + regularizer.
+pub fn fit_contratopic_wlda(
+    corpus: &BowCorpus,
+    embeddings: &Tensor,
+    npmi: &NpmiMatrix,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+) -> ContraTopic<WldaBackbone> {
+    let kernel = build_kernel(config.variant, npmi, embeddings);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(base.seed);
+    let backbone = WldaBackbone::new(&mut params, corpus.vocab_size(), base, &mut rng);
+    fit_with_backbone(backbone, params, corpus, kernel, base, config)
+}
+
+/// The paper's §VI future-work *multi-level* framework: combine the
+/// topic-wise contrastive regularizer with CLNTM's document-wise
+/// contrastive backbone, optimizing topic interpretability and document
+/// representation simultaneously.
+pub fn fit_multilevel(
+    corpus: &BowCorpus,
+    embeddings: Tensor,
+    npmi: &NpmiMatrix,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+) -> ContraTopic<ct_models::ClntmBackbone> {
+    let kernel = build_kernel(config.variant, npmi, &embeddings);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(base.seed);
+    let backbone =
+        ct_models::ClntmBackbone::new(&mut params, corpus, embeddings, base, &mut rng);
+    fit_with_backbone(backbone, params, corpus, kernel, base, config)
+}
+
+/// §V-I backbone substitution: WeTe + regularizer.
+pub fn fit_contratopic_wete(
+    corpus: &BowCorpus,
+    embeddings: Tensor,
+    npmi: &NpmiMatrix,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+) -> ContraTopic<WeTeBackbone> {
+    let kernel = build_kernel(config.variant, npmi, &embeddings);
+    let mut params = Params::new();
+    let mut rng = StdRng::seed_from_u64(base.seed);
+    let backbone = WeTeBackbone::new(&mut params, corpus.vocab_size(), embeddings, base, &mut rng);
+    fit_with_backbone(backbone, params, corpus, kernel, base, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_eval::TopicScores;
+    use ct_models::testutil::{cluster_corpus, cluster_embeddings, topic_separation};
+
+    fn setup() -> (BowCorpus, Tensor, NpmiMatrix) {
+        let corpus = cluster_corpus(2, 12, 80);
+        let emb = cluster_embeddings(&corpus);
+        let npmi = NpmiMatrix::from_corpus(&corpus);
+        (corpus, emb, npmi)
+    }
+
+    fn base_config() -> TrainConfig {
+        TrainConfig {
+            num_topics: 2,
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            ..TrainConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn contratopic_learns_planted_clusters() {
+        let (corpus, emb, npmi) = setup();
+        let config = ContraTopicConfig {
+            lambda: 5.0,
+            sampler: SubsetSamplerConfig { v: 5, tau_g: 0.5 },
+            ..Default::default()
+        };
+        let model = fit_contratopic(&corpus, emb, &npmi, &base_config(), &config);
+        let sep = topic_separation(&model.beta(), 12);
+        assert!(sep > 0.8, "topic separation {sep}");
+        assert_eq!(model.name(), "ContraTopic");
+    }
+
+    #[test]
+    fn regularizer_improves_coherence_over_plain_etm() {
+        let (corpus, emb, npmi) = setup();
+        let base = base_config();
+        let etm = ct_models::fit_etm(&corpus, emb.clone(), &base);
+        let config = ContraTopicConfig {
+            lambda: 5.0,
+            sampler: SubsetSamplerConfig { v: 5, tau_g: 0.5 },
+            ..Default::default()
+        };
+        let ct = fit_contratopic(&corpus, emb, &npmi, &base, &config);
+        let c_etm = TopicScores::compute(&etm.beta(), &npmi, 5).coherence_at(1.0);
+        let c_ct = TopicScores::compute(&ct.beta(), &npmi, 5).coherence_at(1.0);
+        assert!(
+            c_ct >= c_etm - 0.02,
+            "ContraTopic coherence {c_ct} should be >= ETM {c_etm}"
+        );
+    }
+
+    #[test]
+    fn ablation_variants_all_train() {
+        let (corpus, emb, npmi) = setup();
+        let base = TrainConfig {
+            epochs: 4,
+            ..base_config()
+        };
+        for variant in AblationVariant::ALL {
+            let config = ContraTopicConfig {
+                lambda: 2.0,
+                sampler: SubsetSamplerConfig { v: 4, tau_g: 0.5 },
+                variant,
+            };
+            let model = fit_contratopic(&corpus, emb.clone(), &npmi, &base, &config);
+            let beta = model.beta();
+            assert!(!beta.has_non_finite(), "{variant:?} produced NaNs");
+            assert_eq!(model.variant, variant);
+        }
+    }
+
+    #[test]
+    fn backbone_substitution_trains() {
+        let (corpus, emb, npmi) = setup();
+        let base = TrainConfig {
+            epochs: 6,
+            ..base_config()
+        };
+        let config = ContraTopicConfig {
+            lambda: 2.0,
+            sampler: SubsetSamplerConfig { v: 4, tau_g: 0.5 },
+            ..Default::default()
+        };
+        let wlda = fit_contratopic_wlda(&corpus, &emb, &npmi, &base, &config);
+        assert_eq!(wlda.name(), "ContraTopic(WLDA)");
+        assert!(!wlda.beta().has_non_finite());
+        let wete = fit_contratopic_wete(&corpus, emb, &npmi, &base, &config);
+        assert_eq!(wete.name(), "ContraTopic(WeTe)");
+        assert!(!wete.beta().has_non_finite());
+    }
+
+    #[test]
+    fn lambda_zero_matches_backbone_objective() {
+        // With lambda = 0 the training signal is the plain ELBO; the model
+        // should still train without NaNs and resemble ETM quality.
+        let (corpus, emb, npmi) = setup();
+        let base = TrainConfig {
+            epochs: 10,
+            ..base_config()
+        };
+        let config = ContraTopicConfig::default().with_lambda(0.0);
+        let model = fit_contratopic(&corpus, emb, &npmi, &base, &config);
+        assert!(!model.beta().has_non_finite());
+    }
+}

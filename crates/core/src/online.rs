@@ -1,0 +1,169 @@
+//! Online topic modeling (the paper's §VI future work): documents arrive
+//! in time slices; the NPMI kernel accumulates across slices via
+//! [`CoocAccumulator`] and the model warm-starts from the previous slice's
+//! parameters, in the spirit of on-line LDA (AlSumait et al. 2008).
+
+use ct_corpus::npmi::CoocAccumulator;
+use ct_corpus::BowCorpus;
+use ct_models::{train_loop, Backbone, EtmBackbone, TopicModel, TrainConfig, TrainStats};
+use ct_tensor::{Params, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kernel::SimilarityKernel;
+use crate::model::ContraTopicConfig;
+use crate::regularizer::ContrastiveRegularizer;
+
+/// ContraTopic trained over a document stream, one slice at a time.
+pub struct OnlineContraTopic {
+    backbone: EtmBackbone,
+    params: Params,
+    accumulator: CoocAccumulator,
+    base: TrainConfig,
+    config: ContraTopicConfig,
+    slices_seen: usize,
+    /// Training stats per slice.
+    pub slice_stats: Vec<TrainStats>,
+}
+
+impl OnlineContraTopic {
+    /// Create an untrained online model over a fixed vocabulary.
+    pub fn new(
+        vocab_size: usize,
+        embeddings: Tensor,
+        base: TrainConfig,
+        config: ContraTopicConfig,
+    ) -> Self {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let backbone = EtmBackbone::new(&mut params, vocab_size, embeddings, &base, &mut rng);
+        Self {
+            backbone,
+            params,
+            accumulator: CoocAccumulator::new(vocab_size),
+            base,
+            config,
+            slices_seen: 0,
+            slice_stats: Vec::new(),
+        }
+    }
+
+    /// Consume one time slice: fold its co-occurrence counts into the
+    /// kernel, then continue training (warm start) on the slice's
+    /// documents with the regularizer built from *all* counts so far.
+    pub fn fit_slice(&mut self, slice: &BowCorpus) {
+        assert!(slice.num_docs() > 0, "empty slice");
+        self.accumulator.add_corpus(slice);
+        let kernel = SimilarityKernel::from_npmi_owned(self.accumulator.to_npmi());
+        let reg =
+            ContrastiveRegularizer::new(kernel, self.config.sampler, self.config.variant);
+        // Distinct seed per slice so batching/Gumbel noise differ.
+        let mut cfg = self.base.clone();
+        cfg.seed = self.base.seed.wrapping_add(self.slices_seen as u64 + 1);
+        let lambda = self.config.lambda;
+        let backbone = &self.backbone;
+        let stats = train_loop(slice, &cfg, &mut self.params, |tape, params, x, idx, rng| {
+            let out = backbone.batch_loss(tape, params, x, idx, true, rng);
+            let r = reg.loss(tape, out.beta, rng);
+            out.loss.add(r.scale(lambda))
+        });
+        self.slice_stats.push(stats);
+        self.slices_seen += 1;
+    }
+
+    /// Number of slices consumed so far.
+    pub fn slices_seen(&self) -> usize {
+        self.slices_seen
+    }
+
+    /// Documents counted into the kernel so far.
+    pub fn docs_seen(&self) -> usize {
+        self.accumulator.num_docs()
+    }
+}
+
+impl TopicModel for OnlineContraTopic {
+    fn name(&self) -> &'static str {
+        "OnlineContraTopic"
+    }
+
+    fn beta(&self) -> Tensor {
+        self.backbone.beta_tensor(&self.params)
+    }
+
+    fn theta(&self, corpus: &BowCorpus) -> Tensor {
+        ct_models::common::infer_theta_blocked(corpus, self.backbone.num_topics(), |x| {
+            self.backbone.infer_theta_batch(&self.params, x)
+        })
+    }
+
+    fn num_topics(&self) -> usize {
+        self.backbone.num_topics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gumbel::SubsetSamplerConfig;
+    use ct_corpus::NpmiMatrix;
+    use ct_eval::TopicScores;
+    use ct_models::testutil::{cluster_corpus, cluster_embeddings};
+
+    fn config() -> (TrainConfig, ContraTopicConfig) {
+        (
+            TrainConfig {
+                num_topics: 2,
+                hidden: 32,
+                epochs: 15,
+                batch_size: 64,
+                learning_rate: 5e-3,
+                embed_dim: 8,
+                ..TrainConfig::default()
+            },
+            ContraTopicConfig {
+                lambda: 5.0,
+                sampler: SubsetSamplerConfig { v: 4, tau_g: 0.5 },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn online_training_improves_over_slices() {
+        let corpus = cluster_corpus(2, 12, 90);
+        let emb = cluster_embeddings(&corpus);
+        let (base, cfg) = config();
+        let mut online = OnlineContraTopic::new(corpus.vocab_size(), emb, base, cfg);
+
+        // Three slices of 60 docs each.
+        let slices: Vec<_> = (0..3)
+            .map(|s| corpus.subset(&(s * 60..(s + 1) * 60).collect::<Vec<_>>()))
+            .collect();
+        let npmi = NpmiMatrix::from_corpus(&corpus);
+        let mut coherences = Vec::new();
+        for slice in &slices {
+            online.fit_slice(slice);
+            let scores = TopicScores::compute(&online.beta(), &npmi, 5);
+            coherences.push(scores.coherence_at(1.0));
+        }
+        assert_eq!(online.slices_seen(), 3);
+        assert_eq!(online.docs_seen(), 180);
+        // Warm-started later slices should not be worse than the first.
+        assert!(
+            coherences[2] >= coherences[0] - 0.05,
+            "coherence regressed across slices: {coherences:?}"
+        );
+        assert!(!online.beta().has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn rejects_empty_slice() {
+        let corpus = cluster_corpus(2, 8, 5);
+        let emb = cluster_embeddings(&corpus);
+        let (base, cfg) = config();
+        let mut online = OnlineContraTopic::new(corpus.vocab_size(), emb, base, cfg);
+        online.fit_slice(&corpus.subset(&[]));
+    }
+}

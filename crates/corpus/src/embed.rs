@@ -1,0 +1,329 @@
+//! Corpus-trained word embeddings: positive PMI factorisation.
+//!
+//! The paper uses GloVe vectors pretrained on Wikipedia. Those are not
+//! available offline, so we train embeddings on the corpus itself by
+//! factorising its PPMI co-occurrence matrix — Levy & Goldberg (2014) show
+//! this is implicitly what GloVe/word2vec optimise, and the property the
+//! models need (inner products tracking co-occurrence) is preserved.
+//!
+//! The factorisation is a symmetric truncated eigendecomposition computed
+//! by block subspace iteration with Gram–Schmidt re-orthonormalisation.
+
+use ct_tensor::Tensor;
+use rand::Rng;
+
+use crate::bow::BowCorpus;
+use crate::npmi::NpmiMatrix;
+
+/// Build the dense PPMI matrix (positive part of PMI) from document-level
+/// co-occurrence, with an optional shift (`ln k` negative-sampling shift).
+pub fn ppmi_matrix(corpus: &BowCorpus, shift: f32) -> Tensor {
+    let v = corpus.vocab_size();
+    let d = corpus.num_docs() as f64;
+    let mut pair = vec![0u32; v * v];
+    let mut df = vec![0u32; v];
+    for doc in &corpus.docs {
+        let ids = doc.ids();
+        for (a, &i) in ids.iter().enumerate() {
+            df[i as usize] += 1;
+            let row = i as usize * v;
+            for &j in &ids[a + 1..] {
+                pair[row + j as usize] += 1;
+            }
+        }
+    }
+    let mut m = Tensor::zeros(v, v);
+    let data = m.data_mut();
+    for i in 0..v {
+        let pi = df[i] as f64 / d;
+        // Self-PMI on the diagonal (how "bursty" the word is); keep 0 to
+        // avoid dominating the spectrum.
+        for j in (i + 1)..v {
+            let cij = pair[i * v + j];
+            if cij == 0 || df[j] == 0 || pi == 0.0 {
+                continue;
+            }
+            let pj = df[j] as f64 / d;
+            let pij = cij as f64 / d;
+            let val = ((pij / (pi * pj)).ln() as f32 - shift).max(0.0);
+            data[i * v + j] = val;
+            data[j * v + i] = val;
+        }
+    }
+    m
+}
+
+/// Top-`dim` symmetric eigenpairs of `m` via block subspace iteration.
+/// Returns `(eigvecs (v x dim), eigvals (dim))`, eigenvalues sorted by
+/// magnitude descending.
+pub fn symmetric_topk_eigs<R: Rng>(
+    m: &Tensor,
+    dim: usize,
+    iters: usize,
+    rng: &mut R,
+) -> (Tensor, Vec<f32>) {
+    let v = m.rows();
+    assert_eq!(m.rows(), m.cols(), "matrix must be square");
+    assert!(dim <= v, "requested more eigenpairs than dimensions");
+    let mut x = Tensor::randn(v, dim, 1.0, rng);
+    orthonormalize_columns(&mut x);
+    for _ in 0..iters {
+        x = m.matmul(&x);
+        orthonormalize_columns(&mut x);
+    }
+    // Rayleigh quotients.
+    let mx = m.matmul(&x);
+    let mut eigvals = vec![0.0f32; dim];
+    for c in 0..dim {
+        let mut acc = 0.0f64;
+        for r in 0..v {
+            acc += (x.get(r, c) as f64) * (mx.get(r, c) as f64);
+        }
+        eigvals[c] = acc as f32;
+    }
+    // Sort columns by |eigenvalue| descending.
+    let mut order: Vec<usize> = (0..dim).collect();
+    order.sort_by(|&a, &b| {
+        eigvals[b]
+            .abs()
+            .partial_cmp(&eigvals[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut xs = Tensor::zeros(v, dim);
+    let mut vals = vec![0.0f32; dim];
+    for (new_c, &old_c) in order.iter().enumerate() {
+        vals[new_c] = eigvals[old_c];
+        for r in 0..v {
+            xs.set(r, new_c, x.get(r, old_c));
+        }
+    }
+    (xs, vals)
+}
+
+/// Modified Gram–Schmidt on the columns of `x`.
+fn orthonormalize_columns(x: &mut Tensor) {
+    let (rows, cols) = x.shape();
+    for c in 0..cols {
+        // Subtract projections onto previous columns.
+        for p in 0..c {
+            let mut dot = 0.0f64;
+            for r in 0..rows {
+                dot += (x.get(r, c) as f64) * (x.get(r, p) as f64);
+            }
+            let dot = dot as f32;
+            for r in 0..rows {
+                let v = x.get(r, c) - dot * x.get(r, p);
+                x.set(r, c, v);
+            }
+        }
+        let mut norm = 0.0f64;
+        for r in 0..rows {
+            norm += (x.get(r, c) as f64).powi(2);
+        }
+        let norm = (norm.sqrt() as f32).max(1e-12);
+        for r in 0..rows {
+            x.set(r, c, x.get(r, c) / norm);
+        }
+    }
+}
+
+/// Train `dim`-dimensional word embeddings from the corpus' PPMI matrix:
+/// `emb = U * sqrt(|Λ|)`, rows are word vectors.
+pub fn train_embeddings<R: Rng>(corpus: &BowCorpus, dim: usize, rng: &mut R) -> Tensor {
+    let ppmi = ppmi_matrix(corpus, 0.0);
+    embeddings_from_matrix(&ppmi, dim, rng)
+}
+
+/// Factorise an arbitrary symmetric association matrix into embeddings.
+pub fn embeddings_from_matrix<R: Rng>(m: &Tensor, dim: usize, rng: &mut R) -> Tensor {
+    let (u, vals) = symmetric_topk_eigs(m, dim, 12, rng);
+    let mut emb = u;
+    for c in 0..dim {
+        let s = vals[c].abs().sqrt();
+        for r in 0..emb.rows() {
+            let v = emb.get(r, c) * s;
+            emb.set(r, c, v);
+        }
+    }
+    emb
+}
+
+/// Degrade embeddings to simulate *out-of-domain* pretrained vectors.
+///
+/// The paper uses GloVe pretrained on Wikipedia — not on the evaluation
+/// corpus — so the embeddings only partially reflect the corpus'
+/// co-occurrence structure. PPMI factorisation of the training corpus is
+/// instead perfectly in-domain, which makes every embedding-driven decoder
+/// (ETM/NSTM/WeTe/NTM-R) unrealistically strong. Blending with isotropic
+/// noise restores the out-of-domain character: `noise_rel` is the noise
+/// std relative to the mean row norm (0 = untouched, ~1 = mostly noise).
+pub fn degrade_embeddings<R: Rng>(mut emb: Tensor, noise_rel: f32, rng: &mut R) -> Tensor {
+    if noise_rel <= 0.0 {
+        return emb;
+    }
+    let mean_norm = {
+        let mut acc = 0.0f64;
+        for r in 0..emb.rows() {
+            acc += emb.row(r).iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+        }
+        (acc / emb.rows().max(1) as f64) as f32
+    };
+    // Per-element std chosen so the noise *row norm* is `noise_rel` times
+    // the mean signal row norm.
+    let per_elem = mean_norm * noise_rel / (emb.cols() as f32).sqrt();
+    let noise = Tensor::randn(emb.rows(), emb.cols(), per_elem, rng);
+    emb.add_assign(&noise);
+    emb
+}
+
+/// Cosine similarity between two embedding rows.
+pub fn cosine(emb: &Tensor, i: usize, j: usize) -> f32 {
+    let (a, b) = (emb.row(i), emb.row(j));
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += (x as f64) * (y as f64);
+        na += (x as f64) * (x as f64);
+        nb += (y as f64) * (y as f64);
+    }
+    (dot / (na.sqrt() * nb.sqrt()).max(1e-12)) as f32
+}
+
+/// Convenience bundle: NPMI (for the regularizer / coherence) plus
+/// embeddings (for ETM-style decoders), computed once per dataset.
+pub struct CorpusStats {
+    pub npmi: NpmiMatrix,
+    pub embeddings: Tensor,
+}
+
+impl CorpusStats {
+    pub fn compute<R: Rng>(corpus: &BowCorpus, embed_dim: usize, rng: &mut R) -> Self {
+        Self {
+            npmi: NpmiMatrix::from_corpus(corpus),
+            embeddings: train_embeddings(corpus, embed_dim, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bow::SparseDoc;
+    use crate::vocab::Vocab;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_corpus() -> BowCorpus {
+        // Two hard clusters: words 0-2 co-occur, words 3-5 co-occur.
+        let vocab = Vocab::from_words((0..6).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..30 {
+            c.docs.push(SparseDoc::from_tokens(&[0, 1, 2]));
+            c.docs.push(SparseDoc::from_tokens(&[3, 4, 5]));
+            c.docs.push(SparseDoc::from_tokens(&[0, 2]));
+            c.docs.push(SparseDoc::from_tokens(&[4, 5]));
+        }
+        c
+    }
+
+    #[test]
+    fn ppmi_nonnegative_and_symmetric() {
+        let c = clustered_corpus();
+        let m = ppmi_matrix(&c, 0.0);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(m.get(i, j) >= 0.0);
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        // Cross-cluster pairs never co-occur: PPMI 0.
+        assert_eq!(m.get(0, 3), 0.0);
+        assert!(m.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn subspace_iteration_finds_dominant_eigenpair() {
+        // Known spectrum: diag(5, 2, 1).
+        let m = Tensor::from_vec(
+            vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0],
+            3,
+            3,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let (u, vals) = symmetric_topk_eigs(&m, 2, 30, &mut rng);
+        assert!((vals[0] - 5.0).abs() < 1e-2, "vals {vals:?}");
+        assert!((vals[1] - 2.0).abs() < 1e-2, "vals {vals:?}");
+        // Dominant eigenvector is e0 up to sign.
+        assert!(u.get(0, 0).abs() > 0.99);
+    }
+
+    #[test]
+    fn orthonormalize_gives_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = Tensor::randn(10, 4, 1.0, &mut rng);
+        orthonormalize_columns(&mut x);
+        for a in 0..4 {
+            for b in 0..4 {
+                let mut dot = 0.0f32;
+                for r in 0..10 {
+                    dot += x.get(r, a) * x.get(r, b);
+                }
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-4, "col {a}·{b} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn degrade_embeddings_scales_noise_to_row_norm() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let emb = Tensor::randn(200, 64, 1.0, &mut rng);
+        let noisy = degrade_embeddings(emb.clone(), 0.5, &mut rng);
+        // Mean perturbation norm should be ~0.5x the mean signal norm.
+        let mean_norm = |t: &Tensor| -> f64 {
+            (0..t.rows())
+                .map(|r| t.row(r).iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt())
+                .sum::<f64>()
+                / t.rows() as f64
+        };
+        let signal = mean_norm(&emb);
+        let diff = noisy.zip(&emb, |a, b| a - b);
+        let perturb = mean_norm(&diff);
+        let ratio = perturb / signal;
+        assert!((ratio - 0.5).abs() < 0.08, "perturbation ratio {ratio}");
+        // Structure partially survives: cosine to the original stays high.
+        let mut mean_cos = 0.0;
+        for r in 0..emb.rows() {
+            let joined = Tensor::from_vec(
+                emb.row(r).iter().chain(noisy.row(r)).copied().collect(),
+                2,
+                64,
+            );
+            mean_cos += cosine(&joined, 0, 1) as f64 / emb.rows() as f64;
+        }
+        assert!(mean_cos > 0.75, "mean cosine {mean_cos}");
+    }
+
+    #[test]
+    fn degrade_zero_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let emb = Tensor::randn(5, 4, 1.0, &mut rng);
+        let same = degrade_embeddings(emb.clone(), 0.0, &mut rng);
+        assert_eq!(emb, same);
+    }
+
+    #[test]
+    fn embeddings_cluster_cooccurring_words() {
+        let c = clustered_corpus();
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = train_embeddings(&c, 3, &mut rng);
+        assert_eq!(emb.shape(), (6, 3));
+        let within = cosine(&emb, 0, 1);
+        let across = cosine(&emb, 0, 4);
+        assert!(
+            within > across + 0.3,
+            "within {within} should beat across {across}"
+        );
+    }
+}

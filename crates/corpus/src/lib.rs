@@ -1,0 +1,23 @@
+//! # ct-corpus
+//!
+//! Corpus substrate for the ContraTopic reproduction: vocabulary and
+//! bag-of-words types, the paper's preprocessing pipeline, a synthetic
+//! corpus generator with planted topics (standing in for 20NG / Yahoo /
+//! NYTimes), the NPMI co-occurrence engine used both as the contrastive
+//! similarity kernel and as the coherence metric, and PPMI-factorisation
+//! word embeddings (standing in for pretrained GloVe).
+
+pub mod bow;
+pub mod embed;
+pub mod npmi;
+pub mod pipeline;
+pub mod stats;
+pub mod synth;
+pub mod vocab;
+
+pub use bow::{BatchIter, BowCorpus, SparseDoc};
+pub use embed::{cosine, degrade_embeddings, train_embeddings, CorpusStats};
+pub use npmi::NpmiMatrix;
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use synth::{generate, render_text_with_stopwords, DatasetPreset, Scale, SynthCorpus, SynthSpec};
+pub use vocab::Vocab;

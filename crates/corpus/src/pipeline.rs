@@ -1,0 +1,245 @@
+//! Text preprocessing pipeline mirroring the paper's §V-A:
+//! tokenize → drop stopwords → drop words with document frequency above a
+//! ceiling (70% in the paper) or below a floor (~100 docs in the paper) →
+//! drop documents shorter than two tokens.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::bow::{BowCorpus, SparseDoc};
+use crate::vocab::Vocab;
+
+/// A small English stopword list (the usual function words; the paper's
+/// exact list is unspecified).
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has",
+    "have", "he", "her", "his", "i", "in", "is", "it", "its", "of", "on", "or", "she",
+    "that", "the", "their", "them", "they", "this", "to", "was", "we", "were", "will",
+    "with", "you", "your", "not", "no", "so", "if", "then", "than", "there", "these",
+    "those", "been", "being", "do", "does", "did", "what", "when", "where", "which",
+    "who", "whom", "why", "how", "all", "any", "both", "each", "few", "more", "most",
+    "other", "some", "such", "only", "own", "same", "too", "very", "can", "just",
+    "should", "now", "also", "into", "over", "under", "again", "once", "here", "out",
+    "up", "down", "about", "between", "through", "during", "before", "after", "above",
+    "below", "off", "because", "while", "until", "against", "am", "my", "me", "our",
+    "ours", "us", "him", "himself", "herself", "itself", "themselves", "myself",
+];
+
+/// Configuration for [`Pipeline`].
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Drop words appearing in more than this fraction of documents.
+    pub max_doc_freq: f64,
+    /// Drop words appearing in fewer than this many documents.
+    pub min_doc_count: usize,
+    /// Drop documents with fewer tokens than this after filtering.
+    pub min_doc_tokens: usize,
+    /// Lowercase tokens before counting.
+    pub lowercase: bool,
+    /// Drop purely numeric tokens.
+    pub drop_numeric: bool,
+    /// Minimum token character length.
+    pub min_token_len: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            max_doc_freq: 0.7,
+            min_doc_count: 3,
+            min_doc_tokens: 2,
+            lowercase: true,
+            drop_numeric: true,
+            min_token_len: 2,
+        }
+    }
+}
+
+/// Text → bag-of-words preprocessing pipeline.
+pub struct Pipeline {
+    config: PipelineConfig,
+    stopwords: HashSet<String>,
+}
+
+impl Pipeline {
+    pub fn new(config: PipelineConfig) -> Self {
+        Self {
+            config,
+            stopwords: DEFAULT_STOPWORDS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Replace the stopword list.
+    pub fn with_stopwords<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.stopwords = words.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Split raw text into normalized tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric() && c != '\'')
+            .filter_map(|raw| {
+                let tok = raw.trim_matches('\'');
+                if tok.len() < self.config.min_token_len {
+                    return None;
+                }
+                let tok = if self.config.lowercase {
+                    tok.to_lowercase()
+                } else {
+                    tok.to_string()
+                };
+                if self.config.drop_numeric && tok.chars().all(|c| c.is_ascii_digit()) {
+                    return None;
+                }
+                if self.stopwords.contains(&tok) {
+                    return None;
+                }
+                Some(tok)
+            })
+            .collect()
+    }
+
+    /// Run the full pipeline over raw documents with optional labels,
+    /// producing a filtered [`BowCorpus`].
+    pub fn build(&self, texts: &[&str], labels: Option<&[usize]>) -> BowCorpus {
+        if let Some(l) = labels {
+            assert_eq!(l.len(), texts.len(), "labels/texts length mismatch");
+        }
+        let tokenized: Vec<Vec<String>> = texts.iter().map(|t| self.tokenize(t)).collect();
+
+        // Document frequencies over raw tokens.
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for doc in &tokenized {
+            let uniq: HashSet<&str> = doc.iter().map(String::as_str).collect();
+            for w in uniq {
+                *df.entry(w).or_insert(0) += 1;
+            }
+        }
+        let n_docs = texts.len() as f64;
+        let max_df = (self.config.max_doc_freq * n_docs).ceil() as usize;
+
+        // Keep words within [min_doc_count, max_df]; deterministic order.
+        let mut kept: Vec<&str> = df
+            .iter()
+            .filter(|&(_, &c)| c >= self.config.min_doc_count && c <= max_df)
+            .map(|(&w, _)| w)
+            .collect();
+        kept.sort_unstable();
+        let vocab = Vocab::from_words(kept.iter().map(|s| s.to_string()));
+
+        let mut corpus = BowCorpus::new(vocab);
+        let mut kept_labels = Vec::new();
+        for (i, doc) in tokenized.iter().enumerate() {
+            let ids: Vec<u32> = doc
+                .iter()
+                .filter_map(|w| corpus.vocab.id(w))
+                .collect();
+            if ids.len() < self.config.min_doc_tokens {
+                continue;
+            }
+            corpus.docs.push(SparseDoc::from_tokens(&ids));
+            if let Some(l) = labels {
+                kept_labels.push(l[i]);
+            }
+        }
+        if labels.is_some() {
+            corpus.labels = Some(kept_labels);
+        }
+        corpus
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new(PipelineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_drops_stopwords() {
+        let p = Pipeline::default();
+        let toks = p.tokenize("The Quick-Brown FOX and the 42 dogs!");
+        assert_eq!(toks, vec!["quick", "brown", "fox", "dogs"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_apostrophes_inside_words() {
+        let p = Pipeline::default();
+        let toks = p.tokenize("don't 'quoted'");
+        assert!(toks.contains(&"don't".to_string()));
+        assert!(toks.contains(&"quoted".to_string()));
+    }
+
+    #[test]
+    fn build_filters_by_doc_frequency() {
+        let texts: Vec<String> = (0..10)
+            .map(|i| {
+                // "common" in every doc (df = 100% > 70%), "rare" in one doc
+                // (df < 3), "mid" in four docs, "filler" in five docs.
+                if i < 4 {
+                    format!("common mid topic{i} filler padding")
+                } else if i == 4 {
+                    "common filler padding extra".to_string()
+                } else if i == 9 {
+                    "common rare padding extra".to_string()
+                } else {
+                    format!("common topic{i} padding extra")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let p = Pipeline::new(PipelineConfig {
+            min_doc_count: 3,
+            ..Default::default()
+        });
+        let corpus = p.build(&refs, None);
+        assert!(corpus.vocab.id("common").is_none(), "df-ceiling word kept");
+        assert!(corpus.vocab.id("rare").is_none(), "df-floor word kept");
+        assert!(corpus.vocab.id("mid").is_some());
+        assert!(corpus.vocab.id("filler").is_some());
+    }
+
+    #[test]
+    fn build_drops_short_docs_and_keeps_labels_aligned() {
+        let texts = ["good document with plenty words", "xx", "another good document words"];
+        let labels = [7usize, 8, 9];
+        let p = Pipeline::new(PipelineConfig {
+            min_doc_count: 1,
+            max_doc_freq: 1.0,
+            ..Default::default()
+        });
+        let corpus = p.build(&texts, Some(&labels));
+        assert_eq!(corpus.num_docs(), 2);
+        assert_eq!(corpus.labels, Some(vec![7, 9]));
+    }
+
+    #[test]
+    fn vocabulary_order_is_deterministic() {
+        let texts = ["zebra apple mango", "apple mango zebra", "mango zebra apple"];
+        let p = Pipeline::new(PipelineConfig {
+            min_doc_count: 1,
+            max_doc_freq: 1.0,
+            ..Default::default()
+        });
+        let c1 = p.build(&texts, None);
+        let c2 = p.build(&texts, None);
+        assert_eq!(c1.vocab.words(), c2.vocab.words());
+        // Sorted order.
+        assert_eq!(c1.vocab.word(0), "apple");
+    }
+
+    #[test]
+    fn custom_stopwords_apply() {
+        let p = Pipeline::default().with_stopwords(["banana"]);
+        let toks = p.tokenize("the banana apple");
+        // "the" is no longer a stopword (custom list replaced the default).
+        assert_eq!(toks, vec!["the", "apple"]);
+    }
+}

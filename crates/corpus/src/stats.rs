@@ -1,0 +1,199 @@
+//! Statistical sampling utilities the generator needs (Gamma, Dirichlet,
+//! Poisson, Zipf) — implemented here because `rand_distr` is outside the
+//! allowed dependency set.
+
+use rand::Rng;
+
+/// Standard-normal sample via Box-Muller.
+pub fn normal_sample<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang (2000), with the standard boost for
+/// shape < 1.
+pub fn gamma_sample<R: Rng>(shape: f64, rng: &mut R) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a)
+        let g = gamma_sample(shape + 1.0, rng);
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal_sample(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Symmetric Dirichlet(alpha) sample of dimension `k`.
+pub fn dirichlet_sample<R: Rng>(alpha: f64, k: usize, rng: &mut R) -> Vec<f64> {
+    dirichlet_sample_asym(&vec![alpha; k], rng)
+}
+
+/// Dirichlet with per-component concentration.
+pub fn dirichlet_sample_asym<R: Rng>(alphas: &[f64], rng: &mut R) -> Vec<f64> {
+    let mut g: Vec<f64> = alphas.iter().map(|&a| gamma_sample(a, rng)).collect();
+    let s: f64 = g.iter().sum();
+    if s <= 0.0 {
+        let u = 1.0 / g.len() as f64;
+        g.fill(u);
+    } else {
+        for v in &mut g {
+            *v /= s;
+        }
+    }
+    g
+}
+
+/// Poisson(lambda) — Knuth's method for small lambda, normal approximation
+/// for large lambda.
+pub fn poisson_sample<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+    assert!(lambda >= 0.0);
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let z = normal_sample(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as usize
+    }
+}
+
+/// Unnormalized Zipf weights `1 / (rank + 1)^s` for `n` ranks.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect()
+}
+
+/// Cumulative-distribution table for O(log n) categorical sampling.
+#[derive(Clone, Debug)]
+pub struct CatSampler {
+    cdf: Vec<f64>,
+}
+
+impl CatSampler {
+    /// Build from unnormalized non-negative weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            debug_assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "all-zero weight vector");
+        Self { cdf }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().unwrap();
+        let u = rng.gen::<f64>() * total;
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &shape in &[0.3, 1.0, 2.5, 10.0] {
+            let n = 4000;
+            let mean: f64 =
+                (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_is_sparse_for_small_alpha() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = dirichlet_sample(0.05, 20, &mut rng);
+        let s: f64 = d.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        // Small alpha should concentrate mass on few components.
+        let max = d.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.3, "max component {max} not sparse");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &lam in &[2.0, 15.0, 100.0] {
+            let n = 3000;
+            let mean: f64 =
+                (0..n).map(|_| poisson_sample(lam, &mut rng) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lam).abs() < 0.1 * lam.max(5.0), "lambda {lam}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(5, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn cat_sampler_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = CatSampler::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn cat_sampler_rejects_zero_weights() {
+        let _ = CatSampler::new(&[0.0, 0.0]);
+    }
+}

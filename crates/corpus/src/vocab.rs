@@ -1,0 +1,103 @@
+//! Vocabulary: bidirectional word <-> id mapping.
+
+use std::collections::HashMap;
+
+/// A fixed vocabulary mapping words to dense `u32` ids.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocab {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of unique words. Duplicate words keep their
+    /// first id.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v = Self::new();
+        for w in words {
+            v.add(w.into());
+        }
+        v
+    }
+
+    /// Insert a word, returning its id (existing id if already present).
+    pub fn add(&mut self, word: String) -> u32 {
+        if let Some(&id) = self.index.get(&word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.index.insert(word.clone(), id);
+        self.words.push(word);
+        id
+    }
+
+    /// Id of a word, if present.
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Word for an id.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// All words in id order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    pub fn contains(&self, word: &str) -> bool {
+        self.index.contains_key(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocab::new();
+        let a = v.add("alpha".into());
+        let b = v.add("beta".into());
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(v.id("alpha"), Some(0));
+        assert_eq!(v.word(1), "beta");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keeps_first_id() {
+        let mut v = Vocab::new();
+        let a1 = v.add("x".into());
+        let a2 = v.add("x".into());
+        assert_eq!(a1, a2);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn from_words_builds_in_order() {
+        let v = Vocab::from_words(["a", "b", "c"]);
+        assert_eq!(v.id("c"), Some(2));
+        assert!(v.contains("b"));
+        assert!(!v.contains("z"));
+    }
+}

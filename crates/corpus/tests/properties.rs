@@ -1,0 +1,120 @@
+//! Property-based tests of the corpus substrate invariants.
+
+use ct_corpus::stats::{dirichlet_sample, poisson_sample, CatSampler};
+use ct_corpus::{BowCorpus, NpmiMatrix, Pipeline, PipelineConfig, SparseDoc, Vocab};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus_strat() -> impl Strategy<Value = BowCorpus> {
+    // 6-word vocabulary, 3..20 docs of 1..8 tokens each.
+    proptest::collection::vec(proptest::collection::vec(0u32..6, 1..8), 3..20).prop_map(
+        |docs| {
+            let vocab = Vocab::from_words((0..6).map(|i| format!("w{i}")));
+            let mut c = BowCorpus::new(vocab);
+            for d in docs {
+                c.docs.push(SparseDoc::from_tokens(&d));
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_doc_preserves_token_count(tokens in proptest::collection::vec(0u32..50, 0..40)) {
+        let d = SparseDoc::from_tokens(&tokens);
+        prop_assert_eq!(d.len() as usize, tokens.len());
+        // Ids are sorted and unique.
+        let ids = d.ids();
+        for w in ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn npmi_matrix_symmetric_and_bounded(corpus in corpus_strat()) {
+        let n = NpmiMatrix::from_corpus(&corpus);
+        for i in 0..6 {
+            prop_assert_eq!(n.get(i, i), 1.0);
+            for j in 0..6 {
+                let v = n.get(i, j);
+                prop_assert!((-1.0..=1.0).contains(&v), "npmi({i},{j}) = {v}");
+                prop_assert_eq!(v, n.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(corpus in corpus_strat(), frac in 0.1f64..0.9, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = corpus.split(frac, &mut rng);
+        prop_assert_eq!(a.num_docs() + b.num_docs(), corpus.num_docs());
+        let total: f64 = corpus.num_tokens();
+        prop_assert!((a.num_tokens() + b.num_tokens() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_batch_matches_sparse(corpus in corpus_strat()) {
+        let idx: Vec<usize> = (0..corpus.num_docs()).collect();
+        let dense = corpus.dense_batch(&idx);
+        for (r, doc) in corpus.docs.iter().enumerate() {
+            let row_sum: f32 = dense.row(r).iter().sum();
+            prop_assert!((row_sum - doc.len()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dirichlet_always_on_simplex(alpha in 0.01f64..5.0, k in 2usize..20, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = dirichlet_sample(alpha, k, &mut rng);
+        prop_assert_eq!(d.len(), k);
+        let s: f64 = d.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn poisson_nonnegative(lambda in 0.0f64..200.0, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = poisson_sample(lambda, &mut rng); // must not panic
+    }
+
+    #[test]
+    fn cat_sampler_in_range(weights in proptest::collection::vec(0.0f64..10.0, 1..30), seed in 0u64..50) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let s = CatSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let i = s.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
+        }
+    }
+
+    #[test]
+    fn pipeline_never_keeps_stopwords(text in "[a-z ]{0,120}") {
+        let p = Pipeline::new(PipelineConfig {
+            min_doc_count: 1,
+            max_doc_freq: 1.0,
+            ..Default::default()
+        });
+        let toks = p.tokenize(&text);
+        for t in &toks {
+            prop_assert!(t.len() >= 2);
+            prop_assert!(!ct_corpus::pipeline::DEFAULT_STOPWORDS.contains(&t.as_str()));
+        }
+    }
+
+    #[test]
+    fn tfidf_nonnegative(corpus in corpus_strat()) {
+        let df = corpus.doc_frequencies();
+        for d in 0..corpus.num_docs() {
+            for (_, w) in corpus.tfidf_doc(d, &df) {
+                prop_assert!(w >= 0.0);
+            }
+        }
+    }
+}

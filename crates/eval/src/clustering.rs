@@ -1,0 +1,124 @@
+//! External clustering-quality scores: purity and Normalized Mutual
+//! Information (km-Purity / km-NMI in the paper's Figure 3).
+
+/// Purity: each cluster is credited with its majority label.
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let k = assignments.iter().max().unwrap() + 1;
+    let l = labels.iter().max().unwrap() + 1;
+    let mut table = vec![0usize; k * l];
+    for (&c, &y) in assignments.iter().zip(labels) {
+        table[c * l + y] += 1;
+    }
+    let correct: usize = (0..k)
+        .map(|c| table[c * l..(c + 1) * l].iter().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / assignments.len() as f64
+}
+
+fn entropy(counts: &[usize], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized Mutual Information with geometric-mean normalisation:
+/// `NMI = I(C; Y) / sqrt(H(C) * H(Y))`.
+pub fn nmi(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    let n = assignments.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = assignments.iter().max().unwrap() + 1;
+    let l = labels.iter().max().unwrap() + 1;
+    let mut joint = vec![0usize; k * l];
+    let mut ck = vec![0usize; k];
+    let mut cl = vec![0usize; l];
+    for (&c, &y) in assignments.iter().zip(labels) {
+        joint[c * l + y] += 1;
+        ck[c] += 1;
+        cl[y] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0f64;
+    for c in 0..k {
+        for y in 0..l {
+            let nij = joint[c * l + y];
+            if nij == 0 {
+                continue;
+            }
+            let pij = nij as f64 / nf;
+            let pc = ck[c] as f64 / nf;
+            let py = cl[y] as f64 / nf;
+            mi += pij * (pij / (pc * py)).ln();
+        }
+    }
+    let hc = entropy(&ck, nf);
+    let hy = entropy(&cl, nf);
+    if hc <= 0.0 || hy <= 0.0 {
+        return 0.0;
+    }
+    (mi / (hc * hy).sqrt()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let assign = vec![2, 2, 0, 0, 1, 1]; // permuted but perfect
+        assert!((purity(&assign, &labels) - 1.0).abs() < 1e-12);
+        assert!((nmi(&assign, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_one_cluster_scores_low() {
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let assign = vec![0; 6];
+        assert!((purity(&assign, &labels) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(nmi(&assign, &labels), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let assign = vec![0, 0, 1, 1, 1, 0];
+        let p = purity(&assign, &labels);
+        let m = nmi(&assign, &labels);
+        assert!(p > 0.5 && p < 1.0, "purity {p}");
+        assert!(m > 0.0 && m < 1.0, "nmi {m}");
+    }
+
+    #[test]
+    fn purity_increases_with_more_clusters() {
+        // Degenerate but important property: singleton clusters give
+        // purity 1 — purity must be read alongside NMI.
+        let labels = vec![0, 1, 0, 1];
+        let assign = vec![0, 1, 2, 3];
+        assert!((purity(&assign, &labels) - 1.0).abs() < 1e-12);
+        assert!(nmi(&assign, &labels) < 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(purity(&[], &[]), 0.0);
+        assert_eq!(nmi(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = purity(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Topic coherence (NPMI) and topic diversity — the paper's §V-B metrics.
+//!
+//! Coherence of one topic is the mean pairwise NPMI over its top `K_TC`
+//! words (K_TC = 10 in the paper), computed against a *held-out* reference
+//! corpus. Diversity is the fraction of unique words among the top `K_TD`
+//! words (K_TD = 25) of the selected topics. Following NSTM, both are
+//! reported at increasing proportions of topics selected by their NPMI
+//! rank (10% … 100%).
+
+use ct_corpus::NpmiMatrix;
+use ct_tensor::Tensor;
+
+/// Paper default: top words per topic for coherence.
+pub const K_TC: usize = 10;
+/// Paper default: top words per topic for diversity.
+pub const K_TD: usize = 25;
+
+/// The ten selection proportions used in Figure 2.
+pub const PERCENTAGES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Per-topic coherence scores plus the rank order used for selection.
+#[derive(Clone, Debug)]
+pub struct TopicScores {
+    /// Coherence per topic, in topic order.
+    pub per_topic: Vec<f64>,
+    /// Topic indices sorted by coherence descending.
+    pub order: Vec<usize>,
+}
+
+impl TopicScores {
+    /// Compute per-topic NPMI coherence of `beta` (`K x V`) against `npmi`.
+    pub fn compute(beta: &Tensor, npmi: &NpmiMatrix, k_tc: usize) -> Self {
+        let k = beta.rows();
+        let mut per_topic = Vec::with_capacity(k);
+        for t in 0..k {
+            let top = beta.top_k_row(t, k_tc);
+            per_topic.push(npmi.mean_pairwise(&top));
+        }
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            per_topic[b]
+                .partial_cmp(&per_topic[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self { per_topic, order }
+    }
+
+    /// Topics selected at proportion `pct` (at least one).
+    pub fn selected(&self, pct: f64) -> &[usize] {
+        let n = ((self.order.len() as f64) * pct).ceil().max(1.0) as usize;
+        &self.order[..n.min(self.order.len())]
+    }
+
+    /// Mean coherence over the top `pct` proportion of topics.
+    pub fn coherence_at(&self, pct: f64) -> f64 {
+        let sel = self.selected(pct);
+        sel.iter().map(|&t| self.per_topic[t]).sum::<f64>() / sel.len() as f64
+    }
+}
+
+/// Mean-NPMI coherence curve over [`PERCENTAGES`].
+pub fn coherence_curve(beta: &Tensor, npmi: &NpmiMatrix, k_tc: usize) -> Vec<f64> {
+    let scores = TopicScores::compute(beta, npmi, k_tc);
+    PERCENTAGES.iter().map(|&p| scores.coherence_at(p)).collect()
+}
+
+/// Topic diversity at proportion `pct`: unique fraction of top `k_td` words
+/// over the selected topics.
+pub fn diversity_at(beta: &Tensor, scores: &TopicScores, pct: f64, k_td: usize) -> f64 {
+    let sel = scores.selected(pct);
+    let mut seen = std::collections::HashSet::new();
+    let mut total = 0usize;
+    for &t in sel {
+        for w in beta.top_k_row(t, k_td) {
+            seen.insert(w);
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        seen.len() as f64 / total as f64
+    }
+}
+
+/// Topic Uniqueness (Nan et al. 2019): for each topic's top-`k_td` words,
+/// the mean reciprocal of how many topics share each word. `1.0` means no
+/// word appears in two topics' top lists; `1/K` means all topics identical.
+pub fn topic_uniqueness(beta: &Tensor, k_td: usize) -> f64 {
+    let k = beta.rows();
+    if k == 0 {
+        return 0.0;
+    }
+    let tops: Vec<Vec<usize>> = (0..k).map(|t| beta.top_k_row(t, k_td)).collect();
+    let mut counts = std::collections::HashMap::new();
+    for top in &tops {
+        for &w in top {
+            *counts.entry(w).or_insert(0usize) += 1;
+        }
+    }
+    let mut acc = 0.0;
+    for top in &tops {
+        let mut topic_acc = 0.0;
+        for &w in top {
+            topic_acc += 1.0 / counts[&w] as f64;
+        }
+        acc += topic_acc / top.len() as f64;
+    }
+    acc / k as f64
+}
+
+/// Diversity curve over [`PERCENTAGES`].
+pub fn diversity_curve(beta: &Tensor, npmi: &NpmiMatrix, k_tc: usize, k_td: usize) -> Vec<f64> {
+    let scores = TopicScores::compute(beta, npmi, k_tc);
+    PERCENTAGES
+        .iter()
+        .map(|&p| diversity_at(beta, &scores, p, k_td))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::{BowCorpus, SparseDoc, Vocab};
+
+    fn reference() -> NpmiMatrix {
+        // Words 0-3 co-occur, 4-7 co-occur, cross pairs never.
+        let vocab = Vocab::from_words((0..8).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..20 {
+            c.docs.push(SparseDoc::from_tokens(&[0, 1, 2, 3]));
+            c.docs.push(SparseDoc::from_tokens(&[4, 5, 6, 7]));
+        }
+        NpmiMatrix::from_corpus(&c)
+    }
+
+    fn beta_coherent() -> Tensor {
+        // Topic 0 puts mass on cluster {0..3}; topic 1 on {4..7}.
+        Tensor::from_vec(
+            vec![
+                0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, 0.4, 0.3, 0.2, 0.1,
+            ],
+            2,
+            8,
+        )
+    }
+
+    fn beta_incoherent() -> Tensor {
+        // Both topics mix the clusters.
+        Tensor::from_vec(
+            vec![
+                0.4, 0.0, 0.2, 0.0, 0.3, 0.0, 0.1, 0.0, //
+                0.0, 0.4, 0.0, 0.2, 0.0, 0.3, 0.0, 0.1,
+            ],
+            2,
+            8,
+        )
+    }
+
+    #[test]
+    fn coherent_topics_score_higher() {
+        let npmi = reference();
+        let good = TopicScores::compute(&beta_coherent(), &npmi, 4);
+        let bad = TopicScores::compute(&beta_incoherent(), &npmi, 4);
+        assert!(good.coherence_at(1.0) > bad.coherence_at(1.0) + 0.5);
+    }
+
+    #[test]
+    fn selection_order_is_descending() {
+        let npmi = reference();
+        // Topic 1 coherent, topic 0 incoherent.
+        let beta = Tensor::from_vec(
+            vec![
+                0.4, 0.0, 0.2, 0.0, 0.3, 0.0, 0.1, 0.0, //
+                0.0, 0.0, 0.0, 0.0, 0.4, 0.3, 0.2, 0.1,
+            ],
+            2,
+            8,
+        );
+        let s = TopicScores::compute(&beta, &npmi, 4);
+        assert_eq!(s.order[0], 1);
+        assert_eq!(s.selected(0.5), &[1]);
+        assert!(s.coherence_at(0.5) > s.coherence_at(1.0));
+    }
+
+    #[test]
+    fn diversity_detects_repetition() {
+        let npmi = reference();
+        let distinct = beta_coherent();
+        let s = TopicScores::compute(&distinct, &npmi, 4);
+        assert!((diversity_at(&distinct, &s, 1.0, 4) - 1.0).abs() < 1e-9);
+
+        // Two identical topics: diversity = 0.5.
+        let repeated = Tensor::from_vec(
+            vec![
+                0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, //
+                0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0,
+            ],
+            2,
+            8,
+        );
+        let s = TopicScores::compute(&repeated, &npmi, 4);
+        assert!((diversity_at(&repeated, &s, 1.0, 4) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topic_uniqueness_bounds() {
+        // Fully distinct topics -> 1.0.
+        let distinct = beta_coherent();
+        assert!((topic_uniqueness(&distinct, 4) - 1.0).abs() < 1e-9);
+        // Identical topics -> 1/K.
+        let repeated = Tensor::from_vec(
+            vec![
+                0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, //
+                0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0,
+            ],
+            2,
+            8,
+        );
+        assert!((topic_uniqueness(&repeated, 4) - 0.5).abs() < 1e-9);
+        assert_eq!(topic_uniqueness(&Tensor::zeros(0, 4), 4), 0.0);
+    }
+
+    #[test]
+    fn curves_have_ten_points() {
+        let npmi = reference();
+        let beta = beta_coherent();
+        assert_eq!(coherence_curve(&beta, &npmi, 4).len(), 10);
+        assert_eq!(diversity_curve(&beta, &npmi, 4, 4).len(), 10);
+    }
+
+    #[test]
+    fn selected_always_nonempty() {
+        let npmi = reference();
+        let s = TopicScores::compute(&beta_coherent(), &npmi, 4);
+        assert_eq!(s.selected(0.01).len(), 1);
+    }
+}

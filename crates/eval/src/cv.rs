@@ -1,0 +1,124 @@
+//! C_v-style topic coherence (Röder et al. 2015), the second automatic
+//! metric the paper's discussion cites alongside NPMI.
+//!
+//! Each of a topic's top words is represented by its vector of NPMI values
+//! against the other top words (the "context vector"); the topic's C_v
+//! score is the mean cosine similarity between each word's context vector
+//! and the sum of all context vectors. Unlike raw mean-pairwise NPMI, C_v
+//! rewards words whose association *profiles* agree, not just their
+//! pairwise counts.
+
+use ct_corpus::NpmiMatrix;
+use ct_tensor::Tensor;
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+    dot / denom
+}
+
+/// C_v coherence of one word set against the NPMI reference.
+pub fn cv_coherence_words(words: &[usize], npmi: &NpmiMatrix) -> f64 {
+    let n = words.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Context vectors over the top-word set itself (the standard "one-set"
+    // segmentation S_one_set).
+    let vectors: Vec<Vec<f64>> = words
+        .iter()
+        .map(|&w| words.iter().map(|&o| npmi.get(w, o) as f64).collect())
+        .collect();
+    let mut sum_vec = vec![0.0f64; n];
+    for v in &vectors {
+        for (s, x) in sum_vec.iter_mut().zip(v) {
+            *s += x;
+        }
+    }
+    vectors.iter().map(|v| cosine(v, &sum_vec)).sum::<f64>() / n as f64
+}
+
+/// Per-topic C_v scores for a `(K, V)` topic-word matrix.
+pub fn cv_coherence(beta: &Tensor, npmi: &NpmiMatrix, top_k: usize) -> Vec<f64> {
+    (0..beta.rows())
+        .map(|t| cv_coherence_words(&beta.top_k_row(t, top_k), npmi))
+        .collect()
+}
+
+/// Mean C_v over all topics.
+pub fn mean_cv(beta: &Tensor, npmi: &NpmiMatrix, top_k: usize) -> f64 {
+    let scores = cv_coherence(beta, npmi, top_k);
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::{BowCorpus, SparseDoc, Vocab};
+
+    fn reference() -> NpmiMatrix {
+        let vocab = Vocab::from_words((0..8).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..25 {
+            c.docs.push(SparseDoc::from_tokens(&[0, 1, 2, 3]));
+            c.docs.push(SparseDoc::from_tokens(&[4, 5, 6, 7]));
+            c.docs.push(SparseDoc::from_tokens(&[0, 4]));
+        }
+        NpmiMatrix::from_corpus(&c)
+    }
+
+    #[test]
+    fn coherent_set_beats_mixed_set() {
+        let npmi = reference();
+        let coherent = cv_coherence_words(&[0, 1, 2, 3], &npmi);
+        let mixed = cv_coherence_words(&[0, 1, 4, 5], &npmi);
+        assert!(
+            coherent > mixed + 0.1,
+            "coherent {coherent} vs mixed {mixed}"
+        );
+    }
+
+    #[test]
+    fn cv_bounded_in_unit_interval_for_positive_profiles() {
+        // Cosines live in [-1, 1]; a fully coherent cluster is close to 1.
+        let npmi = reference();
+        let c = cv_coherence_words(&[0, 1, 2, 3], &npmi);
+        assert!(c <= 1.0 + 1e-9 && c > 0.8, "cv {c}");
+    }
+
+    #[test]
+    fn singleton_set_is_zero() {
+        let npmi = reference();
+        assert_eq!(cv_coherence_words(&[3], &npmi), 0.0);
+    }
+
+    #[test]
+    fn per_topic_scores_align_with_topics() {
+        let npmi = reference();
+        // Topic 0 coherent, topic 1 mixed.
+        let beta = Tensor::from_vec(
+            vec![
+                0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, //
+                0.4, 0.0, 0.0, 0.1, 0.3, 0.2, 0.0, 0.0,
+            ],
+            2,
+            8,
+        );
+        let scores = cv_coherence(&beta, &npmi, 4);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0] > scores[1]);
+        let mean = mean_cv(&beta, &npmi, 4);
+        assert!((mean - (scores[0] + scores[1]) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,352 @@
+//! Simulated word-intrusion evaluation (paper §V-J, Table III).
+//!
+//! The paper runs a 20-participant human study: for each method, 30 topics
+//! are sampled (3 per coherence decile), each question shows a topic's five
+//! top words plus one "intruder" drawn from a pool of words that are
+//! improbable in the topic but probable in some other topic; annotators try
+//! to spot the intruder, and the Word Intrusion Score (WIS) is the fraction
+//! they get right.
+//!
+//! Humans are unavailable here, so the annotator is simulated: it scores
+//! each candidate word by its mean NPMI (from a held-out reference corpus —
+//! a proxy for human semantic knowledge) against the other five words, and
+//! picks via a temperature-controlled softmax over the *negated* scores.
+//! Chang et al. (2009) and Hoyle et al. (2021) observe that human intruder
+//! detectability tracks exactly this coherence margin, including the
+//! paper's observation that low-coherence topics are harder.
+
+use ct_corpus::NpmiMatrix;
+use ct_tensor::Tensor;
+use rand::Rng;
+
+use crate::coherence::TopicScores;
+
+/// One generated question: five topic words plus an intruder.
+#[derive(Clone, Debug)]
+pub struct IntrusionQuestion {
+    /// The topic the five genuine words came from.
+    pub topic: usize,
+    /// Six word ids, shuffled.
+    pub words: Vec<usize>,
+    /// Index into `words` of the intruder.
+    pub intruder_pos: usize,
+}
+
+/// Configuration mirroring the paper's questionnaire.
+#[derive(Clone, Debug)]
+pub struct IntrusionConfig {
+    /// Topics sampled per coherence decile (3 in the paper → 30 topics).
+    pub topics_per_decile: usize,
+    /// Top words shown per topic (5 in the paper).
+    pub words_per_topic: usize,
+    /// Number of simulated annotators (20 in the paper).
+    pub annotators: usize,
+    /// Softmax temperature of the annotator's noisy choice. Smaller is a
+    /// more reliable annotator.
+    pub annotator_temperature: f64,
+    /// Words per topic considered "top" when picking intruders from other
+    /// topics.
+    pub intruder_source_top: usize,
+}
+
+impl Default for IntrusionConfig {
+    fn default() -> Self {
+        Self {
+            topics_per_decile: 3,
+            words_per_topic: 5,
+            annotators: 20,
+            annotator_temperature: 0.08,
+            intruder_source_top: 10,
+        }
+    }
+}
+
+/// Build the questionnaire for one model's topic-word matrix.
+///
+/// Topic selection is decile-stratified by NPMI coherence; the intruder for
+/// a topic is a word of low probability in that topic but high probability
+/// in some topic *outside* the question set, mirroring §V-J.
+pub fn generate_questionnaire<R: Rng>(
+    beta: &Tensor,
+    npmi: &NpmiMatrix,
+    config: &IntrusionConfig,
+    rng: &mut R,
+) -> Vec<IntrusionQuestion> {
+    let k = beta.rows();
+    let scores = TopicScores::compute(beta, npmi, config.words_per_topic);
+    // Stratify: split the coherence-ordered topics into 10 deciles and take
+    // `topics_per_decile` from each.
+    let mut chosen: Vec<usize> = Vec::new();
+    for d in 0..10 {
+        let lo = d * k / 10;
+        let hi = ((d + 1) * k / 10).max(lo + 1).min(k);
+        let mut pool: Vec<usize> = scores.order[lo..hi].to_vec();
+        for _ in 0..config.topics_per_decile.min(pool.len()) {
+            let i = rng.gen_range(0..pool.len());
+            chosen.push(pool.swap_remove(i));
+        }
+    }
+    let chosen_set: std::collections::HashSet<usize> = chosen.iter().copied().collect();
+    let outside: Vec<usize> = (0..k).filter(|t| !chosen_set.contains(t)).collect();
+
+    let mut questions = Vec::with_capacity(chosen.len());
+    for &t in &chosen {
+        let top = beta.top_k_row(t, config.words_per_topic);
+        // Intruder pool: top words of topics outside the question set that
+        // rank low in this topic.
+        let v = beta.cols();
+        let median_prob = {
+            let mut probs: Vec<f32> = beta.row(t).to_vec();
+            probs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            probs[v / 2]
+        };
+        let mut pool: Vec<usize> = Vec::new();
+        let sources: &[usize] = if outside.is_empty() { &scores.order } else { &outside };
+        for &src in sources {
+            if src == t {
+                continue;
+            }
+            for w in beta.top_k_row(src, config.intruder_source_top) {
+                if beta.get(t, w) <= median_prob && !top.contains(&w) {
+                    pool.push(w);
+                }
+            }
+        }
+        if pool.is_empty() {
+            // Degenerate fallback: any word not already shown.
+            pool = (0..v).filter(|w| !top.contains(w)).collect();
+        }
+        let intruder = pool[rng.gen_range(0..pool.len())];
+        let mut words = top;
+        words.push(intruder);
+        // Shuffle and remember where the intruder landed.
+        for i in (1..words.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            words.swap(i, j);
+        }
+        let intruder_pos = words.iter().position(|&w| w == intruder).unwrap();
+        questions.push(IntrusionQuestion {
+            topic: t,
+            words,
+            intruder_pos,
+        });
+    }
+    questions
+}
+
+/// Simulate one annotator answering one question; returns true on a
+/// correct identification.
+pub fn simulate_answer<R: Rng>(
+    q: &IntrusionQuestion,
+    npmi: &NpmiMatrix,
+    temperature: f64,
+    rng: &mut R,
+) -> bool {
+    // Score = mean NPMI of the word against the other shown words; the
+    // intruder should score lowest.
+    let n = q.words.len();
+    let mut logits = Vec::with_capacity(n);
+    for (i, &w) in q.words.iter().enumerate() {
+        let mut acc = 0.0f64;
+        for (j, &o) in q.words.iter().enumerate() {
+            if i != j {
+                acc += npmi.get(w, o) as f64;
+            }
+        }
+        let mean = acc / (n - 1) as f64;
+        logits.push(-mean / temperature);
+    }
+    // Softmax sample.
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    let mut pick = n - 1;
+    for (i, &e) in exps.iter().enumerate() {
+        if u < e {
+            pick = i;
+            break;
+        }
+        u -= e;
+    }
+    pick == q.intruder_pos
+}
+
+/// Word Intrusion Score for one model: fraction of (annotator, question)
+/// pairs answered correctly.
+pub fn word_intrusion_score<R: Rng>(
+    beta: &Tensor,
+    npmi: &NpmiMatrix,
+    config: &IntrusionConfig,
+    rng: &mut R,
+) -> f64 {
+    let questions = generate_questionnaire(beta, npmi, config, rng);
+    if questions.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for _ in 0..config.annotators {
+        for q in &questions {
+            if simulate_answer(q, npmi, config.annotator_temperature, rng) {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    correct as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::{BowCorpus, SparseDoc, Vocab};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference corpus with four clean 5-word clusters.
+    fn reference() -> NpmiMatrix {
+        let v = 20;
+        let vocab = Vocab::from_words((0..v).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..40 {
+            for cl in 0..4u32 {
+                let ids: Vec<u32> = (0..5).map(|i| cl * 5 + i).collect();
+                c.docs.push(SparseDoc::from_tokens(&ids));
+            }
+        }
+        NpmiMatrix::from_corpus(&c)
+    }
+
+    /// Beta aligned with the clusters (coherent) — topic t = cluster t.
+    fn coherent_beta() -> Tensor {
+        let mut b = Tensor::zeros(4, 20);
+        for t in 0..4 {
+            for i in 0..5 {
+                b.set(t, t * 5 + i, 0.2 - 0.01 * i as f32);
+            }
+            for w in 0..20 {
+                if b.get(t, w) == 0.0 {
+                    b.set(t, w, 0.001);
+                }
+            }
+        }
+        b.normalize_rows_l1();
+        b
+    }
+
+    /// Beta that scrambles the clusters (incoherent).
+    fn incoherent_beta() -> Tensor {
+        let mut b = Tensor::zeros(4, 20);
+        for t in 0..4 {
+            for i in 0..5 {
+                // Pick the i-th word of cluster (t+i) mod 4 — mixes clusters.
+                let w = ((t + i) % 4) * 5 + i;
+                b.set(t, w, 0.2 - 0.01 * i as f32);
+            }
+            for w in 0..20 {
+                if b.get(t, w) == 0.0 {
+                    b.set(t, w, 0.001);
+                }
+            }
+        }
+        b.normalize_rows_l1();
+        b
+    }
+
+    #[test]
+    fn questionnaire_has_expected_shape() {
+        let npmi = reference();
+        let beta = coherent_beta();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = IntrusionConfig {
+            topics_per_decile: 1,
+            ..Default::default()
+        };
+        let qs = generate_questionnaire(&beta, &npmi, &config, &mut rng);
+        assert!(!qs.is_empty());
+        for q in &qs {
+            assert_eq!(q.words.len(), 6);
+            assert!(q.intruder_pos < 6);
+            // Intruder is actually at the recorded position.
+            let uniq: std::collections::HashSet<_> = q.words.iter().collect();
+            assert_eq!(uniq.len(), 6, "duplicate words in question");
+        }
+    }
+
+    #[test]
+    fn questionnaire_is_decile_stratified() {
+        // With 20 topics and 1 per decile, the 10 chosen topics must cover
+        // distinct coherence deciles (2 topics per decile, 1 sampled).
+        let v = 20 * 5;
+        let vocab = ct_corpus::Vocab::from_words((0..v).map(|i| format!("w{i}")));
+        let mut c = ct_corpus::BowCorpus::new(vocab);
+        for _ in 0..30 {
+            for cl in 0..20u32 {
+                let ids: Vec<u32> = (0..5).map(|i| cl * 5 + i).collect();
+                c.docs.push(ct_corpus::SparseDoc::from_tokens(&ids));
+            }
+        }
+        let npmi = ct_corpus::NpmiMatrix::from_corpus(&c);
+        let mut beta = Tensor::zeros(20, v);
+        for t in 0..20 {
+            for i in 0..5 {
+                beta.set(t, (t * 5 + i) % v, 0.19);
+            }
+            for w in 0..v {
+                if beta.get(t, w) == 0.0 {
+                    beta.set(t, w, 0.001);
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = IntrusionConfig {
+            topics_per_decile: 1,
+            ..Default::default()
+        };
+        let qs = generate_questionnaire(&beta, &npmi, &config, &mut rng);
+        assert_eq!(qs.len(), 10);
+        let topics: std::collections::HashSet<_> = qs.iter().map(|q| q.topic).collect();
+        assert_eq!(topics.len(), 10, "duplicate topics selected");
+    }
+
+    #[test]
+    fn coherent_topics_easier_than_incoherent() {
+        let npmi = reference();
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = IntrusionConfig {
+            topics_per_decile: 2,
+            annotators: 40,
+            ..Default::default()
+        };
+        let wis_good = word_intrusion_score(&coherent_beta(), &npmi, &config, &mut rng);
+        let wis_bad = word_intrusion_score(&incoherent_beta(), &npmi, &config, &mut rng);
+        assert!(
+            wis_good > wis_bad + 0.15,
+            "coherent {wis_good} vs incoherent {wis_bad}"
+        );
+        assert!(wis_good > 0.6, "coherent WIS too low: {wis_good}");
+    }
+
+    #[test]
+    fn reliable_annotator_beats_noisy_annotator() {
+        let npmi = reference();
+        let beta = coherent_beta();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sharp = IntrusionConfig {
+            annotator_temperature: 0.02,
+            annotators: 40,
+            ..Default::default()
+        };
+        let noisy = IntrusionConfig {
+            annotator_temperature: 5.0,
+            annotators: 40,
+            ..Default::default()
+        };
+        let w_sharp = word_intrusion_score(&beta, &npmi, &sharp, &mut rng);
+        let w_noisy = word_intrusion_score(&beta, &npmi, &noisy, &mut rng);
+        assert!(w_sharp > w_noisy, "sharp {w_sharp} vs noisy {w_noisy}");
+        // A very noisy annotator approaches chance (1/6).
+        assert!(w_noisy < 0.45, "noisy WIS {w_noisy}");
+    }
+}

@@ -1,0 +1,199 @@
+//! KMeans clustering (k-means++ initialisation, Lloyd iterations) for the
+//! document-representation evaluation of §V-B: cluster test-set
+//! document-topic distributions and score the clusters against labels.
+
+use ct_tensor::Tensor;
+use rand::Rng;
+
+/// Result of one KMeans run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster index per data row.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `(k, dim)`.
+    pub centroids: Tensor,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (x - y) as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Run KMeans on the rows of `data`.
+pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> KMeansResult {
+    let n = data.rows();
+    let dim = data.cols();
+    assert!(k >= 1 && n >= 1, "need at least one cluster and one point");
+    let k = k.min(n);
+
+    // k-means++ seeding.
+    let mut centroids = Tensor::zeros(k, dim);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if u < w {
+                    pick = i;
+                    break;
+                }
+                u -= w;
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(next));
+        for i in 0..n {
+            let nd = sq_dist(data.row(i), centroids.row(c));
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    let mut inertia = f64::INFINITY;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        let mut changed = false;
+        inertia = 0.0;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(row, centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            inertia += best_d;
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Recompute centroids; empty clusters re-seed to the farthest point.
+        let mut counts = vec![0usize; k];
+        let mut sums = Tensor::zeros(k, dim);
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let s = sums.row_mut(c);
+            for (sv, &dv) in s.iter_mut().zip(data.row(i)) {
+                *sv += dv;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(data.row(a), centroids.row(assignments[a]))
+                            .partial_cmp(&sq_dist(data.row(b), centroids.row(assignments[b])))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                let (s, cr) = (sums.row(c).to_vec(), centroids.row_mut(c));
+                for (cv, sv) in cr.iter_mut().zip(s) {
+                    *cv = sv * inv;
+                }
+            }
+        }
+    }
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_data(rng: &mut StdRng) -> (Tensor, Vec<usize>) {
+        // Three well-separated 2-D blobs of 30 points each.
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0)];
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (li, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                let nx = Tensor::randn(1, 1, 0.5, rng).data()[0];
+                let ny = Tensor::randn(1, 1, 0.5, rng).data()[0];
+                data.push(cx + nx);
+                data.push(cy + ny);
+                labels.push(li);
+            }
+        }
+        (Tensor::from_vec(data, 90, 2), labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (data, labels) = blob_data(&mut rng);
+        let res = kmeans(&data, 3, 50, &mut rng);
+        // Every true blob should map to exactly one cluster.
+        for blob in 0..3 {
+            let members: Vec<usize> = (0..90)
+                .filter(|&i| labels[i] == blob)
+                .map(|i| res.assignments[i])
+                .collect();
+            assert!(
+                members.iter().all(|&c| c == members[0]),
+                "blob {blob} split across clusters"
+            );
+        }
+        assert!(res.inertia < 90.0, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], 2, 2);
+        let res = kmeans(&data, 10, 10, &mut rng);
+        assert_eq!(res.centroids.rows(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Tensor::from_vec(vec![0.0, 0.0, 2.0, 0.0, 4.0, 0.0], 3, 2);
+        let res = kmeans(&data, 1, 10, &mut rng);
+        assert!((res.centroids.get(0, 0) - 2.0).abs() < 1e-5);
+        assert!(res.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blob_data(&mut StdRng::seed_from_u64(4));
+        let r1 = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(7));
+        let r2 = kmeans(&data, 3, 50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(r1.assignments, r2.assignments);
+    }
+}

@@ -1,0 +1,23 @@
+//! # ct-eval
+//!
+//! Evaluation suite for the ContraTopic reproduction: NPMI topic coherence
+//! and topic diversity curves (Figure 2), KMeans + purity/NMI document
+//! representation scores (Figure 3), the simulated word-intrusion study
+//! (Table III), and topic reporting for the case studies (Tables IV–VI).
+
+pub mod clustering;
+pub mod coherence;
+pub mod cv;
+pub mod intrusion;
+pub mod kmeans;
+pub mod report;
+
+pub use clustering::{nmi, purity};
+pub use coherence::{
+    coherence_curve, diversity_at, diversity_curve, topic_uniqueness, TopicScores, K_TC, K_TD,
+    PERCENTAGES,
+};
+pub use cv::{cv_coherence, cv_coherence_words, mean_cv};
+pub use intrusion::{word_intrusion_score, IntrusionConfig, IntrusionQuestion};
+pub use kmeans::{kmeans, KMeansResult};
+pub use report::{describe_topic, perplexity, top_topics, TopicSummary};

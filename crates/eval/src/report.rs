@@ -1,0 +1,211 @@
+//! Topic reporting: top-word summaries (Tables IV–VI), template topic
+//! descriptions (the paper uses an LLM for these; we derive them from the
+//! planted themes), and perplexity.
+
+use ct_corpus::{BowCorpus, NpmiMatrix, Vocab};
+use ct_tensor::Tensor;
+
+use crate::coherence::TopicScores;
+
+/// A topic rendered for human consumption.
+#[derive(Clone, Debug)]
+pub struct TopicSummary {
+    pub topic: usize,
+    pub npmi: f64,
+    pub top_words: Vec<String>,
+}
+
+/// The `n` highest-NPMI topics of `beta`, each with its top `k_words`.
+pub fn top_topics(
+    beta: &Tensor,
+    npmi: &NpmiMatrix,
+    vocab: &Vocab,
+    n: usize,
+    k_words: usize,
+) -> Vec<TopicSummary> {
+    let scores = TopicScores::compute(beta, npmi, 10.min(k_words.max(2)));
+    scores
+        .order
+        .iter()
+        .take(n)
+        .map(|&t| TopicSummary {
+            topic: t,
+            npmi: scores.per_topic[t],
+            top_words: beta
+                .top_k_row(t, k_words)
+                .into_iter()
+                .map(|w| vocab.word(w as u32).to_string())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Template-based topic description. The paper asks an LLM to describe each
+/// topic; here we name the dominant planted theme when the corpus was
+/// synthetic (theme pools from `ct_corpus::synth::THEMES`), falling back to
+/// the top words.
+pub fn describe_topic(summary: &TopicSummary) -> String {
+    use ct_corpus::synth::THEMES;
+    let mut best_theme: Option<&str> = None;
+    let mut best_hits = 0usize;
+    for (name, pool) in THEMES {
+        let hits = summary
+            .top_words
+            .iter()
+            .filter(|w| pool.iter().any(|p| w.as_str() == *p || w.starts_with(p)))
+            .count();
+        if hits > best_hits {
+            best_hits = hits;
+            best_theme = Some(name);
+        }
+    }
+    match best_theme {
+        Some(theme) if best_hits >= 3 => format!(
+            "Topic {}: {}. This topic revolves around {} (key words: {}).",
+            summary.topic + 1,
+            capitalize(theme),
+            theme,
+            summary.top_words.join(", ")
+        ),
+        _ => format!(
+            "Topic {}: Mixed/background. Most related words: {}.",
+            summary.topic + 1,
+            summary.top_words.join(", ")
+        ),
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Per-word perplexity of held-out documents under `(theta, beta)`:
+/// `exp(-sum_d log p(w_d) / sum_d N_d)` with `p(w|d) = theta_d^T beta`.
+pub fn perplexity(theta: &Tensor, beta: &Tensor, corpus: &BowCorpus) -> f64 {
+    assert_eq!(theta.rows(), corpus.num_docs(), "theta/docs mismatch");
+    assert_eq!(theta.cols(), beta.rows(), "theta/beta K mismatch");
+    let mut log_lik = 0.0f64;
+    let mut tokens = 0.0f64;
+    // p = theta · beta computed row-block at a time to bound memory.
+    const BLOCK: usize = 256;
+    let mut d0 = 0;
+    while d0 < corpus.num_docs() {
+        let d1 = (d0 + BLOCK).min(corpus.num_docs());
+        let idx: Vec<usize> = (d0..d1).collect();
+        let mut th = Tensor::zeros(idx.len(), theta.cols());
+        for (r, &d) in idx.iter().enumerate() {
+            th.row_mut(r).copy_from_slice(theta.row(d));
+        }
+        let p = th.matmul(beta);
+        for (r, &d) in idx.iter().enumerate() {
+            for (w, c) in corpus.docs[d].iter() {
+                let pw = p.get(r, w as usize).max(1e-12) as f64;
+                log_lik += (c as f64) * pw.ln();
+                tokens += c as f64;
+            }
+        }
+        d0 = d1;
+    }
+    if tokens == 0.0 {
+        return f64::INFINITY;
+    }
+    (-log_lik / tokens).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::SparseDoc;
+
+    fn cluster_corpus() -> BowCorpus {
+        let vocab = Vocab::from_words(["space", "nasa", "orbit", "launch", "cup", "sugar"]);
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..20 {
+            c.docs.push(SparseDoc::from_tokens(&[0, 1, 2, 3]));
+            c.docs.push(SparseDoc::from_tokens(&[4, 5]));
+        }
+        c
+    }
+
+    #[test]
+    fn top_topics_ranked_by_npmi() {
+        let c = cluster_corpus();
+        let npmi = NpmiMatrix::from_corpus(&c);
+        // Topic 0 coherent (space cluster); topic 1 mixes clusters.
+        let beta = Tensor::from_vec(
+            vec![
+                0.4, 0.3, 0.2, 0.05, 0.025, 0.025, //
+                0.3, 0.025, 0.025, 0.05, 0.3, 0.3,
+            ],
+            2,
+            6,
+        );
+        let tops = top_topics(&beta, &npmi, &c.vocab, 2, 3);
+        assert_eq!(tops[0].topic, 0);
+        assert_eq!(tops[0].top_words[0], "space");
+        assert!(tops[0].npmi > tops[1].npmi);
+    }
+
+    #[test]
+    fn describe_topic_names_theme() {
+        let s = TopicSummary {
+            topic: 0,
+            npmi: 0.5,
+            top_words: vec![
+                "space".into(),
+                "nasa".into(),
+                "orbit".into(),
+                "launch".into(),
+            ],
+        };
+        let d = describe_topic(&s);
+        assert!(d.contains("Space"), "{d}");
+    }
+
+    #[test]
+    fn describe_topic_falls_back_for_unknown_words() {
+        let s = TopicSummary {
+            topic: 3,
+            npmi: 0.1,
+            top_words: vec!["qqq".into(), "zzz".into()],
+        };
+        let d = describe_topic(&s);
+        assert!(d.contains("Mixed"), "{d}");
+    }
+
+    #[test]
+    fn perplexity_lower_for_better_model() {
+        let c = cluster_corpus();
+        // Good model: topics match clusters; docs get the right mixture.
+        let beta_good = {
+            let mut b = Tensor::from_vec(
+                vec![
+                    0.25, 0.25, 0.25, 0.25, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 0.0, 0.5, 0.5,
+                ],
+                2,
+                6,
+            );
+            b.normalize_rows_l1();
+            b
+        };
+        let beta_bad = Tensor::full(2, 6, 1.0 / 6.0);
+        let mut theta = Tensor::zeros(c.num_docs(), 2);
+        for (d, doc) in c.docs.iter().enumerate() {
+            if doc.ids()[0] == 0 {
+                theta.set(d, 0, 1.0);
+            } else {
+                theta.set(d, 1, 1.0);
+            }
+        }
+        let good = perplexity(&theta, &beta_good, &c);
+        let bad = perplexity(&theta, &beta_bad, &c);
+        assert!(good < bad, "good {good} vs bad {bad}");
+        // Uniform over 6 words: perplexity 6.
+        assert!((bad - 6.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the evaluation-metric invariants.
+
+use ct_corpus::{BowCorpus, NpmiMatrix, SparseDoc, Vocab};
+use ct_eval::{diversity_at, kmeans, nmi, purity, TopicScores};
+use ct_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labels_strat(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, n)
+}
+
+fn reference_npmi() -> NpmiMatrix {
+    let vocab = Vocab::from_words((0..8).map(|i| format!("w{i}")));
+    let mut c = BowCorpus::new(vocab);
+    for _ in 0..10 {
+        c.docs.push(SparseDoc::from_tokens(&[0, 1, 2, 3]));
+        c.docs.push(SparseDoc::from_tokens(&[4, 5, 6, 7]));
+        c.docs.push(SparseDoc::from_tokens(&[0, 4]));
+    }
+    NpmiMatrix::from_corpus(&c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn purity_and_nmi_bounded(assign in labels_strat(30, 5), labels in labels_strat(30, 4)) {
+        let p = purity(&assign, &labels);
+        let m = nmi(&assign, &labels);
+        prop_assert!((0.0..=1.0).contains(&p), "purity {p}");
+        prop_assert!((0.0..=1.0).contains(&m), "nmi {m}");
+    }
+
+    #[test]
+    fn purity_one_when_assignments_equal_labels(labels in labels_strat(25, 6)) {
+        prop_assert!((purity(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_is_symmetric(a in labels_strat(25, 4), b in labels_strat(25, 4)) {
+        let m1 = nmi(&a, &b);
+        let m2 = nmi(&b, &a);
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmeans_assignments_valid(
+        data in proptest::collection::vec(-3.0f32..3.0, 20 * 3),
+        k in 1usize..6,
+        seed in 0u64..20,
+    ) {
+        let t = Tensor::from_vec(data, 20, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&t, k, 20, &mut rng);
+        prop_assert_eq!(res.assignments.len(), 20);
+        prop_assert!(res.assignments.iter().all(|&a| a < k.min(20)));
+        prop_assert!(res.inertia >= 0.0);
+    }
+
+    #[test]
+    fn diversity_bounded_and_max_for_disjoint(beta_data in proptest::collection::vec(0.01f32..1.0, 2 * 8)) {
+        let mut beta = Tensor::from_vec(beta_data, 2, 8);
+        beta.normalize_rows_l1();
+        let npmi = reference_npmi();
+        let scores = TopicScores::compute(&beta, &npmi, 4);
+        let d = diversity_at(&beta, &scores, 1.0, 4);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn coherence_selection_is_monotone(beta_data in proptest::collection::vec(0.01f32..1.0, 3 * 8)) {
+        // coherence_at(p) is non-increasing in p because topics are
+        // selected best-first.
+        let mut beta = Tensor::from_vec(beta_data, 3, 8);
+        beta.normalize_rows_l1();
+        let npmi = reference_npmi();
+        let scores = TopicScores::compute(&beta, &npmi, 4);
+        let mut prev = f64::INFINITY;
+        for &p in &[0.2, 0.5, 0.8, 1.0] {
+            let c = scores.coherence_at(p);
+            prop_assert!(c <= prev + 1e-9, "coherence rose from {prev} to {c} at {p}");
+            prev = c;
+        }
+    }
+}

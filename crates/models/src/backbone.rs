@@ -1,0 +1,135 @@
+//! The backbone abstraction: every VAE-style NTM in this workspace exposes
+//! a per-batch loss plus a differentiable `beta` handle, so ContraTopic's
+//! topic-wise contrastive regularizer can be attached to any of them
+//! (the paper's §V-I substitutes ETM → WLDA → WeTe).
+
+use ct_corpus::BowCorpus;
+use ct_tensor::{Params, Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{infer_theta_blocked, train_loop, TopicModel, TrainConfig, TrainStats};
+
+/// Output of one backbone forward pass.
+pub struct BackboneOut<'t> {
+    /// The backbone's own training loss (ELBO / OT / WAE objective).
+    pub loss: Var<'t>,
+    /// Differentiable topic-word distribution `(K, V)` for regularizers.
+    pub beta: Var<'t>,
+}
+
+/// A VAE-style neural topic model viewed as a pluggable backbone.
+pub trait Backbone {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Build the loss for one dense batch `x` (raw counts) of documents
+    /// `indices`.
+    fn batch_loss<'t>(
+        &self,
+        tape: &'t Tape,
+        params: &Params,
+        x: &Tensor,
+        indices: &[usize],
+        training: bool,
+        rng: &mut StdRng,
+    ) -> BackboneOut<'t>;
+
+    /// Amortized θ for one dense batch (eval mode).
+    fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor;
+
+    /// Concrete topic-word distribution.
+    fn beta_tensor(&self, params: &Params) -> Tensor;
+
+    fn num_topics(&self) -> usize;
+}
+
+/// A fitted backbone: the backbone plus its trained parameters.
+pub struct Fitted<B: Backbone> {
+    pub backbone: B,
+    pub params: Params,
+    pub stats: TrainStats,
+}
+
+impl<B: Backbone> Fitted<B> {
+    pub fn new(backbone: B, params: Params, stats: TrainStats) -> Self {
+        Self {
+            backbone,
+            params,
+            stats,
+        }
+    }
+
+    /// Write the trained parameters as a checkpoint (see
+    /// `ct_tensor::checkpoint` for the format).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.params.save(w)
+    }
+
+    /// Restore trained parameters into this model by name. The model must
+    /// have been built with the same configuration (same layer shapes).
+    pub fn restore<R: std::io::Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.params.load_named(r)
+    }
+}
+
+impl<B: Backbone> TopicModel for Fitted<B> {
+    fn name(&self) -> &'static str {
+        self.backbone.name()
+    }
+
+    fn beta(&self) -> Tensor {
+        self.backbone.beta_tensor(&self.params)
+    }
+
+    fn theta(&self, corpus: &BowCorpus) -> Tensor {
+        infer_theta_blocked(corpus, self.backbone.num_topics(), |x| {
+            self.backbone.infer_theta_batch(&self.params, x)
+        })
+    }
+
+    fn num_topics(&self) -> usize {
+        self.backbone.num_topics()
+    }
+}
+
+/// Train a backbone on `corpus` with its own objective (no regularizer).
+pub fn fit_backbone<B: Backbone>(
+    backbone: B,
+    mut params: Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+) -> Fitted<B> {
+    let stats = train_loop(corpus, config, &mut params, |tape, params, x, idx, rng| {
+        backbone.batch_loss(tape, params, x, idx, true, rng).loss
+    });
+    Fitted::new(backbone, params, stats)
+}
+
+/// Train a backbone with an additional differentiable regularizer term
+/// `reg(tape, beta_var)` scaled by `lambda` — the hook ContraTopic uses.
+pub fn fit_backbone_with_regularizer<B, F>(
+    backbone: B,
+    mut params: Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    lambda: f32,
+    mut reg: F,
+) -> Fitted<B>
+where
+    B: Backbone,
+    F: for<'t> FnMut(&'t Tape, Var<'t>, &mut StdRng) -> Var<'t>,
+{
+    let stats = train_loop(corpus, config, &mut params, |tape, params, x, idx, rng| {
+        let out = backbone.batch_loss(tape, params, x, idx, true, rng);
+        let r = reg(tape, out.beta, rng);
+        out.loss.add(r.scale(lambda))
+    });
+    Fitted::new(backbone, params, stats)
+}
+
+/// Fresh deterministic RNG for eval-mode passes (eval paths draw no random
+/// numbers, but the encoder API threads an RNG through).
+pub fn eval_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}

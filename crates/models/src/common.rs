@@ -1,0 +1,269 @@
+//! Shared model interface and training driver.
+
+use ct_corpus::{BatchIter, BowCorpus};
+use ct_tensor::{Adam, Optimizer, Params, Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters shared by all neural topic models, mirroring the
+/// paper's §V-D (scaled to single-core CPU training: the paper uses K=100
+/// topics, 800 hidden units, batch 1000, 100 epochs on 2 RTX8000s).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Number of topics `K`.
+    pub num_topics: usize,
+    /// Encoder hidden width (paper: 800).
+    pub hidden: usize,
+    /// Encoder depth (paper: 3).
+    pub encoder_depth: usize,
+    /// Dropout rate after the encoder MLP (paper: 0.5).
+    pub dropout: f32,
+    /// Word/topic embedding dimension for ETM-family decoders.
+    pub embed_dim: usize,
+    /// Decoder softmax temperature `tau_beta` (paper: 0.1).
+    pub tau_beta: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 1000).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 5e-4).
+    pub learning_rate: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// RNG seed for init, batching and sampling.
+    pub seed: u64,
+    /// Print per-epoch losses.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            num_topics: 40,
+            hidden: 128,
+            encoder_depth: 2,
+            dropout: 0.3,
+            embed_dim: 64,
+            tau_beta: 0.5,
+            epochs: 30,
+            batch_size: 256,
+            learning_rate: 2e-3,
+            grad_clip: 5.0,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A tiny configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_topics: 8,
+            hidden: 32,
+            encoder_depth: 2,
+            embed_dim: 16,
+            epochs: 6,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_topics(mut self, k: usize) -> Self {
+        self.num_topics = k;
+        self
+    }
+
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+}
+
+/// Common interface every (neural or classical) topic model exposes after
+/// fitting.
+pub trait TopicModel {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Topic-word distributions, `(K, V)`, rows on the simplex.
+    fn beta(&self) -> Tensor;
+
+    /// Document-topic distributions for the given corpus, `(D, K)`, rows on
+    /// the simplex. For VAE models this is amortized inference with the
+    /// posterior mean (no sampling).
+    fn theta(&self, corpus: &BowCorpus) -> Tensor;
+
+    /// Number of topics.
+    fn num_topics(&self) -> usize;
+}
+
+/// Record of one training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// Generic mini-batch training loop shared by every neural model.
+///
+/// `loss_fn(tape, params, x_batch, doc_indices, rng)` builds the scalar
+/// loss for one batch; the driver handles shuffled batching, backward,
+/// gradient clipping and the Adam step.
+pub fn train_loop<F>(
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    params: &mut Params,
+    mut loss_fn: F,
+) -> TrainStats
+where
+    F: for<'t> FnMut(&'t Tape, &Params, &Tensor, &[usize], &mut StdRng) -> Var<'t>,
+{
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    let mut opt = Adam::new(config.learning_rate);
+    let mut stats = TrainStats::default();
+    for epoch in 0..config.epochs {
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch in BatchIter::new(corpus.num_docs(), config.batch_size, &mut rng) {
+            let x = corpus.dense_batch(&batch);
+            let tape = Tape::new();
+            let loss = loss_fn(&tape, params, &x, &batch, &mut rng);
+            let loss_v = loss.scalar_value();
+            if !loss_v.is_finite() {
+                // Skip a diverged batch rather than poisoning the params.
+                params.zero_grad();
+                continue;
+            }
+            epoch_loss += loss_v as f64;
+            batches += 1;
+            tape.backward(loss).accumulate_into(params);
+            if config.grad_clip > 0.0 {
+                params.clip_grad_norm(config.grad_clip);
+            }
+            opt.step(params);
+        }
+        let mean = if batches > 0 {
+            (epoch_loss / batches as f64) as f32
+        } else {
+            f32::NAN
+        };
+        stats.epoch_losses.push(mean);
+        if config.verbose {
+            eprintln!("epoch {:>3}: loss {mean:.4}", epoch + 1);
+        }
+    }
+    stats
+}
+
+/// Amortized θ inference over a whole corpus in blocks: runs `encode` on
+/// dense batches and stacks the resulting `(batch, K)` rows.
+pub fn infer_theta_blocked<F>(corpus: &BowCorpus, k: usize, mut encode: F) -> Tensor
+where
+    F: FnMut(&Tensor) -> Tensor,
+{
+    const BLOCK: usize = 512;
+    let d = corpus.num_docs();
+    let mut theta = Tensor::zeros(d, k);
+    let mut d0 = 0;
+    while d0 < d {
+        let d1 = (d0 + BLOCK).min(d);
+        let idx: Vec<usize> = (d0..d1).collect();
+        let x = corpus.dense_batch(&idx);
+        let block = encode(&x);
+        assert_eq!(block.shape(), (idx.len(), k), "encode block shape");
+        for (r, dd) in (d0..d1).enumerate() {
+            theta.row_mut(dd).copy_from_slice(block.row(r));
+        }
+        d0 = d1;
+    }
+    theta
+}
+
+/// Normalize embedding rows to unit L2 norm (used when loading corpus
+/// embeddings into decoders so inner-product logits stay bounded).
+pub fn normalize_rows_l2(mut emb: Tensor) -> Tensor {
+    for r in 0..emb.rows() {
+        let row = emb.row_mut(r);
+        let norm = row.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt() as f32;
+        if norm > 1e-8 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+    emb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::{SparseDoc, Vocab};
+
+    fn tiny_corpus() -> BowCorpus {
+        let vocab = Vocab::from_words((0..6).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..20 {
+            c.docs.push(SparseDoc::from_tokens(&[0, 1, 2]));
+            c.docs.push(SparseDoc::from_tokens(&[3, 4, 5]));
+        }
+        c
+    }
+
+    #[test]
+    fn train_loop_reduces_simple_loss() {
+        // Learn a per-word bias b to reconstruct mean word counts:
+        // loss = mean((x - b)^2).
+        let corpus = tiny_corpus();
+        let config = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            learning_rate: 0.05,
+            ..TrainConfig::tiny()
+        };
+        let mut params = Params::new();
+        let b = params.add("b", Tensor::zeros(1, 6));
+        let stats = train_loop(&corpus, &config, &mut params, |tape, params, x, _idx, _rng| {
+            let bv = tape.param(params, b);
+            let xc = tape.constant(x.clone());
+            xc.sub(bv).square().mean_all()
+        });
+        assert!(stats.epoch_losses.first().unwrap() > stats.epoch_losses.last().unwrap());
+        assert!(*stats.epoch_losses.last().unwrap() < 0.3);
+    }
+
+    #[test]
+    fn infer_theta_blocked_stacks_blocks() {
+        let corpus = tiny_corpus();
+        let theta = infer_theta_blocked(&corpus, 2, |x| {
+            // Fake encoder: cluster by whether word 0 is present.
+            let mut t = Tensor::zeros(x.rows(), 2);
+            for r in 0..x.rows() {
+                if x.get(r, 0) > 0.0 {
+                    t.set(r, 0, 1.0);
+                } else {
+                    t.set(r, 1, 1.0);
+                }
+            }
+            t
+        });
+        assert_eq!(theta.shape(), (40, 2));
+        assert_eq!(theta.get(0, 0), 1.0);
+        assert_eq!(theta.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn normalize_rows_l2_unit_norm() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], 2, 2);
+        let n = normalize_rows_l2(t);
+        assert!((n.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((n.get(0, 1) - 0.8).abs() < 1e-6);
+        // Zero rows left untouched.
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+}

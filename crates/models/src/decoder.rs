@@ -1,0 +1,188 @@
+//! Decoders: the embedding decoder of ETM (`beta = softmax(rho t^T / tau)`)
+//! and the free-logit decoder of ProdLDA/WLDA.
+
+use ct_tensor::{Params, Tape, Tensor, Var};
+use rand::Rng;
+
+/// ETM-style decoder: frozen word embeddings `rho (V, e)` and trainable
+/// topic embeddings `t (K, e)`; `beta = softmax_rows(t rho^T / tau_beta)`.
+pub struct EtmDecoder {
+    pub rho: ct_tensor::ParamId,
+    pub topics: ct_tensor::ParamId,
+    pub tau_beta: f32,
+    pub num_topics: usize,
+    pub vocab_size: usize,
+}
+
+impl EtmDecoder {
+    /// `embeddings` are the pretrained word vectors (frozen, as in the
+    /// paper "we freeze the word embeddings during the training time for
+    /// stability").
+    ///
+    /// Topic embeddings are initialized near randomly-chosen word vectors:
+    /// this spreads topics across the embedding space and avoids the
+    /// collapsed-topic local optimum a small Gaussian init hits (the
+    /// failure mode ECRTM was designed to fix).
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        embeddings: Tensor,
+        num_topics: usize,
+        tau_beta: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_init(params, name, embeddings, num_topics, tau_beta, true, rng)
+    }
+
+    /// As [`EtmDecoder::new`], but `init_from_words = false` uses the plain
+    /// small-Gaussian topic init of the original NSTM/ETM papers (prone to
+    /// topic-embedding collapse, which is part of their reported behaviour).
+    pub fn with_init<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        embeddings: Tensor,
+        num_topics: usize,
+        tau_beta: f32,
+        init_from_words: bool,
+        rng: &mut R,
+    ) -> Self {
+        let (v, e) = embeddings.shape();
+        let mut topics_init = Tensor::randn(num_topics, e, 0.05, rng);
+        if init_from_words {
+            for t in 0..num_topics {
+                let w = rng.gen_range(0..v);
+                let src = embeddings.row(w).to_vec();
+                for (c, s) in topics_init.row_mut(t).iter_mut().zip(src) {
+                    *c += s;
+                }
+            }
+        }
+        let rho = params.add_frozen(format!("{name}.rho"), embeddings);
+        let topics = params.add(format!("{name}.topics"), topics_init);
+        Self {
+            rho,
+            topics,
+            tau_beta,
+            num_topics,
+            vocab_size: v,
+        }
+    }
+
+    /// Differentiable `beta (K, V)` on the tape.
+    pub fn beta<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        let t = tape.param(params, self.topics);
+        let rho = params.value_rc(self.rho);
+        t.matmul_nt_const(&rho).softmax_rows(self.tau_beta)
+    }
+
+    /// Concrete `beta` for evaluation.
+    pub fn beta_tensor(&self, params: &Params) -> Tensor {
+        let t = params.value(self.topics);
+        let rho = params.value(self.rho);
+        t.matmul_nt(rho).softmax_rows(self.tau_beta)
+    }
+
+    /// Raw (pre-softmax) topic-word logits on the tape.
+    pub fn logits<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        let t = tape.param(params, self.topics);
+        let rho = params.value_rc(self.rho);
+        t.matmul_nt_const(&rho)
+    }
+}
+
+/// Free-parameter decoder (ProdLDA / WLDA): `beta` logits are a trainable
+/// `(K, V)` matrix.
+pub struct FreeDecoder {
+    pub logits: ct_tensor::ParamId,
+    pub num_topics: usize,
+    pub vocab_size: usize,
+}
+
+impl FreeDecoder {
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        num_topics: usize,
+        vocab_size: usize,
+        rng: &mut R,
+    ) -> Self {
+        let logits = params.add(
+            format!("{name}.beta_logits"),
+            ct_tensor::xavier_uniform(num_topics, vocab_size, rng),
+        );
+        Self {
+            logits,
+            num_topics,
+            vocab_size,
+        }
+    }
+
+    /// Differentiable normalized `beta (K, V)`.
+    pub fn beta<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        tape.param(params, self.logits).softmax_rows(1.0)
+    }
+
+    /// Differentiable raw logits.
+    pub fn logits_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        tape.param(params, self.logits)
+    }
+
+    /// Concrete `beta` for evaluation.
+    pub fn beta_tensor(&self, params: &Params) -> Tensor {
+        params.value(self.logits).softmax_rows(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn etm_beta_rows_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let emb = Tensor::randn(12, 4, 1.0, &mut rng);
+        let dec = EtmDecoder::new(&mut params, "dec", emb, 3, 0.5, &mut rng);
+        let beta = dec.beta_tensor(&params);
+        assert_eq!(beta.shape(), (3, 12));
+        for t in 0..3 {
+            let s: f32 = beta.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn etm_rho_is_frozen() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let emb = Tensor::randn(8, 4, 1.0, &mut rng);
+        let dec = EtmDecoder::new(&mut params, "dec", emb, 2, 1.0, &mut rng);
+        assert!(params.is_frozen(dec.rho));
+        assert!(!params.is_frozen(dec.topics));
+    }
+
+    #[test]
+    fn etm_beta_var_matches_tensor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let emb = Tensor::randn(8, 4, 1.0, &mut rng);
+        let dec = EtmDecoder::new(&mut params, "dec", emb, 2, 0.7, &mut rng);
+        let tape = Tape::new();
+        let v = dec.beta(&tape, &params);
+        assert_eq!(*v.value(), dec.beta_tensor(&params));
+    }
+
+    #[test]
+    fn free_decoder_beta_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let dec = FreeDecoder::new(&mut params, "dec", 3, 10, &mut rng);
+        let beta = dec.beta_tensor(&params);
+        for t in 0..3 {
+            let s: f32 = beta.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

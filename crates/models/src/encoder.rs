@@ -1,0 +1,233 @@
+//! The shared VAE encoder `q(θ | w)` of §III-B:
+//! `π = MLP(w)`, `μ = l1(π)`, `log σ² = l2(π)`,
+//! `θ = softmax(μ + σ ⊙ ε)`, with SeLU activations, dropout and batch norm
+//! as in the paper's experimental settings.
+
+use ct_tensor::{Activation, BatchNorm1d, Linear, Mlp, Params, Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::common::TrainConfig;
+
+/// Amortized inference network producing a logistic-normal posterior.
+pub struct Encoder {
+    mlp: Mlp,
+    bn: BatchNorm1d,
+    mu: Linear,
+    logvar: Linear,
+    dropout: f32,
+    num_topics: usize,
+}
+
+impl Encoder {
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        vocab_size: usize,
+        config: &TrainConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mlp = Mlp::new(
+            params,
+            &format!("{name}.mlp"),
+            vocab_size,
+            config.hidden,
+            config.encoder_depth,
+            Activation::Selu,
+            rng,
+        );
+        let bn = BatchNorm1d::new(params, &format!("{name}.bn"), config.hidden);
+        let mu = Linear::new(
+            params,
+            &format!("{name}.mu"),
+            config.hidden,
+            config.num_topics,
+            rng,
+        );
+        let logvar = Linear::new(
+            params,
+            &format!("{name}.logvar"),
+            config.hidden,
+            config.num_topics,
+            rng,
+        );
+        Self {
+            mlp,
+            bn,
+            mu,
+            logvar,
+            dropout: config.dropout,
+            num_topics: config.num_topics,
+        }
+    }
+
+    /// Posterior parameters `(mu, logvar)` for a (normalized) BoW batch.
+    pub fn posterior<'t>(
+        &self,
+        tape: &'t Tape,
+        params: &Params,
+        x: Var<'t>,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> (Var<'t>, Var<'t>) {
+        let pi = self.mlp.forward(tape, params, x);
+        let pi = pi.dropout(self.dropout, training, rng);
+        let pi = self.bn.forward(tape, params, pi, training);
+        let mu = self.mu.forward(tape, params, pi);
+        // Clamp the log-variance to keep exp() sane early in training.
+        let logvar = self.logvar.forward(tape, params, pi).clamp_min(-8.0);
+        (mu, logvar)
+    }
+
+    /// Reparameterized sample `theta = softmax(mu + sigma * eps)`. When
+    /// `sample` is false (eval), returns `softmax(mu)` — the posterior mode.
+    pub fn theta<'t>(
+        &self,
+        _tape: &'t Tape,
+        mu: Var<'t>,
+        logvar: Var<'t>,
+        sample: bool,
+        rng: &mut StdRng,
+    ) -> Var<'t> {
+        if sample {
+            let (r, c) = mu.shape();
+            let eps = std::rc::Rc::new(Tensor::randn(r, c, 1.0, rng));
+            let sigma = logvar.scale(0.5).exp();
+            mu.add(sigma.mul_const(&eps)).softmax_rows(1.0)
+        } else {
+            mu.softmax_rows(1.0)
+        }
+    }
+
+    /// Analytic KL divergence to the standard-normal prior, averaged over
+    /// the batch: `-0.5 * mean_d Σ_k (1 + logvar - mu^2 - e^logvar)`.
+    pub fn kl<'t>(&self, mu: Var<'t>, logvar: Var<'t>) -> Var<'t> {
+        let n = mu.shape().0 as f32;
+        logvar
+            .add_scalar(1.0)
+            .sub(mu.square())
+            .sub(logvar.exp())
+            .sum_all()
+            .scale(-0.5 / n)
+    }
+
+    /// Full encoding shortcut: `(theta, kl)` for a batch.
+    pub fn encode<'t>(
+        &self,
+        tape: &'t Tape,
+        params: &Params,
+        x: Var<'t>,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> (Var<'t>, Var<'t>) {
+        let (mu, logvar) = self.posterior(tape, params, x, training, rng);
+        let theta = self.theta(tape, mu, logvar, training, rng);
+        let kl = self.kl(mu, logvar);
+        (theta, kl)
+    }
+
+    /// Eval-mode θ for a dense batch tensor (posterior mode, no dropout).
+    pub fn infer_theta(&self, params: &Params, x: &Tensor, rng: &mut StdRng) -> Tensor {
+        let tape = Tape::new();
+        let mut xn = x.clone();
+        xn.normalize_rows_l1();
+        let xv = tape.constant(xn);
+        let (mu, logvar) = self.posterior(&tape, params, xv, false, rng);
+        let theta = self.theta(&tape, mu, logvar, false, rng);
+        (*theta.value()).clone()
+    }
+
+    /// Eval-mode posterior mean (pre-softmax) — CLNTM's document
+    /// representation for the contrastive term.
+    pub fn infer_mu(&self, params: &Params, x: &Tensor, rng: &mut StdRng) -> Tensor {
+        let tape = Tape::new();
+        let mut xn = x.clone();
+        xn.normalize_rows_l1();
+        let xv = tape.constant(xn);
+        let (mu, _) = self.posterior(&tape, params, xv, false, rng);
+        (*mu.value()).clone()
+    }
+
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_tensor::Params;
+    use rand::SeedableRng;
+
+    fn setup() -> (Params, Encoder, TrainConfig) {
+        let config = TrainConfig::tiny();
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = Encoder::new(&mut params, "enc", 12, &config, &mut rng);
+        (params, enc, config)
+    }
+
+    #[test]
+    fn theta_rows_on_simplex() {
+        let (params, enc, _) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::rand_uniform(5, 12, 0.0, 3.0, &mut rng);
+        let theta = enc.infer_theta(&params, &x, &mut rng);
+        assert_eq!(theta.shape(), (5, 8));
+        for r in 0..5 {
+            let s: f32 = theta.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+            assert!(theta.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn kl_zero_at_standard_normal() {
+        let (_, enc, _) = setup();
+        let tape = Tape::new();
+        let mu = tape.constant(Tensor::zeros(4, 8));
+        let logvar = tape.constant(Tensor::zeros(4, 8));
+        let kl = enc.kl(mu, logvar);
+        assert!(kl.scalar_value().abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_positive_away_from_prior() {
+        let (_, enc, _) = setup();
+        let tape = Tape::new();
+        let mu = tape.constant(Tensor::full(4, 8, 2.0));
+        let logvar = tape.constant(Tensor::full(4, 8, 1.0));
+        assert!(enc.kl(mu, logvar).scalar_value() > 1.0);
+    }
+
+    #[test]
+    fn training_sample_differs_from_eval_mode() {
+        let (params, enc, _) = setup();
+        let tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = tape.constant(Tensor::rand_uniform(3, 12, 0.0, 1.0, &mut rng));
+        let (mu, logvar) = enc.posterior(&tape, &params, x, false, &mut rng);
+        let t_sample = enc.theta(&tape, mu, logvar, true, &mut rng);
+        let t_mode = enc.theta(&tape, mu, logvar, false, &mut rng);
+        assert_ne!(*t_sample.value(), *t_mode.value());
+    }
+
+    #[test]
+    fn gradients_reach_all_encoder_params() {
+        let (mut params, enc, _) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::rand_uniform(6, 12, 0.0, 1.0, &mut rng));
+        let (theta, kl) = enc.encode(&tape, &params, x, true, &mut rng);
+        let loss = theta.square().sum_all().add(kl);
+        tape.backward(loss).accumulate_into(&mut params);
+        let mut nonzero = 0;
+        for id in params.ids().collect::<Vec<_>>() {
+            if params.grad(id).norm() > 0.0 {
+                nonzero += 1;
+            }
+        }
+        // Every layer (mlp x depth, bn, mu, logvar) should receive gradient.
+        assert!(nonzero >= 8, "only {nonzero} params got gradient");
+    }
+}

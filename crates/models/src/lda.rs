@@ -1,0 +1,308 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling (Blei et al.
+//! 2003; Griffiths & Steyvers 2004) — the classical baseline of §V-C.
+
+use ct_corpus::BowCorpus;
+use ct_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::common::TopicModel;
+
+/// Configuration for the Gibbs sampler.
+#[derive(Clone, Debug)]
+pub struct LdaConfig {
+    pub num_topics: usize,
+    /// Symmetric document-topic prior.
+    pub alpha: f64,
+    /// Symmetric topic-word prior.
+    pub eta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// Fold-in sweeps when inferring θ for unseen documents.
+    pub infer_sweeps: usize,
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        Self {
+            num_topics: 40,
+            alpha: 0.1,
+            eta: 0.01,
+            iterations: 150,
+            infer_sweeps: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted LDA model.
+pub struct Lda {
+    config: LdaConfig,
+    /// Topic-word counts + eta, normalized lazily.
+    n_kw: Vec<f64>,
+    n_k: Vec<f64>,
+    vocab_size: usize,
+}
+
+/// Expand a corpus into flat token streams per document.
+fn expand_tokens(corpus: &BowCorpus) -> Vec<Vec<u32>> {
+    corpus
+        .docs
+        .iter()
+        .map(|d| {
+            let mut toks = Vec::with_capacity(d.len() as usize);
+            for (id, c) in d.iter() {
+                for _ in 0..(c as usize) {
+                    toks.push(id);
+                }
+            }
+            toks
+        })
+        .collect()
+}
+
+impl Lda {
+    /// Fit by collapsed Gibbs sampling.
+    pub fn fit(corpus: &BowCorpus, config: LdaConfig) -> Self {
+        let k = config.num_topics;
+        let v = corpus.vocab_size();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let docs = expand_tokens(corpus);
+        let d = docs.len();
+
+        let mut n_dk = vec![0f64; d * k];
+        let mut n_kw = vec![0f64; k * v];
+        let mut n_k = vec![0f64; k];
+        let mut z: Vec<Vec<usize>> = Vec::with_capacity(d);
+
+        // Random init.
+        for (di, doc) in docs.iter().enumerate() {
+            let mut zs = Vec::with_capacity(doc.len());
+            for &w in doc {
+                let t = rng.gen_range(0..k);
+                zs.push(t);
+                n_dk[di * k + t] += 1.0;
+                n_kw[t * v + w as usize] += 1.0;
+                n_k[t] += 1.0;
+            }
+            z.push(zs);
+        }
+
+        let alpha = config.alpha;
+        let eta = config.eta;
+        let v_eta = v as f64 * eta;
+        let mut probs = vec![0f64; k];
+        for _ in 0..config.iterations {
+            for (di, doc) in docs.iter().enumerate() {
+                let dk = &mut n_dk[di * k..(di + 1) * k];
+                for (ti, &w) in doc.iter().enumerate() {
+                    let old = z[di][ti];
+                    dk[old] -= 1.0;
+                    n_kw[old * v + w as usize] -= 1.0;
+                    n_k[old] -= 1.0;
+
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let p = (dk[t] + alpha) * (n_kw[t * v + w as usize] + eta)
+                            / (n_k[t] + v_eta);
+                        probs[t] = p;
+                        total += p;
+                    }
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &p) in probs.iter().enumerate() {
+                        if u < p {
+                            new = t;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    z[di][ti] = new;
+                    dk[new] += 1.0;
+                    n_kw[new * v + w as usize] += 1.0;
+                    n_k[new] += 1.0;
+                }
+            }
+        }
+        Self {
+            config,
+            n_kw,
+            n_k,
+            vocab_size: v,
+        }
+    }
+}
+
+impl TopicModel for Lda {
+    fn name(&self) -> &'static str {
+        "LDA"
+    }
+
+    fn beta(&self) -> Tensor {
+        let k = self.config.num_topics;
+        let v = self.vocab_size;
+        let eta = self.config.eta;
+        let mut beta = Tensor::zeros(k, v);
+        for t in 0..k {
+            let denom = self.n_k[t] + v as f64 * eta;
+            let row = beta.row_mut(t);
+            for w in 0..v {
+                row[w] = ((self.n_kw[t * v + w] + eta) / denom) as f32;
+            }
+        }
+        beta
+    }
+
+    fn theta(&self, corpus: &BowCorpus) -> Tensor {
+        // Fold-in: Gibbs sweeps over each unseen document with the
+        // topic-word counts frozen.
+        let k = self.config.num_topics;
+        let v = self.vocab_size;
+        let eta = self.config.eta;
+        let v_eta = v as f64 * eta;
+        let alpha = self.config.alpha;
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(7));
+        let docs = expand_tokens(corpus);
+        let mut theta = Tensor::zeros(docs.len(), k);
+        let mut probs = vec![0f64; k];
+        for (di, doc) in docs.iter().enumerate() {
+            let mut dk = vec![0f64; k];
+            let mut zs = Vec::with_capacity(doc.len());
+            for &w in doc {
+                let t = rng.gen_range(0..k);
+                zs.push(t);
+                dk[t] += 1.0;
+                let _ = w;
+            }
+            for _ in 0..self.config.infer_sweeps {
+                for (ti, &w) in doc.iter().enumerate() {
+                    let old = zs[ti];
+                    dk[old] -= 1.0;
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let p = (dk[t] + alpha) * (self.n_kw[t * v + w as usize] + eta)
+                            / (self.n_k[t] + v_eta);
+                        probs[t] = p;
+                        total += p;
+                    }
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &p) in probs.iter().enumerate() {
+                        if u < p {
+                            new = t;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    zs[ti] = new;
+                    dk[new] += 1.0;
+                }
+            }
+            let total: f64 = dk.iter().sum::<f64>() + k as f64 * alpha;
+            for t in 0..k {
+                theta.set(di, t, ((dk[t] + alpha) / total) as f32);
+            }
+        }
+        theta
+    }
+
+    fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_corpus::{SparseDoc, Vocab};
+
+    /// Two clean word clusters -> LDA with K=2 must separate them.
+    fn cluster_corpus() -> BowCorpus {
+        let vocab = Vocab::from_words((0..10).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for _ in 0..60 {
+            c.docs.push(SparseDoc::from_tokens(&[0, 1, 2, 3, 4, 0, 1]));
+            c.docs.push(SparseDoc::from_tokens(&[5, 6, 7, 8, 9, 5, 6]));
+        }
+        c
+    }
+
+    #[test]
+    fn recovers_two_planted_topics() {
+        let corpus = cluster_corpus();
+        let lda = Lda::fit(
+            &corpus,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 60,
+                ..Default::default()
+            },
+        );
+        let beta = lda.beta();
+        // Each topic should put >90% mass on one cluster.
+        for t in 0..2 {
+            let lo: f32 = beta.row(t)[..5].iter().sum();
+            let hi: f32 = beta.row(t)[5..].iter().sum();
+            let dominant = lo.max(hi);
+            assert!(dominant > 0.9, "topic {t}: {lo} vs {hi}");
+        }
+        // And the two topics should prefer different clusters.
+        let t0_lo: f32 = beta.row(0)[..5].iter().sum();
+        let t1_lo: f32 = beta.row(1)[..5].iter().sum();
+        assert!((t0_lo > 0.5) != (t1_lo > 0.5), "topics collapsed");
+    }
+
+    #[test]
+    fn beta_rows_are_distributions() {
+        let corpus = cluster_corpus();
+        let lda = Lda::fit(
+            &corpus,
+            LdaConfig {
+                num_topics: 3,
+                iterations: 20,
+                ..Default::default()
+            },
+        );
+        let beta = lda.beta();
+        for t in 0..3 {
+            let s: f32 = beta.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {t} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn theta_assigns_docs_to_their_cluster() {
+        let corpus = cluster_corpus();
+        let lda = Lda::fit(
+            &corpus,
+            LdaConfig {
+                num_topics: 2,
+                iterations: 60,
+                ..Default::default()
+            },
+        );
+        let theta = lda.theta(&corpus);
+        assert_eq!(theta.shape(), (corpus.num_docs(), 2));
+        // Docs 0 and 1 come from different clusters: argmax differs.
+        assert_ne!(theta.argmax_row(0), theta.argmax_row(1));
+        for r in 0..theta.rows() {
+            let s: f32 = theta.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = cluster_corpus();
+        let config = LdaConfig {
+            num_topics: 2,
+            iterations: 10,
+            ..Default::default()
+        };
+        let a = Lda::fit(&corpus, config.clone()).beta();
+        let b = Lda::fit(&corpus, config).beta();
+        assert_eq!(a, b);
+    }
+}

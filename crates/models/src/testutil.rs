@@ -1,0 +1,84 @@
+//! Shared test fixtures for the model zoo: a small corpus with planted
+//! word clusters and matching embeddings, plus a separation metric.
+
+use ct_corpus::{train_embeddings, BowCorpus, SparseDoc, Vocab};
+use ct_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Corpus with `clusters` planted word clusters of `cluster_size` words;
+/// each cluster generates `docs_per_cluster` documents drawing ~8 tokens
+/// from its own words (plus occasional noise).
+pub fn cluster_corpus(clusters: usize, cluster_size: usize, docs_per_cluster: usize) -> BowCorpus {
+    let v = clusters * cluster_size;
+    let vocab = Vocab::from_words((0..v).map(|i| format!("w{i}")));
+    let mut c = BowCorpus::new(vocab);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut labels = Vec::new();
+    for cl in 0..clusters {
+        for _ in 0..docs_per_cluster {
+            let mut toks = Vec::new();
+            for _ in 0..10 {
+                let w = if rng.gen::<f32>() < 0.9 {
+                    cl * cluster_size + rng.gen_range(0..cluster_size)
+                } else {
+                    rng.gen_range(0..v)
+                };
+                toks.push(w as u32);
+            }
+            c.docs.push(SparseDoc::from_tokens(&toks));
+            labels.push(cl);
+        }
+    }
+    c.labels = Some(labels);
+    c
+}
+
+/// PPMI embeddings for the fixture corpus.
+pub fn cluster_embeddings(corpus: &BowCorpus) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(7);
+    train_embeddings(corpus, 8.min(corpus.vocab_size()), &mut rng)
+}
+
+/// How well `beta` separates equal-sized planted clusters: for each topic,
+/// the max fraction of its mass on a single cluster, averaged over topics.
+/// 1.0 = perfect separation; `1/clusters` = no structure.
+pub fn topic_separation(beta: &Tensor, cluster_size: usize) -> f32 {
+    let v = beta.cols();
+    let clusters = v / cluster_size;
+    let mut acc = 0.0;
+    for t in 0..beta.rows() {
+        let row = beta.row(t);
+        let mut best = 0.0f32;
+        for cl in 0..clusters {
+            let mass: f32 = row[cl * cluster_size..(cl + 1) * cluster_size].iter().sum();
+            best = best.max(mass);
+        }
+        acc += best;
+    }
+    acc / beta.rows() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_labelled_and_sized() {
+        let c = cluster_corpus(3, 5, 10);
+        assert_eq!(c.num_docs(), 30);
+        assert_eq!(c.vocab_size(), 15);
+        assert_eq!(c.labels.as_ref().unwrap().len(), 30);
+    }
+
+    #[test]
+    fn separation_metric_bounds() {
+        // Perfect beta.
+        let beta = Tensor::from_vec(vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.5, 0.5], 2, 4);
+        assert!((topic_separation(&beta, 2) - 1.0).abs() < 1e-6);
+        // Uniform beta.
+        let beta = Tensor::full(2, 4, 0.25);
+        assert!((topic_separation(&beta, 2) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-style invariants that every model in the zoo must satisfy:
+//! simplex-valued distributions, finite losses, deterministic seeding.
+
+use ct_corpus::{NpmiMatrix, SparseDoc, Vocab};
+use ct_models::{
+    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda,
+    Lda, LdaConfig, TopicModel, TrainConfig,
+};
+use ct_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn fixture_corpus() -> ct_corpus::BowCorpus {
+    let vocab = Vocab::from_words((0..30).map(|i| format!("w{i}")));
+    let mut c = ct_corpus::BowCorpus::new(vocab);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut labels = Vec::new();
+    for cl in 0..3 {
+        for _ in 0..40 {
+            let mut toks = Vec::new();
+            for _ in 0..8 {
+                let w = if rng.gen::<f32>() < 0.85 {
+                    cl * 10 + rng.gen_range(0..10)
+                } else {
+                    rng.gen_range(0..30)
+                };
+                toks.push(w as u32);
+            }
+            c.docs.push(SparseDoc::from_tokens(&toks));
+            labels.push(cl);
+        }
+    }
+    c.labels = Some(labels);
+    c
+}
+
+fn embeddings(c: &ct_corpus::BowCorpus) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(3);
+    ct_corpus::train_embeddings(c, 8, &mut rng)
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        num_topics: 4,
+        hidden: 24,
+        encoder_depth: 2,
+        epochs: 2,
+        batch_size: 40,
+        learning_rate: 5e-3,
+        embed_dim: 8,
+        ..TrainConfig::default()
+    }
+}
+
+fn all_models(corpus: &ct_corpus::BowCorpus) -> Vec<Box<dyn TopicModel>> {
+    let cfg = config();
+    let emb = embeddings(corpus);
+    let npmi = Arc::new(NpmiMatrix::from_corpus(corpus));
+    vec![
+        Box::new(Lda::fit(
+            corpus,
+            LdaConfig {
+                num_topics: 4,
+                iterations: 10,
+                ..Default::default()
+            },
+        )),
+        Box::new(fit_prodlda(corpus, &cfg)),
+        Box::new(fit_wlda(corpus, &cfg)),
+        Box::new(fit_etm(corpus, emb.clone(), &cfg)),
+        Box::new(fit_nstm(corpus, emb.clone(), &cfg)),
+        Box::new(fit_wete(corpus, emb.clone(), &cfg)),
+        Box::new(fit_ntmr(corpus, emb.clone(), &cfg)),
+        Box::new(fit_vtmrl(corpus, emb.clone(), npmi, &cfg)),
+        Box::new(fit_clntm(corpus, emb, &cfg)),
+    ]
+}
+
+#[test]
+fn every_model_produces_simplex_beta_and_theta() {
+    let corpus = fixture_corpus();
+    for model in all_models(&corpus) {
+        let beta = model.beta();
+        assert_eq!(
+            beta.shape(),
+            (4, 30),
+            "{}: wrong beta shape",
+            model.name()
+        );
+        assert!(!beta.has_non_finite(), "{}: beta has NaN", model.name());
+        for t in 0..4 {
+            let s: f32 = beta.row(t).iter().sum();
+            assert!(
+                (s - 1.0).abs() < 1e-3,
+                "{}: beta row {t} sums to {s}",
+                model.name()
+            );
+            assert!(
+                beta.row(t).iter().all(|&v| v >= 0.0),
+                "{}: negative beta entry",
+                model.name()
+            );
+        }
+        let theta = model.theta(&corpus);
+        assert_eq!(theta.shape(), (corpus.num_docs(), 4), "{}", model.name());
+        assert!(!theta.has_non_finite(), "{}: theta has NaN", model.name());
+        for r in 0..theta.rows() {
+            let s: f32 = theta.row(r).iter().sum();
+            assert!(
+                (s - 1.0).abs() < 1e-3,
+                "{}: theta row {r} sums to {s}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let corpus = fixture_corpus();
+    let cfg = config();
+    let emb = embeddings(&corpus);
+    let a = fit_etm(&corpus, emb.clone(), &cfg).beta();
+    let b = fit_etm(&corpus, emb.clone(), &cfg).beta();
+    assert_eq!(a, b, "same seed must give identical models");
+    let c = fit_etm(&corpus, emb, &cfg.clone().with_seed(1234)).beta();
+    assert_ne!(a, c, "different seeds should differ");
+}
+
+#[test]
+fn theta_inference_is_deterministic() {
+    let corpus = fixture_corpus();
+    let cfg = config();
+    let emb = embeddings(&corpus);
+    let model = fit_etm(&corpus, emb, &cfg);
+    assert_eq!(model.theta(&corpus), model.theta(&corpus));
+}

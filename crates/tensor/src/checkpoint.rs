@@ -1,0 +1,241 @@
+//! Checkpointing: save/load [`Params`] registries to a compact, versioned
+//! binary format.
+//!
+//! Usage pattern: build the model architecture from the same `TrainConfig`
+//! (which registers parameters under the same names), then
+//! [`Params::load_named`] restores the trained values by name. A full
+//! [`Params::load`] reconstructs a registry standalone.
+
+use std::io::{self, Read, Write};
+use std::rc::Rc;
+
+use crate::params::Params;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"CTCKPT01";
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_u64(r)? as usize;
+    if len > (1 << 20) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable string length in checkpoint",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 name"))
+}
+
+/// Serialize one tensor (shape + little-endian f32 data).
+pub fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
+    write_u64(w, t.rows() as u64)?;
+    write_u64(w, t.cols() as u64)?;
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize one tensor.
+pub fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let numel = rows.checked_mul(cols).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "tensor shape overflow")
+    })?;
+    if numel > (1 << 31) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable tensor size in checkpoint",
+        ));
+    }
+    let mut data = Vec::with_capacity(numel);
+    let mut buf = [0u8; 4];
+    for _ in 0..numel {
+        r.read_exact(&mut buf)?;
+        data.push(f32::from_le_bytes(buf));
+    }
+    Ok(Tensor::from_vec(data, rows, cols))
+}
+
+impl Params {
+    /// Write all parameters (names, frozen flags, values) to `w`.
+    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u64(w, self.len() as u64)?;
+        for id in self.ids() {
+            write_string(w, self.name(id))?;
+            w.write_all(&[u8::from(self.is_frozen(id))])?;
+            write_tensor(w, self.value(id))?;
+        }
+        Ok(())
+    }
+
+    /// Read a standalone registry from `r`.
+    pub fn load<R: Read>(r: &mut R) -> io::Result<Params> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a ct-tensor checkpoint (bad magic)",
+            ));
+        }
+        let count = read_u64(r)? as usize;
+        let mut params = Params::new();
+        for _ in 0..count {
+            let name = read_string(r)?;
+            let mut flag = [0u8; 1];
+            r.read_exact(&mut flag)?;
+            let tensor = read_tensor(r)?;
+            if flag[0] != 0 {
+                params.add_frozen(name, tensor);
+            } else {
+                params.add(name, tensor);
+            }
+        }
+        Ok(params)
+    }
+
+    /// Restore values into an *existing* registry by parameter name (the
+    /// architecture must have been rebuilt with the same layer names).
+    /// Returns the number of parameters restored; unknown names in the
+    /// checkpoint are ignored, missing ones are an error.
+    pub fn load_named<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        let loaded = Params::load(r)?;
+        let mut restored = 0;
+        let my_ids: Vec<_> = self.ids().collect();
+        for id in my_ids {
+            let name = self.name(id).to_string();
+            let Some(src) = loaded.ids().find(|&l| loaded.name(l) == name) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("checkpoint is missing parameter '{name}'"),
+                ));
+            };
+            let value = loaded.value(src);
+            if value.shape() != self.value(id).shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shape mismatch for '{name}': checkpoint {:?} vs model {:?}",
+                        value.shape(),
+                        self.value(id).shape()
+                    ),
+                ));
+            }
+            *self.value_mut(id) = value.clone();
+            restored += 1;
+        }
+        Ok(restored)
+    }
+}
+
+/// Convenience: serialize a registry to bytes.
+pub fn params_to_bytes(params: &Params) -> Vec<u8> {
+    let mut buf = Vec::new();
+    params.save(&mut buf).expect("writing to Vec cannot fail");
+    buf
+}
+
+/// Convenience: deserialize a registry from bytes.
+pub fn params_from_bytes(bytes: &[u8]) -> io::Result<Params> {
+    Params::load(&mut io::Cursor::new(bytes))
+}
+
+/// Keep `Rc` in scope for doc purposes (values are shared internally).
+#[allow(dead_code)]
+type _Shared = Rc<Tensor>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> Params {
+        let mut p = Params::new();
+        p.add("enc.w", Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.25], 2, 2));
+        p.add_frozen("rho", Tensor::from_vec(vec![9.0, 8.0, 7.0], 1, 3));
+        p.add("dec.topics", Tensor::zeros(3, 1));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample_params();
+        let bytes = params_to_bytes(&p);
+        let q = params_from_bytes(&bytes).unwrap();
+        assert_eq!(q.len(), 3);
+        for (a, b) in p.ids().zip(q.ids()) {
+            assert_eq!(p.name(a), q.name(b));
+            assert_eq!(p.is_frozen(a), q.is_frozen(b));
+            assert_eq!(p.value(a), q.value(b));
+        }
+    }
+
+    #[test]
+    fn load_named_restores_by_name() {
+        let trained = sample_params();
+        let bytes = params_to_bytes(&trained);
+        // Fresh architecture with the same names but different values.
+        let mut fresh = Params::new();
+        fresh.add("enc.w", Tensor::zeros(2, 2));
+        fresh.add_frozen("rho", Tensor::zeros(1, 3));
+        fresh.add("dec.topics", Tensor::ones(3, 1));
+        let restored = fresh
+            .load_named(&mut io::Cursor::new(&bytes))
+            .unwrap();
+        assert_eq!(restored, 3);
+        let w = fresh.ids().next().unwrap();
+        assert_eq!(fresh.value(w).data(), &[1.0, -2.0, 3.5, 0.25]);
+    }
+
+    #[test]
+    fn load_named_rejects_shape_mismatch() {
+        let bytes = params_to_bytes(&sample_params());
+        let mut fresh = Params::new();
+        fresh.add("enc.w", Tensor::zeros(3, 3)); // wrong shape
+        let err = fresh.load_named(&mut io::Cursor::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn load_named_rejects_missing_param() {
+        let bytes = params_to_bytes(&sample_params());
+        let mut fresh = Params::new();
+        fresh.add("brand.new", Tensor::zeros(1, 1));
+        let err = fresh.load_named(&mut io::Cursor::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("missing parameter"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = params_from_bytes(b"NOTACKPTxxxx").unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::from_vec(vec![0.5, -0.25, f32::MAX, f32::MIN_POSITIVE], 4, 1);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back = read_tensor(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,283 @@
+//! Neural-network layers built on the autodiff primitives.
+//!
+//! Layers own [`ParamId`] handles; the actual tensors live in a shared
+//! [`Params`] registry so a single optimizer can update a whole model.
+
+use std::cell::RefCell;
+
+use rand::Rng;
+
+use crate::params::{xavier_uniform, ParamId, Params};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Activation functions used by the models in this workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    /// The paper's encoder activation.
+    Selu,
+    Tanh,
+    Sigmoid,
+    Softplus,
+    /// No-op.
+    Identity,
+}
+
+impl Activation {
+    pub fn apply<'t>(self, x: Var<'t>) -> Var<'t> {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Selu => x.selu(),
+            Activation::Tanh => x.tanh_act(),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Softplus => x.softplus(),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Fully-connected layer `y = x W + b` with `W: (in, out)`.
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    pub fn forward<'t>(&self, tape: &'t Tape, params: &Params, x: Var<'t>) -> Var<'t> {
+        let w = tape.param(params, self.w);
+        let b = tape.param(params, self.b);
+        x.matmul(w).add(b)
+    }
+}
+
+/// 1-D batch normalization with running statistics, matching the paper's
+/// encoder (`BatchNorm` after the MLP).
+pub struct BatchNorm1d {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub eps: f32,
+    pub momentum: f32,
+    running_mean: RefCell<Tensor>,
+    running_var: RefCell<Tensor>,
+}
+
+impl BatchNorm1d {
+    pub fn new(params: &mut Params, name: &str, dim: usize) -> Self {
+        let gamma = params.add(format!("{name}.gamma"), Tensor::ones(1, dim));
+        let beta = params.add(format!("{name}.beta"), Tensor::zeros(1, dim));
+        Self {
+            gamma,
+            beta,
+            eps: 1e-5,
+            momentum: 0.1,
+            running_mean: RefCell::new(Tensor::zeros(1, dim)),
+            running_var: RefCell::new(Tensor::ones(1, dim)),
+        }
+    }
+
+    /// Forward pass. In training mode, normalizes by batch statistics
+    /// (differentiably, so gradients flow through mean and variance) and
+    /// updates running statistics; in eval mode, uses the running stats.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        params: &Params,
+        x: Var<'t>,
+        training: bool,
+    ) -> Var<'t> {
+        let gamma = tape.param(params, self.gamma);
+        let beta = tape.param(params, self.beta);
+        if training {
+            let mu = x.mean_axis0();
+            let centered = x.sub(mu);
+            let var = centered.square().mean_axis0();
+            let normed = centered.div(var.add_scalar(self.eps).sqrt_eps(1e-12));
+            // Update running stats from the concrete batch values (no grad).
+            {
+                let mut rm = self.running_mean.borrow_mut();
+                let mut rv = self.running_var.borrow_mut();
+                let mu_v = mu.value();
+                let var_v = var.value();
+                let m = self.momentum;
+                for i in 0..rm.numel() {
+                    rm.data_mut()[i] = (1.0 - m) * rm.data()[i] + m * mu_v.data()[i];
+                    rv.data_mut()[i] = (1.0 - m) * rv.data()[i] + m * var_v.data()[i];
+                }
+            }
+            normed.mul(gamma).add(beta)
+        } else {
+            let rm = std::rc::Rc::new(self.running_mean.borrow().clone());
+            let rv = self.running_var.borrow();
+            let inv_std =
+                std::rc::Rc::new(rv.map(|v| 1.0 / (v + self.eps).sqrt()));
+            let neg_rm = std::rc::Rc::new(rm.map(|v| -v));
+            x.add_const(&neg_rm).mul_const(&inv_std).mul(gamma).add(beta)
+        }
+    }
+}
+
+/// Multi-layer perceptron: `depth` hidden layers with the given activation.
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+    pub activation: Activation,
+}
+
+impl Mlp {
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        depth: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(depth >= 1, "MLP depth must be >= 1");
+        let mut layers = Vec::with_capacity(depth);
+        let mut d = in_dim;
+        for i in 0..depth {
+            layers.push(Linear::new(params, &format!("{name}.l{i}"), d, hidden, rng));
+            d = hidden;
+        }
+        Self { layers, activation }
+    }
+
+    pub fn forward<'t>(&self, tape: &'t Tape, params: &Params, mut x: Var<'t>) -> Var<'t> {
+        for layer in &self.layers {
+            x = self.activation.apply(layer.forward(tape, params, x));
+        }
+        x
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let lin = Linear::new(&mut params, "l", 4, 7, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(3, 4));
+        let y = lin.forward(&tape, &params, x);
+        assert_eq!(y.shape(), (3, 7));
+    }
+
+    #[test]
+    fn mlp_learns_xor_ish_regression() {
+        // Fit y = x0 * x1 on a tiny grid — checks end-to-end layer training.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let mlp = Mlp::new(&mut params, "mlp", 2, 16, 2, Activation::Tanh, &mut rng);
+        let head = Linear::new(&mut params, "head", 16, 1, &mut rng);
+        let xs: Vec<f32> = vec![
+            0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5, 0.2, 0.8,
+        ];
+        let ys: Vec<f32> = xs.chunks(2).map(|p| p[0] * p[1]).collect();
+        let x = Tensor::from_vec(xs, 6, 2);
+        let y_neg = std::rc::Rc::new(Tensor::col_vector(ys.iter().map(|v| -v).collect()));
+        let mut opt = Adam::new(0.01);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..300 {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let h = mlp.forward(&tape, &params, xv);
+            let pred = head.forward(&tape, &params, h);
+            let loss = pred.add_const(&y_neg).square().mean_all();
+            final_loss = loss.scalar_value();
+            let grads = tape.backward(loss);
+            grads.accumulate_into(&mut params);
+            opt.step(&mut params);
+        }
+        assert!(final_loss < 1e-3, "final loss {final_loss}");
+    }
+
+    #[test]
+    fn batchnorm_normalizes_in_training() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let bn = BatchNorm1d::new(&mut params, "bn", 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::randn(64, 4, 5.0, &mut rng).map(|v| v + 10.0));
+        let y = bn.forward(&tape, &params, x, true);
+        let yv = y.value();
+        // Per-column mean ~0, var ~1 after normalization (gamma=1, beta=0).
+        for c in 0..4 {
+            let col: Vec<f32> = (0..64).map(|r| yv.get(r, c)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 64.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-3, "col {c} mean {mean}");
+            assert!((var - 1.0).abs() < 0.05, "col {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = Params::new();
+        let bn = BatchNorm1d::new(&mut params, "bn", 3);
+        // Run several training batches to accumulate running stats.
+        for _ in 0..50 {
+            let tape = Tape::new();
+            let x = tape.constant(Tensor::randn(32, 3, 2.0, &mut rng).map(|v| v + 5.0));
+            let _ = bn.forward(&tape, &params, x, true);
+        }
+        // Eval on shifted data: output should be approx (x - 5) / 2.
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::full(1, 3, 5.0));
+        let y = bn.forward(&tape, &params, x, false);
+        for &v in y.value().data() {
+            assert!(v.abs() < 0.3, "eval output {v} not near 0");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = Params::new();
+        let bn = BatchNorm1d::new(&mut params, "bn", 2);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::randn(8, 2, 1.0, &mut rng));
+        let y = bn.forward(&tape, &params, x, true);
+        let loss = y.square().sum_all();
+        let grads = tape.backward(loss);
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    fn activation_identity_is_noop() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones(2, 2));
+        let y = Activation::Identity.apply(x);
+        assert_eq!(*x.value(), *y.value());
+    }
+}

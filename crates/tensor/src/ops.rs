@@ -1,0 +1,876 @@
+//! Differentiable operations on [`Var`] handles.
+//!
+//! Every op follows the same pattern: compute the output tensor eagerly,
+//! capture the `Rc` values needed for the backward pass, and push a node
+//! whose backward closure scatters gradients to parents — skipping any
+//! parent that does not require grad (this matters: the NPMI similarity
+//! matrix is a `V x V` constant and must never receive a gradient buffer).
+//!
+//! Broadcasting: binary ops accept operands whose shapes are equal, or where
+//! one side is a row vector `(1, m)`, a column vector `(n, 1)`, or a scalar
+//! `(1, 1)` relative to the other. Gradients are summed over broadcast axes.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::tape::{GradSink, Var};
+use crate::tensor::Tensor;
+
+/// SELU activation constants (Klambauer et al. 2017), used by the paper's
+/// encoder MLP.
+pub const SELU_LAMBDA: f32 = 1.050_700_98;
+pub const SELU_ALPHA: f32 = 1.673_263_2;
+
+// ---------------------------------------------------------------------------
+// Broadcast helpers (tensor level)
+// ---------------------------------------------------------------------------
+
+fn broadcast_shape(a: (usize, usize), b: (usize, usize)) -> (usize, usize) {
+    let rows = if a.0 == b.0 {
+        a.0
+    } else if a.0 == 1 {
+        b.0
+    } else if b.0 == 1 {
+        a.0
+    } else {
+        panic!("incompatible broadcast rows: {a:?} vs {b:?}")
+    };
+    let cols = if a.1 == b.1 {
+        a.1
+    } else if a.1 == 1 {
+        b.1
+    } else if b.1 == 1 {
+        a.1
+    } else {
+        panic!("incompatible broadcast cols: {a:?} vs {b:?}")
+    };
+    (rows, cols)
+}
+
+/// Apply `f` elementwise over the broadcast of `a` and `b`.
+pub(crate) fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let (rows, cols) = broadcast_shape(a.shape(), b.shape());
+    if a.shape() == b.shape() {
+        return a.zip(b, f);
+    }
+    let mut out = Tensor::zeros(rows, cols);
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    for r in 0..rows {
+        let a_row = a.row(if ar == 1 { 0 } else { r });
+        let b_row = b.row(if br == 1 { 0 } else { r });
+        let o_row = out.row_mut(r);
+        for c in 0..cols {
+            let av = a_row[if ac == 1 { 0 } else { c }];
+            let bv = b_row[if bc == 1 { 0 } else { c }];
+            o_row[c] = f(av, bv);
+        }
+    }
+    out
+}
+
+/// Sum `grad` over whichever axes were broadcast to reach `shape`.
+pub(crate) fn reduce_to_shape(grad: &Tensor, shape: (usize, usize)) -> Tensor {
+    if grad.shape() == shape {
+        return grad.clone();
+    }
+    let (gr, _gc) = grad.shape();
+    let (tr, tc) = shape;
+    let mut out = Tensor::zeros(tr, tc);
+    for r in 0..gr {
+        let g_row = grad.row(r);
+        let o_r = if tr == 1 { 0 } else { r };
+        let o_row = out.row_mut(o_r);
+        if tc == 1 {
+            o_row[0] += g_row.iter().sum::<f32>();
+        } else {
+            for (o, &g) in o_row.iter_mut().zip(g_row) {
+                *o += g;
+            }
+        }
+    }
+    out
+}
+
+fn sum_axis0_t(t: &Tensor) -> Tensor {
+    reduce_to_shape(t, (1, t.cols()))
+}
+
+fn sum_axis1_t(t: &Tensor) -> Tensor {
+    reduce_to_shape(t, (t.rows(), 1))
+}
+
+// ---------------------------------------------------------------------------
+// Op implementations
+// ---------------------------------------------------------------------------
+
+impl<'t> Var<'t> {
+    fn unary(
+        self,
+        out: Tensor,
+        bw: impl Fn(&Tensor, &mut GradSink, usize) + 'static,
+    ) -> Var<'t> {
+        let req = self.requires_grad();
+        let id = self.id;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| bw(g, sink, id)) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Elementwise/broadcast addition.
+    pub fn add(self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let out = broadcast_zip(&av, &bv, |a, b| a + b);
+        let (a_req, b_req) = (self.requires_grad(), other.requires_grad());
+        let (a_id, b_id) = (self.id, other.id);
+        let (a_shape, b_shape) = (av.shape(), bv.shape());
+        let req = a_req || b_req;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| {
+                if a_req {
+                    sink.add(a_id, reduce_to_shape(g, a_shape));
+                }
+                if b_req {
+                    sink.add(b_id, reduce_to_shape(g, b_shape));
+                }
+            }) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Elementwise/broadcast subtraction.
+    pub fn sub(self, other: Var<'t>) -> Var<'t> {
+        self.add(other.scale(-1.0))
+    }
+
+    /// Elementwise/broadcast multiplication.
+    pub fn mul(self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let out = broadcast_zip(&av, &bv, |a, b| a * b);
+        let (a_req, b_req) = (self.requires_grad(), other.requires_grad());
+        let (a_id, b_id) = (self.id, other.id);
+        let (a_shape, b_shape) = (av.shape(), bv.shape());
+        let req = a_req || b_req;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| {
+                if a_req {
+                    let gb = broadcast_zip(g, &bv, |g, b| g * b);
+                    sink.add(a_id, reduce_to_shape(&gb, a_shape));
+                }
+                if b_req {
+                    let ga = broadcast_zip(g, &av, |g, a| g * a);
+                    sink.add(b_id, reduce_to_shape(&ga, b_shape));
+                }
+            }) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Elementwise/broadcast division `self / other`.
+    pub fn div(self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let out = broadcast_zip(&av, &bv, |a, b| a / b);
+        let (a_req, b_req) = (self.requires_grad(), other.requires_grad());
+        let (a_id, b_id) = (self.id, other.id);
+        let (a_shape, b_shape) = (av.shape(), bv.shape());
+        let req = a_req || b_req;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| {
+                if a_req {
+                    let gb = broadcast_zip(g, &bv, |g, b| g / b);
+                    sink.add(a_id, reduce_to_shape(&gb, a_shape));
+                }
+                if b_req {
+                    let num = broadcast_zip(g, &av, |g, a| g * a);
+                    let gb = broadcast_zip(&num, &bv, |n, b| -n / (b * b));
+                    sink.add(b_id, reduce_to_shape(&gb, b_shape));
+                }
+            }) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Multiply all elements by a compile-time-known scalar.
+    pub fn scale(self, alpha: f32) -> Var<'t> {
+        let out = self.value().map(|x| x * alpha);
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.map(|x| x * alpha));
+        })
+    }
+
+    /// Add a scalar to all elements.
+    pub fn add_scalar(self, c: f32) -> Var<'t> {
+        let out = self.value().map(|x| x + c);
+        self.unary(out, move |g, sink, id| sink.add(id, g.clone()))
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Var<'t> {
+        self.scale(-1.0)
+    }
+
+    /// Matrix product `self @ other`.
+    pub fn matmul(self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let out = av.matmul(&bv);
+        let (a_req, b_req) = (self.requires_grad(), other.requires_grad());
+        let (a_id, b_id) = (self.id, other.id);
+        let req = a_req || b_req;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| {
+                if a_req {
+                    sink.add(a_id, g.matmul_nt(&bv));
+                }
+                if b_req {
+                    sink.add(b_id, av.matmul_tn(g));
+                }
+            }) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Matrix product `self @ other.T`.
+    pub fn matmul_nt(self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let out = av.matmul_nt(&bv);
+        let (a_req, b_req) = (self.requires_grad(), other.requires_grad());
+        let (a_id, b_id) = (self.id, other.id);
+        let req = a_req || b_req;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| {
+                if a_req {
+                    // dA (m,k) = G (m,n) · B (n,k)
+                    sink.add(a_id, g.matmul(&bv));
+                }
+                if b_req {
+                    // dB (n,k) = Gᵀ (n,m) · A (m,k)
+                    sink.add(b_id, g.matmul_tn(&av));
+                }
+            }) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Matrix product `self.T @ other`.
+    pub fn matmul_tn(self, other: Var<'t>) -> Var<'t> {
+        let (av, bv) = (self.value(), other.value());
+        let out = av.matmul_tn(&bv);
+        let (a_req, b_req) = (self.requires_grad(), other.requires_grad());
+        let (a_id, b_id) = (self.id, other.id);
+        let req = a_req || b_req;
+        let backward = req.then(|| {
+            Box::new(move |g: &Tensor, sink: &mut GradSink| {
+                if a_req {
+                    // A is (k,m); dA = B (k,n) · Gᵀ (n,m)
+                    sink.add(a_id, bv.matmul_nt(g));
+                }
+                if b_req {
+                    // dB (k,n) = A (k,m) · G (m,n)
+                    sink.add(b_id, av.matmul(g));
+                }
+            }) as _
+        });
+        self.tape().push(out, req, backward)
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(self) -> Var<'t> {
+        let out = self.value().transposed();
+        self.unary(out, |g, sink, id| sink.add(id, g.transposed()))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(self) -> Var<'t> {
+        let out = Rc::new(self.value().map(f32::exp));
+        let y = out.clone();
+        self.unary((*out).clone(), move |g, sink, id| {
+            sink.add(id, g.zip(&y, |g, y| g * y));
+        })
+    }
+
+    /// Elementwise natural log with the input clamped at `eps` for safety.
+    pub fn ln_clamped(self, eps: f32) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v.max(eps).ln());
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.zip(&x, move |g, x| g / x.max(eps)));
+        })
+    }
+
+    /// Elementwise square.
+    pub fn square(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v * v);
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.zip(&x, |g, x| 2.0 * g * x));
+        })
+    }
+
+    /// Elementwise square root of `max(x, 0)`, with gradient clamped near 0.
+    pub fn sqrt_eps(self, eps: f32) -> Var<'t> {
+        let out = Rc::new(self.value().map(|v| v.max(0.0).sqrt()));
+        let y = out.clone();
+        self.unary((*out).clone(), move |g, sink, id| {
+            sink.add(id, g.zip(&y, move |g, y| 0.5 * g / (y + eps)));
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let out = Rc::new(self.value().map(|v| 1.0 / (1.0 + (-v).exp())));
+        let y = out.clone();
+        self.unary((*out).clone(), move |g, sink, id| {
+            sink.add(id, g.zip(&y, |g, y| g * y * (1.0 - y)));
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_act(self) -> Var<'t> {
+        let out = Rc::new(self.value().map(f32::tanh));
+        let y = out.clone();
+        self.unary((*out).clone(), move |g, sink, id| {
+            sink.add(id, g.zip(&y, |g, y| g * (1.0 - y * y)));
+        })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v.max(0.0));
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.zip(&x, |g, x| if x > 0.0 { g } else { 0.0 }));
+        })
+    }
+
+    /// Scaled exponential linear unit — the paper's encoder activation.
+    pub fn selu(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| {
+            if v > 0.0 {
+                SELU_LAMBDA * v
+            } else {
+                SELU_LAMBDA * SELU_ALPHA * (v.exp() - 1.0)
+            }
+        });
+        self.unary(out, move |g, sink, id| {
+            sink.add(
+                id,
+                g.zip(&x, |g, x| {
+                    if x > 0.0 {
+                        g * SELU_LAMBDA
+                    } else {
+                        g * SELU_LAMBDA * SELU_ALPHA * x.exp()
+                    }
+                }),
+            );
+        })
+    }
+
+    /// Numerically-stable softplus `ln(1 + e^x)`.
+    pub fn softplus(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v.max(0.0) + (1.0 + (-v.abs()).exp()).ln());
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.zip(&x, |g, x| g / (1.0 + (-x).exp())));
+        })
+    }
+
+    /// Clamp below at `c` (gradient passes only where `x > c`).
+    pub fn clamp_min(self, c: f32) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v.max(c));
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.zip(&x, move |g, x| if x > c { g } else { 0.0 }));
+        })
+    }
+
+    /// Row-wise softmax with temperature.
+    pub fn softmax_rows(self, temperature: f32) -> Var<'t> {
+        let out = Rc::new(self.value().softmax_rows(temperature));
+        let y = out.clone();
+        self.unary((*out).clone(), move |g, sink, id| {
+            // dx = (y ⊙ (g - rowsum(g ⊙ y))) / T
+            let gy = g.zip(&y, |g, y| g * y);
+            let row_dot = sum_axis1_t(&gy);
+            let mut dx = Tensor::zeros(g.rows(), g.cols());
+            let inv_t = 1.0 / temperature;
+            for r in 0..g.rows() {
+                let rd = row_dot.get(r, 0);
+                let (g_row, y_row, d_row) = (g.row(r), y.row(r), dx.row_mut(r));
+                for c in 0..d_row.len() {
+                    d_row[c] = y_row[c] * (g_row[c] - rd) * inv_t;
+                }
+            }
+            sink.add(id, dx);
+        })
+    }
+
+    /// Row-wise log-softmax with temperature.
+    pub fn log_softmax_rows(self, temperature: f32) -> Var<'t> {
+        let x = self.value();
+        let soft = Rc::new(x.softmax_rows(temperature));
+        let out = soft.map(|p| p.max(1e-30).ln());
+        let s = soft.clone();
+        self.unary(out, move |g, sink, id| {
+            // dx = (g - softmax(x/T) * rowsum(g)) / T
+            let row_sum = sum_axis1_t(g);
+            let mut dx = Tensor::zeros(g.rows(), g.cols());
+            let inv_t = 1.0 / temperature;
+            for r in 0..g.rows() {
+                let rs = row_sum.get(r, 0);
+                let (g_row, s_row, d_row) = (g.row(r), s.row(r), dx.row_mut(r));
+                for c in 0..d_row.len() {
+                    d_row[c] = (g_row[c] - s_row[c] * rs) * inv_t;
+                }
+            }
+            sink.add(id, dx);
+        })
+    }
+
+    /// Row-wise log-sum-exp, producing an `(n, 1)` column.
+    pub fn logsumexp_rows(self) -> Var<'t> {
+        let x = self.value();
+        let mut out = Tensor::zeros(x.rows(), 1);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                out.set(r, 0, f32::NEG_INFINITY);
+                continue;
+            }
+            let s: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            out.set(r, 0, m + s.ln());
+        }
+        self.unary(out, move |g, sink, id| {
+            // dx_ij = g_i * softmax(x_i)_j
+            let soft = x.softmax_rows(1.0);
+            let mut dx = Tensor::zeros(x.rows(), x.cols());
+            for r in 0..x.rows() {
+                let gv = g.get(r, 0);
+                let (s_row, d_row) = (soft.row(r), dx.row_mut(r));
+                for c in 0..d_row.len() {
+                    d_row[c] = gv * s_row[c];
+                }
+            }
+            sink.add(id, dx);
+        })
+    }
+
+    /// Sum of all elements, producing a `1x1` scalar.
+    pub fn sum_all(self) -> Var<'t> {
+        let x = self.value();
+        let shape = x.shape();
+        let out = Tensor::scalar(x.sum());
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, Tensor::full(shape.0, shape.1, g.data()[0]));
+        })
+    }
+
+    /// Mean of all elements, producing a `1x1` scalar.
+    pub fn mean_all(self) -> Var<'t> {
+        let n = self.value().numel() as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+
+    /// Column sums, producing a `(1, m)` row.
+    pub fn sum_axis0(self) -> Var<'t> {
+        let x = self.value();
+        let rows = x.rows();
+        let out = sum_axis0_t(&x);
+        self.unary(out, move |g, sink, id| {
+            let mut dx = Tensor::zeros(rows, g.cols());
+            for r in 0..rows {
+                dx.row_mut(r).copy_from_slice(g.row(0));
+            }
+            sink.add(id, dx);
+        })
+    }
+
+    /// Column means, producing a `(1, m)` row.
+    pub fn mean_axis0(self) -> Var<'t> {
+        let n = self.value().rows() as f32;
+        self.sum_axis0().scale(1.0 / n)
+    }
+
+    /// Row sums, producing an `(n, 1)` column.
+    pub fn sum_axis1(self) -> Var<'t> {
+        let x = self.value();
+        let cols = x.cols();
+        let out = sum_axis1_t(&x);
+        self.unary(out, move |g, sink, id| {
+            let mut dx = Tensor::zeros(g.rows(), cols);
+            for r in 0..g.rows() {
+                let gv = g.get(r, 0);
+                dx.row_mut(r).fill(gv);
+            }
+            sink.add(id, dx);
+        })
+    }
+
+    /// Row means, producing an `(n, 1)` column.
+    pub fn mean_axis1(self) -> Var<'t> {
+        let n = self.value().cols() as f32;
+        self.sum_axis1().scale(1.0 / n)
+    }
+
+    /// Inverted-scaling dropout. Identity when `training` is false or `p == 0`.
+    pub fn dropout<R: Rng>(self, p: f32, training: bool, rng: &mut R) -> Var<'t> {
+        if !training || p <= 0.0 {
+            return self;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let x = self.value();
+        let keep = 1.0 - p;
+        let inv_keep = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.gen::<f32>() < keep { inv_keep } else { 0.0 })
+            .collect();
+        let mask = Rc::new(Tensor::from_vec(mask_data, x.rows(), x.cols()));
+        let out = x.zip(&mask, |x, m| x * m);
+        let m = mask.clone();
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.zip(&m, |g, m| g * m));
+        })
+    }
+
+    /// Elementwise multiply by a constant tensor (no gradient into the
+    /// constant). Supports the same broadcasting as [`Var::mul`].
+    pub fn mul_const(self, c: &Rc<Tensor>) -> Var<'t> {
+        let x = self.value();
+        let out = broadcast_zip(&x, c, |a, b| a * b);
+        let shape = x.shape();
+        let c = c.clone();
+        self.unary(out, move |g, sink, id| {
+            let gb = broadcast_zip(g, &c, |g, c| g * c);
+            sink.add(id, reduce_to_shape(&gb, shape));
+        })
+    }
+
+    /// Elementwise add a constant tensor (no gradient into the constant).
+    pub fn add_const(self, c: &Rc<Tensor>) -> Var<'t> {
+        let x = self.value();
+        let out = broadcast_zip(&x, c, |a, b| a + b);
+        let shape = x.shape();
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, reduce_to_shape(g, shape));
+        })
+    }
+
+    /// Matrix product with a constant right-hand side: `self @ c`.
+    pub fn matmul_const(self, c: &Rc<Tensor>) -> Var<'t> {
+        let x = self.value();
+        let out = x.matmul(c);
+        let c = c.clone();
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.matmul_nt(&c));
+        })
+    }
+
+    /// Matrix product with a constant transposed right-hand side: `self @ cᵀ`.
+    pub fn matmul_nt_const(self, c: &Rc<Tensor>) -> Var<'t> {
+        let x = self.value();
+        let out = x.matmul_nt(c);
+        let c = c.clone();
+        self.unary(out, move |g, sink, id| {
+            sink.add(id, g.matmul(&c));
+        })
+    }
+}
+
+/// Stack vars vertically (all must share a tape and a column count).
+pub fn concat_rows<'t>(vars: &[Var<'t>]) -> Var<'t> {
+    assert!(!vars.is_empty(), "concat_rows needs at least one input");
+    let tape = vars[0].tape();
+    let values: Vec<Rc<Tensor>> = vars.iter().map(|v| v.value()).collect();
+    let cols = values[0].cols();
+    let total_rows: usize = values.iter().map(|v| v.rows()).sum();
+    let mut out = Tensor::zeros(total_rows, cols);
+    let mut r0 = 0;
+    for v in &values {
+        assert_eq!(v.cols(), cols, "concat_rows column mismatch");
+        for r in 0..v.rows() {
+            out.row_mut(r0 + r).copy_from_slice(v.row(r));
+        }
+        r0 += v.rows();
+    }
+    let meta: Vec<(usize, usize, bool)> = vars
+        .iter()
+        .zip(&values)
+        .map(|(v, val)| (v.id, val.rows(), v.requires_grad()))
+        .collect();
+    let req = meta.iter().any(|&(_, _, r)| r);
+    let backward = req.then(|| {
+        Box::new(move |g: &Tensor, sink: &mut GradSink| {
+            let mut r0 = 0;
+            for &(id, rows, needs) in &meta {
+                if needs {
+                    let mut piece = Tensor::zeros(rows, g.cols());
+                    for r in 0..rows {
+                        piece.row_mut(r).copy_from_slice(g.row(r0 + r));
+                    }
+                    sink.add(id, piece);
+                }
+                r0 += rows;
+            }
+        }) as _
+    });
+    tape.push(out, req, backward)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check for a scalar-valued function of one
+    /// tensor input.
+    fn grad_check(
+        input: Tensor,
+        f: impl for<'a> Fn(&'a Tape, crate::tape::Var<'a>) -> crate::tape::Var<'a>,
+        tol: f32,
+    ) {
+        let tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = f(&tape, x);
+        let grads = tape.backward(loss);
+        let analytic = grads.get(x).expect("no grad on input").clone();
+
+        let h = 1e-3f32;
+        for i in 0..input.numel() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= h;
+            let tape_p = Tape::new();
+            let lp = f(&tape_p, tape_p.leaf(plus)).scalar_value();
+            let tape_m = Tape::new();
+            let lm = f(&tape_m, tape_m.leaf(minus)).scalar_value();
+            let numeric = (lp - lm) / (2.0 * h);
+            let a = analytic.data()[i];
+            let denom = 1.0f32.max(numeric.abs()).max(a.abs());
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "grad mismatch at {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    fn rand_t(r: usize, c: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(r, c, 0.7, &mut rng)
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        grad_check(rand_t(3, 4, 1), |_t, x| x.mul(x).add(x.scale(3.0)).sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn grad_broadcast_row_add() {
+        // x (1,4) broadcast against a constant (3,4).
+        grad_check(rand_t(1, 4, 2), |t, x| {
+            let c = t.constant(rand_t(3, 4, 3));
+            c.add(x).square().sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_broadcast_col_mul() {
+        grad_check(rand_t(3, 1, 4), |t, x| {
+            let c = t.constant(rand_t(3, 5, 5));
+            c.mul(x).sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_div() {
+        grad_check(rand_t(2, 3, 6).map(|v| v + 3.0), |t, x| {
+            let c = t.constant(rand_t(2, 3, 7).map(|v| v + 3.0));
+            c.div(x).sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_matmul_both_sides() {
+        grad_check(rand_t(3, 4, 8), |t, x| {
+            let b = t.constant(rand_t(4, 2, 9));
+            x.matmul(b).square().sum_all()
+        }, 1e-2);
+        grad_check(rand_t(4, 2, 10), |t, x| {
+            let a = t.constant(rand_t(3, 4, 11));
+            a.matmul(x).square().sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_matmul_nt_tn() {
+        grad_check(rand_t(3, 4, 12), |t, x| {
+            let b = t.constant(rand_t(5, 4, 13));
+            x.matmul_nt(b).square().sum_all()
+        }, 1e-2);
+        grad_check(rand_t(4, 3, 14), |t, x| {
+            let b = t.constant(rand_t(4, 5, 15));
+            x.matmul_tn(b).square().sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_exp_ln() {
+        grad_check(rand_t(2, 3, 16), |_t, x| x.exp().sum_all(), 1e-2);
+        grad_check(rand_t(2, 3, 17).map(|v| v.abs() + 0.5), |_t, x| {
+            x.ln_clamped(1e-8).sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_activations() {
+        grad_check(rand_t(2, 5, 18), |_t, x| x.sigmoid().sum_all(), 1e-2);
+        grad_check(rand_t(2, 5, 19), |_t, x| x.tanh_act().sum_all(), 1e-2);
+        grad_check(rand_t(2, 5, 20).map(|v| v + 0.01), |_t, x| x.relu().sum_all(), 2e-2);
+        grad_check(rand_t(2, 5, 21), |_t, x| x.selu().sum_all(), 1e-2);
+        grad_check(rand_t(2, 5, 22), |_t, x| x.softplus().sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn grad_softmax_and_log_softmax() {
+        grad_check(rand_t(3, 5, 23), |t, x| {
+            let w = t.constant(rand_t(3, 5, 24));
+            x.softmax_rows(1.0).mul(w).sum_all()
+        }, 1e-2);
+        grad_check(rand_t(3, 5, 25), |t, x| {
+            let w = t.constant(rand_t(3, 5, 26));
+            x.log_softmax_rows(0.7).mul(w).sum_all()
+        }, 1e-2);
+        grad_check(rand_t(2, 4, 27), |t, x| {
+            let w = t.constant(rand_t(2, 4, 28));
+            x.softmax_rows(0.3).mul(w).sum_all()
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_logsumexp() {
+        grad_check(rand_t(3, 6, 29), |_t, x| x.logsumexp_rows().sum_all(), 1e-2);
+    }
+
+    #[test]
+    fn grad_reductions() {
+        grad_check(rand_t(3, 4, 30), |_t, x| x.mean_all(), 1e-2);
+        grad_check(rand_t(3, 4, 31), |t, x| {
+            let w = t.constant(rand_t(1, 4, 32));
+            x.sum_axis0().mul(w).sum_all()
+        }, 1e-2);
+        grad_check(rand_t(3, 4, 33), |t, x| {
+            let w = t.constant(rand_t(3, 1, 34));
+            x.sum_axis1().mul(w).sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_mul_const_and_matmul_const() {
+        let c = std::rc::Rc::new(rand_t(3, 4, 35));
+        grad_check(rand_t(3, 4, 36), {
+            let c = c.clone();
+            move |_t, x| x.mul_const(&c).sum_all()
+        }, 1e-2);
+        let m = std::rc::Rc::new(rand_t(4, 2, 37));
+        grad_check(rand_t(3, 4, 38), {
+            let m = m.clone();
+            move |_t, x| x.matmul_const(&m).square().sum_all()
+        }, 1e-2);
+        let mt = std::rc::Rc::new(rand_t(2, 4, 39));
+        grad_check(rand_t(3, 4, 40), {
+            let mt = mt.clone();
+            move |_t, x| x.matmul_nt_const(&mt).square().sum_all()
+        }, 1e-2);
+    }
+
+    #[test]
+    fn grad_clamp_and_sqrt() {
+        grad_check(rand_t(2, 4, 41).map(|v| v + 2.5), |_t, x| {
+            x.sqrt_eps(1e-8).sum_all()
+        }, 1e-2);
+        grad_check(rand_t(2, 4, 42), |_t, x| x.clamp_min(-0.1).square().sum_all(), 3e-2);
+    }
+
+    #[test]
+    fn dropout_identity_in_eval() {
+        let tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = tape.leaf(rand_t(4, 4, 43));
+        let y = x.dropout(0.5, false, &mut rng);
+        assert_eq!(*x.value(), *y.value());
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = tape.leaf(Tensor::ones(100, 100));
+        let y = x.dropout(0.3, true, &mut rng);
+        let mean = y.value().mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn no_grad_flows_into_constants() {
+        let tape = Tape::new();
+        let c = tape.constant(Tensor::ones(2, 2));
+        let x = tape.leaf(Tensor::full(2, 2, 3.0));
+        let loss = x.mul(c).sum_all();
+        let grads = tape.backward(loss);
+        assert!(grads.get(c).is_none());
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    fn gradient_accumulates_across_uses() {
+        // loss = sum(x) + sum(x) => grad = 2 everywhere.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(2, 2));
+        let loss = x.sum_all().add(x.sum_all());
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn concat_rows_stacks_and_routes_gradients() {
+        use super::concat_rows;
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::full(2, 3, 1.0));
+        let b = tape.constant(Tensor::full(1, 3, 2.0));
+        let c = tape.leaf(Tensor::full(2, 3, 3.0));
+        let cat = concat_rows(&[a, b, c]);
+        assert_eq!(cat.shape(), (5, 3));
+        assert_eq!(cat.value().row(2), &[2.0, 2.0, 2.0]);
+        // Weight rows differently so gradients are distinguishable.
+        let w = tape.constant(Tensor::from_vec(
+            (0..15).map(|i| i as f32).collect(),
+            5,
+            3,
+        ));
+        let loss = cat.mul(w).sum_all();
+        let grads = tape.backward(loss);
+        let ga = grads.get(a).unwrap();
+        let gc = grads.get(c).unwrap();
+        assert_eq!(ga.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(gc.row(1), &[12.0, 13.0, 14.0]);
+        assert!(grads.get(b).is_none());
+    }
+
+    #[test]
+    fn logsumexp_handles_neg_inf_masked_rows() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(
+            vec![0.0, f32::NEG_INFINITY, 1.0, f32::NEG_INFINITY],
+            2,
+            2,
+        ));
+        let y = x.logsumexp_rows();
+        assert!((y.value().get(0, 0) - 0.0).abs() < 1e-6);
+        assert!((y.value().get(1, 0) - 1.0).abs() < 1e-6);
+    }
+}

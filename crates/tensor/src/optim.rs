@@ -1,0 +1,227 @@
+//! First-order optimizers operating on a [`Params`] registry.
+
+use crate::params::Params;
+use crate::tensor::Tensor;
+
+/// Common interface for optimizers.
+pub trait Optimizer {
+    /// Apply one update using the gradients currently stored in `params`,
+    /// then zero them.
+    fn step(&mut self, params: &mut Params);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Replace the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params) {
+        if self.velocity.len() < params.len() {
+            self.velocity.resize(params.len(), None);
+        }
+        for id in params.ids().collect::<Vec<_>>() {
+            if params.is_frozen(id) {
+                continue;
+            }
+            let grad = params.grad(id).clone();
+            if self.momentum > 0.0 {
+                let vel = self.velocity[id.0].get_or_insert_with(|| {
+                    let (r, c) = grad.shape();
+                    Tensor::zeros(r, c)
+                });
+                vel.scale_inplace(self.momentum);
+                vel.add_assign(&grad);
+                params.value_mut(id).axpy(-self.lr, &vel.clone());
+            } else {
+                params.value_mut(id).axpy(-self.lr, &grad);
+            }
+        }
+        params.zero_grad();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction — the paper's optimizer
+/// (lr 5e-4).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params) {
+        self.t += 1;
+        if self.m.len() < params.len() {
+            self.m.resize(params.len(), None);
+            self.v.resize(params.len(), None);
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in params.ids().collect::<Vec<_>>() {
+            if params.is_frozen(id) {
+                continue;
+            }
+            let (rows, cols) = params.value(id).shape();
+            let m = self.m[id.0].get_or_insert_with(|| Tensor::zeros(rows, cols));
+            let v = self.v[id.0].get_or_insert_with(|| Tensor::zeros(rows, cols));
+            let lr = self.lr;
+            let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+
+            // Single fused loop: update moments and apply the step.
+            // Split borrows: grad is read-only while value is written.
+            let grad = params.grad(id).clone();
+            let value = params.value_mut(id);
+            let (vd, gd, md, vvd) = (
+                value.data_mut(),
+                grad.data(),
+                m.data_mut(),
+                v.data_mut(),
+            );
+            for i in 0..gd.len() {
+                let g = gd[i] + wd * vd[i];
+                md[i] = b1 * md[i] + (1.0 - b1) * g;
+                vvd[i] = b2 * vvd[i] + (1.0 - b2) * g * g;
+                let m_hat = md[i] / bc1;
+                let v_hat = vvd[i] / bc2;
+                vd[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        params.zero_grad();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    /// Minimize f(x) = ||x - target||^2 and check convergence.
+    fn optimize(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut params = Params::new();
+        let x = params.add("x", Tensor::full(1, 3, 5.0));
+        let target = std::rc::Rc::new(Tensor::from_vec(vec![1.0, -2.0, 0.5], 1, 3));
+        let mut last = f32::INFINITY;
+        for _ in 0..iters {
+            let tape = Tape::new();
+            let xv = tape.param(&params, x);
+            let diff = xv.add_const(&std::rc::Rc::new(target.map(|v| -v)));
+            let loss = diff.square().sum_all();
+            last = loss.scalar_value();
+            let grads = tape.backward(loss);
+            grads.accumulate_into(&mut params);
+            opt.step(&mut params);
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let loss = optimize(&mut opt, 100);
+        assert!(loss < 1e-6, "final loss {loss}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.01, 0.9);
+        let loss = optimize(&mut opt, 300);
+        assert!(loss < 1e-4, "final loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let loss = optimize(&mut opt, 200);
+        assert!(loss < 1e-4, "final loss {loss}");
+    }
+
+    #[test]
+    fn adam_skips_frozen() {
+        let mut params = Params::new();
+        let id = params.add_frozen("frozen", Tensor::ones(1, 2));
+        params.grad_mut(id).data_mut().copy_from_slice(&[10.0, 10.0]);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut params);
+        assert_eq!(params.value(id).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn step_zeroes_grads() {
+        let mut params = Params::new();
+        let id = params.add("w", Tensor::ones(1, 2));
+        params.grad_mut(id).data_mut().copy_from_slice(&[1.0, 1.0]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut params);
+        assert_eq!(params.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn set_learning_rate_roundtrip() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

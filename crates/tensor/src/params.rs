@@ -1,0 +1,227 @@
+//! Parameter storage shared across training steps.
+//!
+//! Layers own [`ParamId`] handles into a [`Params`] registry. Each training
+//! step binds parameters onto a fresh [`crate::Tape`] via [`crate::Tape::param`],
+//! and the optimizer consumes the accumulated `grad` buffers afterwards.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Handle to one tensor in a [`Params`] registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct Entry {
+    name: String,
+    value: Rc<Tensor>,
+    grad: Tensor,
+    frozen: bool,
+}
+
+/// Registry of named, trainable tensors with gradient buffers.
+#[derive(Default)]
+pub struct Params {
+    entries: Vec<Entry>,
+}
+
+impl std::fmt::Debug for Params {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Params");
+        for e in &self.entries {
+            d.field(&e.name, &e.value.shape());
+        }
+        d.finish()
+    }
+}
+
+impl Params {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a trainable tensor; returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.entries.push(Entry {
+            name: name.into(),
+            grad: Tensor::zeros(r, c),
+            value: Rc::new(value),
+            frozen: false,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Register a frozen tensor (e.g. pretrained word embeddings); it is
+    /// bound onto tapes as a constant and never updated.
+    pub fn add_frozen(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = self.add(name, value);
+        self.entries[id.0].frozen = true;
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.entries[id.0].frozen
+    }
+
+    /// Freeze or unfreeze a parameter.
+    pub fn set_frozen(&mut self, id: ParamId, frozen: bool) {
+        self.entries[id.0].frozen = frozen;
+    }
+
+    /// Shared handle to the current value.
+    pub fn value_rc(&self, id: ParamId) -> Rc<Tensor> {
+        self.entries[id.0].value.clone()
+    }
+
+    /// Borrow the current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable access to the value (copy-on-write if a tape still holds it).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        Rc::make_mut(&mut self.entries[id.0].value)
+    }
+
+    /// Borrow the gradient buffer.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable access to the gradient buffer.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Zero every gradient buffer.
+    pub fn zero_grad(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill(0.0);
+        }
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Global L2 norm of all (non-frozen) gradients.
+    pub fn grad_norm(&self) -> f32 {
+        let mut acc = 0.0f64;
+        for e in &self.entries {
+            if e.frozen {
+                continue;
+            }
+            for &g in e.grad.data() {
+                acc += (g as f64) * (g as f64);
+            }
+        }
+        acc.sqrt() as f32
+    }
+
+    /// Scale all gradients so their global norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for e in &mut self.entries {
+                if !e.frozen {
+                    e.grad.scale_inplace(s);
+                }
+            }
+        }
+        norm
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_trainable(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !e.frozen)
+            .map(|e| e.value.numel())
+            .sum()
+    }
+}
+
+/// Xavier/Glorot uniform initialization for a `(fan_in, fan_out)` matrix.
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(fan_in, fan_out, -limit, limit, rng)
+}
+
+/// He/Kaiming normal initialization for a `(fan_in, fan_out)` matrix.
+pub fn he_normal<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(fan_in, fan_out, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::ones(2, 3));
+        assert_eq!(p.name(id), "w");
+        assert_eq!(p.value(id).shape(), (2, 3));
+        assert_eq!(p.grad(id).shape(), (2, 3));
+        assert!(!p.is_frozen(id));
+        assert_eq!(p.num_trainable(), 6);
+    }
+
+    #[test]
+    fn frozen_not_counted_trainable() {
+        let mut p = Params::new();
+        p.add_frozen("emb", Tensor::ones(4, 4));
+        let w = p.add("w", Tensor::ones(2, 2));
+        assert_eq!(p.num_trainable(), 4);
+        p.set_frozen(w, true);
+        assert_eq!(p.num_trainable(), 0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::zeros(1, 2));
+        p.grad_mut(id).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let pre = p.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((p.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::zeros(1, 2));
+        p.grad_mut(id).data_mut().copy_from_slice(&[1.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(10, 10, &mut rng);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+    }
+}

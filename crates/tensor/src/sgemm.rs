@@ -1,0 +1,236 @@
+//! Blocked single-precision matrix-multiply kernels.
+//!
+//! Three layouts are provided so callers never materialize transposes in hot
+//! paths: `C = A·B` (nn), `C = A·Bᵀ` (nt), and `C = Aᵀ·B` (tn). All operate
+//! on row-major slices. The `nn` and `tn` kernels use an `i-k-j` loop order
+//! so the innermost loop is a unit-stride axpy over a row of `B`, which LLVM
+//! autovectorizes; the `nt` kernel is a blocked dot-product.
+//!
+//! When the work is large enough and more than one CPU is available, the row
+//! range is split across scoped crossbeam threads. On single-core hosts the
+//! kernels run inline with no thread overhead.
+
+/// Minimum number of multiply-adds before threading is considered.
+const PAR_THRESHOLD: usize = 1 << 22;
+
+fn worker_count(flops: usize) -> usize {
+    if flops < PAR_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// `C += A(m x k) · B(k x n)`, all row-major. `c` must be zeroed by the
+/// caller if a pure product is wanted.
+pub fn sgemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let workers = worker_count(m * k * n);
+    if workers <= 1 || m < workers {
+        sgemm_nn_range(0, m, k, n, a, b, c);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+    crossbeam::scope(|s| {
+        for (wi, c_chunk) in c.chunks_mut(chunk * n).enumerate() {
+            let row0 = wi * chunk;
+            let rows = c_chunk.len() / n;
+            let a = &a[row0 * k..(row0 + rows) * k];
+            s.spawn(move |_| sgemm_nn_range(0, rows, k, n, a, b, c_chunk));
+        }
+    })
+    .expect("sgemm worker panicked");
+}
+
+fn sgemm_nn_range(r0: usize, r1: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    // i-k-j with k blocked for L1 reuse of B rows.
+    const KB: usize = 64;
+    for kb in (0..k).step_by(KB) {
+        let kend = (kb + KB).min(k);
+        for i in r0..r1 {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C += A(m x k) · B(n x k)ᵀ`, producing `C (m x n)`.
+pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let workers = worker_count(m * k * n);
+    if workers <= 1 || m < workers {
+        sgemm_nt_range(m, k, n, a, b, c);
+        return;
+    }
+    let chunk = m.div_ceil(workers);
+    crossbeam::scope(|s| {
+        for (wi, c_chunk) in c.chunks_mut(chunk * n).enumerate() {
+            let row0 = wi * chunk;
+            let rows = c_chunk.len() / n;
+            let a = &a[row0 * k..(row0 + rows) * k];
+            s.spawn(move |_| sgemm_nt_range(rows, k, n, a, b, c_chunk));
+        }
+    })
+    .expect("sgemm worker panicked");
+}
+
+fn sgemm_nt_range(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            let mut acc2 = 0.0f32;
+            let mut acc3 = 0.0f32;
+            let mut idx = 0;
+            while idx + 4 <= k {
+                acc0 += a_row[idx] * b_row[idx];
+                acc1 += a_row[idx + 1] * b_row[idx + 1];
+                acc2 += a_row[idx + 2] * b_row[idx + 2];
+                acc3 += a_row[idx + 3] * b_row[idx + 3];
+                idx += 4;
+            }
+            let mut acc = acc0 + acc1 + acc2 + acc3;
+            while idx < k {
+                acc += a_row[idx] * b_row[idx];
+                idx += 1;
+            }
+            c_row[j] += acc;
+        }
+    }
+}
+
+/// `C += A(k x m)ᵀ · B(k x n)`, producing `C (m x n)`.
+pub fn sgemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    // k is the shared outer dimension; each k-step is a rank-1 update.
+    // This is inherently serial over output rows unless we split columns,
+    // which is rarely worth it at our scale — run inline.
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aik = a_row[i];
+            if aik == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        // Tiny LCG: deterministic without pulling rand into this module.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nn_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 64, 64)] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            sgemm_nn(m, k, n, &a, &b, &mut c);
+            let expect = naive_nn(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive() {
+        let (m, k, n) = (13, 21, 8);
+        let a = rand_vec(m * k, 3);
+        let bt = rand_vec(n * k, 4);
+        // Build B (k x n) from Bt (n x k).
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        sgemm_nt(m, k, n, &a, &bt, &mut c);
+        let expect = naive_nn(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tn_matches_naive() {
+        let (k, m, n) = (19, 6, 11);
+        let at = rand_vec(k * m, 5);
+        // Build A (m x k) from At (k x m).
+        let mut a = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let b = rand_vec(k * n, 6);
+        let mut c = vec![0.0; m * n];
+        sgemm_tn(k, m, n, &at, &b, &mut c);
+        let expect = naive_nn(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        sgemm_nn(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+}

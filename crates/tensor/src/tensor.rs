@@ -1,0 +1,606 @@
+//! Dense row-major `f32` tensor.
+//!
+//! The tensor type is deliberately simple: contiguous storage, rank 1 or 2
+//! (rank-2 covers every model in this workspace; rank-1 is treated as a row
+//! vector where convenient). All hot paths operate on `&[f32]` slices so the
+//! compiler can autovectorize them.
+
+use std::fmt;
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// A dense, contiguous, row-major `f32` tensor of rank 1 or 2.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tensor {
+    /// Create a tensor from raw data with the given `(rows, cols)` shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape ({rows}, {cols})",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
+    /// A `1 x n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(data, 1, n)
+    }
+
+    /// A `n x 1` column vector.
+    pub fn col_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Self::from_vec(data, n, 1)
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// A `1 x 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(vec![value], 1, 1)
+    }
+
+    /// Standard-normal random tensor (mean 0, std `std`).
+    pub fn randn<R: Rng>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Self {
+        let normal = rand::distributions::Standard;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            // Box-Muller from two uniforms; rand's StandardNormal lives in
+            // rand_distr which is outside the allowed crate set.
+            let u1: f32 = f32::max(normal.sample(rng), 1e-12);
+            let u2: f32 = normal.sample(rng);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            data.push(z * std);
+        }
+        Self::from_vec(data, rows, cols)
+    }
+
+    /// Uniform random tensor on `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Self::from_vec(data, rows, cols)
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the underlying storage (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reinterpret the storage with a new shape (same number of elements).
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(self.data.len(), rows * cols, "reshape numel mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Materialized transpose.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        // Blocked transpose keeps both streams cache-friendly.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Map each element through `f`, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// In-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary combination; shapes must match.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` elementwise (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply all elements by `alpha`.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Fill with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // Chunked accumulation for better float accuracy than a single fold.
+        let mut acc = 0.0f64;
+        for chunk in self.data.chunks(4096) {
+            acc += chunk.iter().map(|&x| x as f64).sum::<f64>();
+        }
+        acc as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (NaN-safe: NaNs are ignored unless all are NaN).
+    pub fn max(&self) -> f32 {
+        self.data
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, |a, b| if b > a { b } else { a })
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, |a, b| if b < a { b } else { a })
+    }
+
+    /// Index of the maximum element of row `r`.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Indices of the `k` largest elements of row `r`, descending.
+    pub fn top_k_row(&self, r: usize, k: usize) -> Vec<usize> {
+        let row = self.row(r);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        let k = k.min(row.len());
+        idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+            row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Dot product of two same-shaped tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.numel(), other.numel(), "dot numel mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum::<f64>() as f32
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Row-wise softmax with temperature, numerically stabilized.
+    pub fn softmax_rows(&self, temperature: f32) -> Tensor {
+        let mut out = self.clone();
+        out.softmax_rows_inplace(temperature);
+        out
+    }
+
+    /// In-place row-wise softmax with temperature.
+    pub fn softmax_rows_inplace(&mut self, temperature: f32) {
+        let inv_t = 1.0 / temperature;
+        let cols = self.cols;
+        for r in 0..self.rows {
+            let row = &mut self.data[r * cols..(r + 1) * cols];
+            let mut m = f32::NEG_INFINITY;
+            for &v in row.iter() {
+                let v = v * inv_t;
+                if v > m {
+                    m = v;
+                }
+            }
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v * inv_t - m).exp();
+                z += *v;
+            }
+            let inv_z = 1.0 / z;
+            for v in row.iter_mut() {
+                *v *= inv_z;
+            }
+        }
+    }
+
+    /// Normalize each row to sum to one (L1). Rows summing to zero become
+    /// uniform.
+    pub fn normalize_rows_l1(&mut self) {
+        let cols = self.cols;
+        for r in 0..self.rows {
+            let row = &mut self.data[r * cols..(r + 1) * cols];
+            let s: f32 = row.iter().sum();
+            if s.abs() < 1e-12 {
+                let u = 1.0 / cols as f32;
+                row.fill(u);
+            } else {
+                let inv = 1.0 / s;
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+
+    /// Matrix product `self @ other` using the blocked kernel.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: ({}, {}) x ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        crate::sgemm::sgemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product `self @ other.T`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: ({}, {}) x ({}, {})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        crate::sgemm::sgemm_nt(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product `self.T @ other`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}, {})^T x ({}, {})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        crate::sgemm::sgemm_tn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})[", self.rows, self.cols)?;
+        let n = self.data.len().min(8);
+        for (i, v) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_accessors() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.numel(), 12);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_panics_on_bad_shape() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0, 3.0], 2, 2);
+    }
+
+    #[test]
+    fn get_set_row() {
+        let mut t = Tensor::zeros(2, 3);
+        t.set(1, 2, 7.0);
+        assert_eq!(t.get(1, 2), 7.0);
+        assert_eq!(t.row(1), &[0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::randn(7, 11, 1.0, &mut rng);
+        let tt = t.transposed().transposed();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(5, 5, 1.0, &mut rng);
+        let i = Tensor::eye(5);
+        let prod = a.matmul(&i);
+        for (x, y) in a.data().iter().zip(prod.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_tn_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(4, 6, 1.0, &mut rng);
+        let b = Tensor::randn(5, 6, 1.0, &mut rng);
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transposed());
+        for (x, y) in via_nt.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        let c = Tensor::randn(6, 4, 1.0, &mut rng);
+        let d = Tensor::randn(6, 5, 1.0, &mut rng);
+        let via_tn = c.matmul_tn(&d);
+        let via_t2 = c.transposed().matmul(&d);
+        for (x, y) in via_tn.data().iter().zip(via_t2.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_shift_invariant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::randn(6, 9, 3.0, &mut rng);
+        let s = t.softmax_rows(1.0);
+        for r in 0..6 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        let shifted = t.map(|x| x + 100.0).softmax_rows(1.0);
+        for (a, b) in s.data().iter().zip(shifted.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_temperature_sharpens() {
+        let t = Tensor::row_vector(vec![1.0, 2.0, 3.0]);
+        let soft = t.softmax_rows(1.0);
+        let sharp = t.softmax_rows(0.1);
+        assert!(sharp.get(0, 2) > soft.get(0, 2));
+    }
+
+    #[test]
+    fn top_k_row_descending() {
+        let t = Tensor::row_vector(vec![0.1, 5.0, 3.0, 4.0, -1.0]);
+        assert_eq!(t.top_k_row(0, 3), vec![1, 3, 2]);
+        assert_eq!(t.top_k_row(0, 10), vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn argmax_row_works() {
+        let t = Tensor::from_vec(vec![0.0, 2.0, 1.0, 9.0, -3.0, 0.5], 2, 3);
+        assert_eq!(t.argmax_row(0), 1);
+        assert_eq!(t.argmax_row(1), 0);
+    }
+
+    #[test]
+    fn normalize_rows_l1_handles_zero_rows() {
+        let mut t = Tensor::from_vec(vec![2.0, 2.0, 0.0, 0.0], 2, 2);
+        t.normalize_rows_l1();
+        assert_eq!(t.row(0), &[0.5, 0.5]);
+        assert_eq!(t.row(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn randn_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Tensor::randn(100, 100, 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / (t.numel() as f32);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sum_mean_dot_norm() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.dot(&t), 30.0);
+        assert!((t.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::ones(2, 2);
+        let b = Tensor::full(2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[7.0; 4]);
+        a.scale_inplace(0.5);
+        assert_eq!(a.data(), &[3.5; 4]);
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's §VI future-work online setting, implemented: documents
+//! arrive in time slices, NPMI statistics accumulate incrementally, and
+//! ContraTopic warm-starts from the previous slice.
+//!
+//! ```sh
+//! cargo run --release --example online_stream
+//! ```
+
+use contratopic::{ContraTopicConfig, OnlineContraTopic};
+use ct_corpus::{generate, train_embeddings, DatasetPreset, NpmiMatrix, Scale};
+use ct_eval::{TopicScores, K_TC};
+use ct_models::{TopicModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let synth = generate(&DatasetPreset::Ng20Like.spec(Scale::Tiny), &mut rng);
+    let (stream, test) = synth.corpus.split(0.7, &mut rng);
+    let npmi_test = NpmiMatrix::from_corpus(&test);
+    // Embeddings from the first slice only (in a real deployment these
+    // would be pretrained; the decoder keeps them frozen anyway).
+    let emb = train_embeddings(&stream, 32, &mut rng);
+
+    let base = TrainConfig {
+        num_topics: 12,
+        hidden: 48,
+        epochs: 6,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        embed_dim: 32,
+        ..TrainConfig::default()
+    };
+    let mut online = OnlineContraTopic::new(
+        stream.vocab_size(),
+        emb,
+        base,
+        ContraTopicConfig::default().with_lambda(20.0),
+    );
+
+    // Partition the stream into 4 time slices and feed them in order.
+    let n = stream.num_docs();
+    let slice_len = n / 4;
+    println!("streaming {n} documents in 4 slices of ~{slice_len}");
+    for s in 0..4 {
+        let lo = s * slice_len;
+        let hi = if s == 3 { n } else { (s + 1) * slice_len };
+        let slice = stream.subset(&(lo..hi).collect::<Vec<_>>());
+        online.fit_slice(&slice);
+        let scores = TopicScores::compute(&online.beta(), &npmi_test, K_TC);
+        println!(
+            "after slice {}: {:>4} docs seen, coherence top-10% {:+.3}, all {:+.3}",
+            s + 1,
+            online.docs_seen(),
+            scores.coherence_at(0.1),
+            scores.coherence_at(1.0)
+        );
+    }
+    println!(
+        "\nfinal model: {} topics from {} streamed docs",
+        online.num_topics(),
+        online.docs_seen()
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: generate a 20NG-like corpus, train ContraTopic, and print
+//! the most interpretable topics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use contratopic::{fit_contratopic, ContraTopicConfig};
+use ct_corpus::{generate, train_embeddings, DatasetPreset, NpmiMatrix, Scale};
+use ct_eval::{coherence_curve, describe_topic, top_topics, K_TC};
+use ct_models::{TopicModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Data: a synthetic 20NG-like corpus with planted semantic topics
+    //    (stands in for the real 20 Newsgroups, which is not bundled).
+    let mut rng = StdRng::seed_from_u64(42);
+    let synth = generate(&DatasetPreset::Ng20Like.spec(Scale::Tiny), &mut rng);
+    let (train, test) = synth.corpus.split(0.6, &mut rng);
+    println!(
+        "corpus: {} train docs / {} test docs, vocabulary {}",
+        train.num_docs(),
+        test.num_docs(),
+        train.vocab_size()
+    );
+
+    // 2. Corpus statistics the model needs: the NPMI similarity kernel
+    //    (training set) and word embeddings (PPMI factorisation, the GloVe
+    //    stand-in).
+    let npmi_train = NpmiMatrix::from_corpus(&train);
+    let embeddings = train_embeddings(&train, 32, &mut rng);
+
+    // 3. Train ContraTopic = ETM backbone + topic-wise contrastive
+    //    regularizer.
+    let base = TrainConfig {
+        num_topics: 12,
+        hidden: 48,
+        epochs: 10,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        embed_dim: 32,
+        ..TrainConfig::default()
+    };
+    let config = ContraTopicConfig::default().with_lambda(20.0);
+    let model = fit_contratopic(&train, embeddings, &npmi_train, &base, &config);
+
+    // 4. Evaluate on the held-out test set.
+    let npmi_test = NpmiMatrix::from_corpus(&test);
+    let curve = coherence_curve(&model.beta(), &npmi_test, K_TC);
+    println!(
+        "\ntopic coherence (test NPMI): top-10% {:.3}, all topics {:.3}",
+        curve[0],
+        curve[curve.len() - 1]
+    );
+
+    // 5. Show the five most interpretable topics.
+    println!("\ntop topics:");
+    for t in top_topics(&model.beta(), &npmi_test, &train.vocab, 5, 8) {
+        println!("  [{:+.2}] {}", t.npmi, t.top_words.join(" "));
+        println!("         {}", describe_topic(&t));
+    }
+}

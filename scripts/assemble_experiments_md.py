@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the recorded harness outputs in results/."""
+
+import os
+import sys
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+SECTIONS = [
+    ("Table I — dataset statistics", "table1_datasets", """
+Paper: Table I (absolute sizes at production scale). Ours: same relative
+ordering — NYTimes-like has the largest vocabulary and longest documents,
+Yahoo-like the most documents of the labelled pair, NYTimes-like unlabelled.
+"""),
+    ("Figure 2 — topic coherence & diversity vs selected-topic proportion",
+     "fig2_interpretability", """
+Paper shape: ContraTopic's coherence curve dominates every baseline at all
+proportions while staying near the top on diversity; NSTM is the strongest
+baseline; ProdLDA/WLDA sit in the weak band; curves decay as lower-ranked
+topics are included.
+"""),
+    ("Figure 3 — km-Purity / km-NMI", "fig3_clustering", """
+Paper shape: ContraTopic competitive on 20NG; ETM-family may edge it on
+Yahoo; scores rise with cluster count for purity.
+"""),
+    ("Table II — ablation study", "table2_ablation", """
+Paper shape: Full >= -S > -P ≈ -I > -N, with -N clearly worst and -S the
+mildest degradation.
+"""),
+    ("Figure 4 — sensitivity (20NG-like, Yahoo-like)", "fig4_sensitivity", """
+Paper shape: coherence rises with lambda; diversity/purity rise then fall
+when lambda gets too large; v rises quickly then plateaus.
+"""),
+    ("Figure 5 — sensitivity (NYTimes-like)", "fig5_sensitivity_nyt", """
+Paper shape: same trends as Figure 4 with a larger lambda scale.
+"""),
+    ("Figure 6 — backbone substitution", "fig6_backbone", """
+Paper shape: the regularizer improves coherence and diversity for every
+backbone (ETM, WLDA, WeTe); WLDA benefits most on purity/NMI. Note: if the
+recorded WLDA rows below show noise-level coherence on both sides, the run
+predates the free-decoder budget fix in `fig6_backbone.rs` (WLDA needs the
+larger step size the fig2 harness gives it); re-run to regenerate.
+"""),
+    ("Table III — word-intrusion scores", "table3_intrusion", """
+Paper: WIS row LDA .34, ProdLDA .37, WLDA .34, ETM .58, NSTM .68, WeTe .67,
+NTMR .29, VTMRL .46, CLNTM .64, ContraTopic .80 — ContraTopic highest.
+"""),
+    ("Tables IV–VI — case study", "table456_case_study", """
+Paper: top-5 topics per model with NPMI and top words, plus LLM-generated
+descriptions for ContraTopic (template descriptions here).
+"""),
+    ("§V-E — computational analysis", "sec5e_compute", """
+Paper: NPMI precompute ≈ 30 epochs of training; O(V^2) kernel memory;
+65.68 s/epoch on NYTimes with 2 GPUs. Ours: same structure on one CPU core.
+"""),
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure in the paper's evaluation, the command that
+regenerates it, and the recorded output. Absolute numbers are **not**
+expected to match the paper: it trains on real 20NG/Yahoo/NYTimes with
+GPUs for 100 epochs at K=100; this reproduction trains on synthetic
+planted-topic corpora on one CPU core at reduced scale (see DESIGN.md §1
+for each substitution and §5b for the calibration findings). What must
+match is the *shape*: who wins, roughly by how much, and where trade-offs
+appear.
+
+Recorded with:
+
+```sh
+CT_SCALE=quick scripts/run_all_experiments.sh   # seeds per harness as noted
+```
+
+## Known deviations from the paper's shape
+
+1. **NSTM/WeTe diversity.** On the planted-cluster corpora, the pure
+   embedding-geometry models (NSTM, WeTe) reach higher topic diversity
+   than ContraTopic. Their transport objectives perform (soft) spherical
+   clustering of word embeddings, and the generator's clusters are exactly
+   recoverable that way even after the out-of-domain embedding noise; the
+   messy redundancy these models exhibit on real corpora (the "certain
+   gap" in the paper's §V-F, the collapse ECRTM documents) cannot be fully
+   reproduced by a clean generative corpus. Their *coherence* behaviour —
+   NSTM competitive with ContraTopic on 20NG, both above all other
+   baselines — does match the paper.
+2. **Absolute NPMI levels** are lower than the paper's (our planted-NPMI
+   ceiling at quick scale is ~0.55 for a perfectly recovered cluster, and
+   the hard presets put most mass off-cluster), so compare *within* a
+   table, not across to the paper's absolute values.
+"""
+
+
+def main() -> int:
+    out = [HEADER]
+    for title, name, commentary in SECTIONS:
+        out.append(f"\n## {title}\n")
+        out.append(f"Regenerate: `cargo run --release -p ct-bench --bin {name}`\n")
+        out.append(commentary)
+        path = os.path.join(ROOT, "results", f"{name}.txt")
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            with open(path) as f:
+                content = f.read().rstrip()
+            out.append("\n```text\n" + content + "\n```\n")
+        else:
+            out.append("\n*(not recorded in this run — regenerate with the "
+                       "command above)*\n")
+    with open(os.path.join(ROOT, "EXPERIMENTS.md"), "w") as f:
+        f.write("".join(out))
+    print("EXPERIMENTS.md assembled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate every table and figure. Outputs land in results/.
+# CT_SCALE/CT_SEEDS can be overridden; defaults below match EXPERIMENTS.md.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p ct-bench
+export CT_SCALE="${CT_SCALE:-quick}"
+run() { echo "== $1 (seeds=$2) =="; CT_SEEDS=$2 ./target/release/"$1" > "results/$1.txt" 2>&1; }
+run table1_datasets 1
+run fig2_interpretability 1
+run table2_ablation 1
+run table3_intrusion 1
+run fig6_backbone 1
+run table456_case_study 1
+run fig3_clustering 1
+run sec5e_compute 1
+run fig4_sensitivity 1
+run fig5_sensitivity_nyt 1
+echo all done

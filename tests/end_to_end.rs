@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: corpus generation → statistics → model
+//! training → evaluation, exercising the public API the way the examples
+//! and experiment harnesses do.
+
+use contratopic::{fit_contratopic, AblationVariant, ContraTopicConfig};
+use ct_corpus::{
+    generate, train_embeddings, DatasetPreset, NpmiMatrix, Scale, SynthSpec,
+};
+use ct_eval::{
+    coherence_curve, diversity_curve, kmeans, nmi, perplexity, purity, top_topics,
+    word_intrusion_score, IntrusionConfig, TopicScores, K_TC,
+};
+use ct_models::{fit_etm, Lda, LdaConfig, TopicModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_data() -> (ct_corpus::BowCorpus, ct_corpus::BowCorpus) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let spec = SynthSpec {
+        vocab_size: 8 * 20 + 80,
+        num_topics: 8,
+        num_docs: 400,
+        avg_doc_len: 30.0,
+        ..Default::default()
+    };
+    let synth = generate(&spec, &mut rng);
+    synth.corpus.split(0.6, &mut rng)
+}
+
+fn tiny_config() -> TrainConfig {
+    TrainConfig {
+        num_topics: 8,
+        hidden: 48,
+        epochs: 8,
+        batch_size: 128,
+        learning_rate: 5e-3,
+        embed_dim: 24,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_contratopic() {
+    let (train, test) = tiny_data();
+    let mut rng = StdRng::seed_from_u64(6);
+    let npmi_train = NpmiMatrix::from_corpus(&train);
+    let npmi_test = NpmiMatrix::from_corpus(&test);
+    let emb = train_embeddings(&train, 24, &mut rng);
+
+    let model = fit_contratopic(
+        &train,
+        emb,
+        &npmi_train,
+        &tiny_config(),
+        &ContraTopicConfig::default().with_lambda(10.0),
+    );
+
+    // Topic-word distribution is well-formed.
+    let beta = model.beta();
+    assert_eq!(beta.shape(), (8, train.vocab_size()));
+    assert!(!beta.has_non_finite());
+    for t in 0..8 {
+        let s: f32 = beta.row(t).iter().sum();
+        assert!((s - 1.0).abs() < 1e-3, "beta row {t} sums to {s}");
+    }
+
+    // Coherence on held-out data clears the random-topics bar.
+    let curve = coherence_curve(&beta, &npmi_test, K_TC);
+    assert!(curve[0] > 0.1, "top-decile coherence {}", curve[0]);
+    // Curves are monotone non-increasing by construction.
+    for w in curve.windows(2) {
+        assert!(w[0] >= w[1] - 1e-9);
+    }
+    let div = diversity_curve(&beta, &npmi_test, K_TC, 10);
+    assert!(div.iter().all(|&d| (0.0..=1.0).contains(&d)));
+
+    // Document representations cluster better than chance.
+    let theta = model.theta(&test);
+    let labels = test.labels.clone().unwrap();
+    let res = kmeans(&theta, 8, 50, &mut rng);
+    let p = purity(&res.assignments, &labels);
+    let chance = 1.5 / 8.0;
+    assert!(p > chance, "purity {p} not above chance");
+    assert!(nmi(&res.assignments, &labels) > 0.05);
+
+    // Perplexity is finite and sane.
+    let ppl = perplexity(&theta, &beta, &test);
+    assert!(ppl.is_finite() && ppl > 1.0 && ppl < train.vocab_size() as f64);
+}
+
+#[test]
+fn contratopic_vs_lda_intrusion_and_reporting() {
+    let (train, test) = tiny_data();
+    let mut rng = StdRng::seed_from_u64(9);
+    let npmi_train = NpmiMatrix::from_corpus(&train);
+    let npmi_test = NpmiMatrix::from_corpus(&test);
+    let emb = train_embeddings(&train, 24, &mut rng);
+
+    let ct = fit_contratopic(
+        &train,
+        emb,
+        &npmi_train,
+        &tiny_config(),
+        &ContraTopicConfig::default().with_lambda(10.0),
+    );
+    let lda = Lda::fit(
+        &train,
+        LdaConfig {
+            num_topics: 8,
+            iterations: 30,
+            ..Default::default()
+        },
+    );
+
+    // Word-intrusion runs end to end for both and stays in [0, 1].
+    let cfg = IntrusionConfig {
+        topics_per_decile: 1,
+        annotators: 5,
+        ..Default::default()
+    };
+    for beta in [ct.beta(), lda.beta()] {
+        let wis = word_intrusion_score(&beta, &npmi_test, &cfg, &mut rng);
+        assert!((0.0..=1.0).contains(&wis), "wis {wis}");
+    }
+
+    // Topic reporting surfaces planted theme words for a trained model.
+    let tops = top_topics(&ct.beta(), &npmi_test, &train.vocab, 3, 10);
+    assert_eq!(tops.len(), 3);
+    assert!(tops[0].npmi >= tops[1].npmi);
+}
+
+#[test]
+fn ablation_variants_share_interfaces() {
+    let (train, _test) = tiny_data();
+    let mut rng = StdRng::seed_from_u64(10);
+    let npmi_train = NpmiMatrix::from_corpus(&train);
+    let emb = train_embeddings(&train, 24, &mut rng);
+    let mut config = tiny_config();
+    config.epochs = 2;
+    for variant in AblationVariant::ALL {
+        let m = fit_contratopic(
+            &train,
+            emb.clone(),
+            &npmi_train,
+            &config,
+            &ContraTopicConfig::default()
+                .with_lambda(5.0)
+                .with_variant(variant),
+        );
+        assert_eq!(m.num_topics(), 8);
+        assert!(!m.beta().has_non_finite(), "{variant:?} NaN");
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_restores_beta() {
+    let (train, _test) = tiny_data();
+    let mut rng = StdRng::seed_from_u64(21);
+    let emb = train_embeddings(&train, 24, &mut rng);
+    let mut config = tiny_config();
+    config.epochs = 3;
+    let trained = fit_etm(&train, emb.clone(), &config);
+    let beta_before = trained.beta();
+
+    // Serialize, rebuild the same architecture untrained, restore.
+    let mut bytes = Vec::new();
+    trained.save(&mut bytes).unwrap();
+    let mut fresh = {
+        let mut c = config.clone();
+        c.epochs = 0; // same architecture, no training
+        fit_etm(&train, emb, &c)
+    };
+    assert_ne!(fresh.beta(), beta_before, "fresh model already matches");
+    let restored = fresh.restore(&mut std::io::Cursor::new(&bytes)).unwrap();
+    assert!(restored > 0);
+    assert_eq!(fresh.beta(), beta_before);
+}
+
+#[test]
+fn grid_search_and_multilevel_apis_work() {
+    let (train, _test) = tiny_data();
+    let mut rng = StdRng::seed_from_u64(22);
+    let emb = train_embeddings(&train, 24, &mut rng);
+    let npmi = NpmiMatrix::from_corpus(&train);
+    let mut base = tiny_config();
+    base.epochs = 2;
+    // Grid search over a 2-point grid.
+    let res = contratopic::grid_search(
+        &train,
+        &emb,
+        &base,
+        &contratopic::GridSearchSpace {
+            lambdas: vec![0.0, 10.0],
+            vs: vec![4],
+            tau_gs: vec![0.5],
+        },
+        0.3,
+    );
+    assert_eq!(res.trace.len(), 2);
+    // Multi-level (topic-wise + document-wise contrastive) trains.
+    let ml = contratopic::fit_multilevel(
+        &train,
+        emb,
+        &npmi,
+        &base,
+        &ContraTopicConfig::default().with_lambda(5.0),
+    );
+    assert_eq!(ml.name(), "ContraTopic-ML");
+    assert!(!ml.beta().has_non_finite());
+}
+
+#[test]
+fn experiment_presets_are_consistent() {
+    // Every preset generates, splits, and evaluates without panicking, and
+    // the labelled presets carry labels through the split.
+    for preset in DatasetPreset::ALL {
+        let mut rng = StdRng::seed_from_u64(3);
+        let synth = generate(&preset.spec(Scale::Tiny), &mut rng);
+        let (train, test) = synth.corpus.split(preset.train_frac(), &mut rng);
+        assert!(train.num_docs() > test.num_docs() / 2);
+        assert_eq!(
+            train.labels.is_some(),
+            preset != DatasetPreset::NyTimesLike
+        );
+        let npmi = NpmiMatrix::from_corpus(&test);
+        assert_eq!(npmi.vocab_size(), test.vocab_size());
+    }
+}
+
+#[test]
+fn etm_and_contratopic_agree_on_interfaces() {
+    let (train, test) = tiny_data();
+    let mut rng = StdRng::seed_from_u64(12);
+    let npmi_train = NpmiMatrix::from_corpus(&train);
+    let emb = train_embeddings(&train, 24, &mut rng);
+    let mut config = tiny_config();
+    config.epochs = 2;
+    let etm = fit_etm(&train, emb.clone(), &config);
+    let ct = fit_contratopic(
+        &train,
+        emb,
+        &npmi_train,
+        &config,
+        &ContraTopicConfig::default(),
+    );
+    for m in [&etm as &dyn TopicModel, &ct as &dyn TopicModel] {
+        let theta = m.theta(&test);
+        assert_eq!(theta.shape(), (test.num_docs(), 8));
+        let scores = TopicScores::compute(&m.beta(), &npmi_train, 5);
+        assert_eq!(scores.per_topic.len(), 8);
+    }
+}
