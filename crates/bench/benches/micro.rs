@@ -3,8 +3,7 @@
 //! KMeans, and a collapsed-Gibbs fit.
 
 use contratopic::{
-    relaxed_subset, AblationVariant, ContrastiveRegularizer, SimilarityKernel,
-    SubsetSamplerConfig,
+    relaxed_subset, AblationVariant, ContrastiveRegularizer, SimilarityKernel, SubsetSamplerConfig,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use ct_corpus::{generate, NpmiMatrix, SynthSpec};
@@ -17,14 +16,32 @@ use std::hint::black_box;
 
 fn bench_sgemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
+    // Square baseline.
     let a = Tensor::randn(256, 256, 1.0, &mut rng);
     let b = Tensor::randn(256, 256, 1.0, &mut rng);
-    c.bench_function("sgemm_nn_256", |bencher| {
+    // Training shapes: batch 256, hidden 128, vocab 600 — the decoder
+    // forward (nn, hits the packed wide-n path), the input gradient (nt),
+    // and the weight gradient (tn, the column-partitioned kernel).
+    let x = Tensor::randn(256, 128, 1.0, &mut rng); // activations (B, H)
+    let w = Tensor::randn(128, 600, 1.0, &mut rng); // weights (H, V)
+    let g = Tensor::randn(256, 600, 1.0, &mut rng); // upstream grad (B, V)
+    let mut group = c.benchmark_group("sgemm");
+    group.bench_function("nn_256x256x256", |bencher| {
         bencher.iter(|| black_box(a.matmul(&b)))
     });
-    c.bench_function("sgemm_nt_256", |bencher| {
+    group.bench_function("nt_256x256x256", |bencher| {
         bencher.iter(|| black_box(a.matmul_nt(&b)))
     });
+    group.bench_function("nn_256x128x600_fwd", |bencher| {
+        bencher.iter(|| black_box(x.matmul(&w)))
+    });
+    group.bench_function("nt_256x600x128_dx", |bencher| {
+        bencher.iter(|| black_box(g.matmul_nt(&w)))
+    });
+    group.bench_function("tn_256x128x600_dw", |bencher| {
+        bencher.iter(|| black_box(x.matmul_tn(&g)))
+    });
+    group.finish();
 }
 
 fn small_corpus() -> ct_corpus::BowCorpus {

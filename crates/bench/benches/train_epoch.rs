@@ -8,8 +8,7 @@ use contratopic::fit_contratopic;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ct_corpus::{generate, train_embeddings, NpmiMatrix, SynthSpec};
 use ct_models::{
-    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda,
-    TrainConfig,
+    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda, TrainConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

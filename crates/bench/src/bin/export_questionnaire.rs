@@ -30,7 +30,10 @@ fn main() {
             .iter()
             .map(|&w| ctx.train.vocab.word(w as u32))
             .collect();
-        println!("Q{:02}. Please select the word that does NOT belong:", i + 1);
+        println!(
+            "Q{:02}. Please select the word that does NOT belong:",
+            i + 1
+        );
         for (j, w) in words.iter().enumerate() {
             println!("   ({}) {}", (b'A' + j as u8) as char, w);
         }

@@ -27,7 +27,10 @@ fn main() {
             .filter(|m| args.iter().any(|a| a.eq_ignore_ascii_case(m.name())))
             .collect()
     };
-    let cols: Vec<String> = PERCENTAGES.iter().map(|p| format!("{:.0}%", p * 100.0)).collect();
+    let cols: Vec<String> = PERCENTAGES
+        .iter()
+        .map(|p| format!("{:.0}%", p * 100.0))
+        .collect();
 
     println!("Figure 2 — topic interpretability (scale {scale:?}, {seeds} seed(s))");
     for preset in DatasetPreset::ALL {

@@ -24,7 +24,9 @@ fn main() {
             .collect()
     };
 
-    println!("Figure 3 — km-Purity / km-NMI on labelled datasets (scale {scale:?}, {seeds} seed(s))");
+    println!(
+        "Figure 3 — km-Purity / km-NMI on labelled datasets (scale {scale:?}, {seeds} seed(s))"
+    );
     for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
         let ctx = ExperimentContext::build(preset, scale, 42);
         let labels = ctx.test.labels.clone().expect("labelled preset");

@@ -14,11 +14,7 @@ use ct_corpus::{DatasetPreset, Scale};
 use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
 use ct_models::TopicModel;
 
-fn eval_point(
-    ctx: &ExperimentContext,
-    lambda: f32,
-    v: usize,
-) -> (f64, f64, f64, f64, f64, f64) {
+fn eval_point(ctx: &ExperimentContext, lambda: f32, v: usize) -> (f64, f64, f64, f64, f64, f64) {
     let base = ctx.train_config(42);
     let cfg = ctx.contratopic_config().with_lambda(lambda).with_v(v);
     let model = fit_contratopic(
@@ -49,24 +45,32 @@ fn sweep(ctx: &ExperimentContext, lambdas: &[f32], vs: &[usize]) {
     println!(
         "\n=== {} ===\n[lambda sweep, v = 10]\n{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         ctx.preset.name(),
-        "lambda", "coh@10%", "coh@90%", "div@10%", "div@90%", "pur@min", "pur@max"
+        "lambda",
+        "coh@10%",
+        "coh@90%",
+        "div@10%",
+        "div@90%",
+        "pur@min",
+        "pur@max"
     );
     for &l in lambdas {
         let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, l, 10);
-        println!(
-            "{l:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}"
-        );
+        println!("{l:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}");
     }
     println!(
         "[v sweep, lambda = {}]\n{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         ctx.default_lambda(),
-        "v", "coh@10%", "coh@90%", "div@10%", "div@90%", "pur@min", "pur@max"
+        "v",
+        "coh@10%",
+        "coh@90%",
+        "div@10%",
+        "div@90%",
+        "pur@min",
+        "pur@max"
     );
     for &v in vs {
         let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, ctx.default_lambda(), v);
-        println!(
-            "{v:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}"
-        );
+        println!("{v:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}");
     }
 }
 

@@ -35,7 +35,10 @@ fn main() {
     let ctx = ExperimentContext::build(DatasetPreset::NyTimesLike, scale, 42);
     let lambdas = [0.0f32, 150.0, 600.0, 1800.0];
     let vs = [1usize, 7, 13, 19];
-    println!("Figure 5 — sensitivity on {} (scale {scale:?})", ctx.preset.name());
+    println!(
+        "Figure 5 — sensitivity on {} (scale {scale:?})",
+        ctx.preset.name()
+    );
     println!(
         "[lambda sweep, v = 10]\n{:<10} {:>8} {:>8} {:>8} {:>8}",
         "lambda", "coh@10%", "coh@90%", "div@10%", "div@90%"
@@ -47,7 +50,11 @@ fn main() {
     println!(
         "[v sweep, lambda = {}]\n{:<10} {:>8} {:>8} {:>8} {:>8}",
         ctx.default_lambda(),
-        "v", "coh@10%", "coh@90%", "div@10%", "div@90%"
+        "v",
+        "coh@10%",
+        "coh@90%",
+        "div@10%",
+        "div@90%"
     );
     for &v in &vs {
         let (c1, c9, d1, d9) = eval_point(&ctx, ctx.default_lambda(), v);

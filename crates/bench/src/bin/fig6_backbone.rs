@@ -41,7 +41,13 @@ fn main() {
         println!(
             "\n=== {} ===\n{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
             preset.name(),
-            "model", "coh@10%", "coh@100%", "div@10%", "div@100%", "purity", "nmi"
+            "model",
+            "coh@10%",
+            "coh@100%",
+            "div@10%",
+            "div@100%",
+            "purity",
+            "nmi"
         );
         let etm = fit_etm(&ctx.train, ctx.embeddings.clone(), &base);
         report("ETM", &etm, &ctx);
@@ -60,8 +66,13 @@ fn main() {
         base_free.epochs *= 2;
         let wlda = fit_wlda(&ctx.train, &base_free);
         report("WLDA", &wlda, &ctx);
-        let wlda_ct =
-            fit_contratopic_wlda(&ctx.train, &ctx.embeddings, &ctx.npmi_train, &base_free, &cfg);
+        let wlda_ct = fit_contratopic_wlda(
+            &ctx.train,
+            &ctx.embeddings,
+            &ctx.npmi_train,
+            &base_free,
+            &cfg,
+        );
         report("WLDA + regularizer", &wlda_ct, &ctx);
         let wete = fit_wete(&ctx.train, ctx.embeddings.clone(), &base);
         report("WeTe", &wete, &ctx);

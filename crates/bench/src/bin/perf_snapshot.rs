@@ -1,0 +1,201 @@
+//! Machine-readable performance snapshot of the training hot path.
+//!
+//! Writes two JSON files into the current directory:
+//!
+//! - `BENCH_sgemm.json` — median wall-time (and derived GFLOP/s) for the
+//!   three SGEMM layouts at training shapes, plus the square baseline.
+//! - `BENCH_train_epoch.json` — median wall-time of a one-epoch
+//!   `fit_contratopic` run on the shared train-epoch fixture.
+//!
+//! The JSON is assembled by hand (no serde in this workspace) and kept flat
+//! so CI or a human can diff successive snapshots: each entry is
+//! `{"name": ..., "median_ns": ..., ...}`. Medians are over `SAMPLES` runs
+//! after one warm-up, which also spins up the worker pool.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use contratopic::fit_contratopic;
+use ct_corpus::{generate, train_embeddings, NpmiMatrix, SynthSpec};
+use ct_models::TrainConfig;
+use ct_tensor::{pool, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const SGEMM_SAMPLES: usize = 15;
+const EPOCH_SAMPLES: usize = 5;
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_median<F: FnMut()>(samples: usize, mut f: F) -> u128 {
+    f(); // warm-up: allocator, caches, worker pool
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        out.push(t0.elapsed().as_nanos());
+    }
+    median_ns(&mut out)
+}
+
+struct SgemmCase {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    median_ns: u128,
+}
+
+fn sgemm_cases() -> Vec<SgemmCase> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let b = Tensor::randn(256, 256, 1.0, &mut rng);
+    let x = Tensor::randn(256, 128, 1.0, &mut rng); // activations (B, H)
+    let w = Tensor::randn(128, 600, 1.0, &mut rng); // weights (H, V)
+    let g = Tensor::randn(256, 600, 1.0, &mut rng); // upstream grad (B, V)
+
+    vec![
+        SgemmCase {
+            name: "nn_square",
+            m: 256,
+            k: 256,
+            n: 256,
+            median_ns: time_median(SGEMM_SAMPLES, || {
+                black_box(a.matmul(&b));
+            }),
+        },
+        SgemmCase {
+            name: "nt_square",
+            m: 256,
+            k: 256,
+            n: 256,
+            median_ns: time_median(SGEMM_SAMPLES, || {
+                black_box(a.matmul_nt(&b));
+            }),
+        },
+        SgemmCase {
+            name: "nn_decoder_fwd",
+            m: 256,
+            k: 128,
+            n: 600,
+            median_ns: time_median(SGEMM_SAMPLES, || {
+                black_box(x.matmul(&w));
+            }),
+        },
+        SgemmCase {
+            name: "nt_input_grad",
+            m: 256,
+            k: 600,
+            n: 128,
+            median_ns: time_median(SGEMM_SAMPLES, || {
+                black_box(g.matmul_nt(&w));
+            }),
+        },
+        SgemmCase {
+            name: "tn_weight_grad",
+            m: 128,
+            k: 256,
+            n: 600,
+            median_ns: time_median(SGEMM_SAMPLES, || {
+                black_box(x.matmul_tn(&g));
+            }),
+        },
+    ]
+}
+
+fn write_sgemm_json(cases: &[SgemmCase]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"threads\": ");
+    let _ = write!(out, "{},\n  \"ops\": [\n", pool::configured_threads());
+    for (i, c) in cases.iter().enumerate() {
+        let flops = 2.0 * (c.m * c.k * c.n) as f64;
+        let gflops = flops / c.median_ns.max(1) as f64; // ns => GFLOP/s
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"median_ns\": {}, \"gflops\": {:.3}}}{}",
+            c.name,
+            c.m,
+            c.k,
+            c.n,
+            c.median_ns,
+            gflops,
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sgemm.json", out)
+}
+
+fn train_epoch_median_ns() -> u128 {
+    // Mirrors the `train_epoch` criterion fixture so numbers are comparable.
+    let spec = SynthSpec {
+        vocab_size: 600,
+        num_topics: 10,
+        num_docs: 400,
+        avg_doc_len: 40.0,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let corpus = generate(&spec, &mut rng).corpus;
+    let emb = train_embeddings(&corpus, 32, &mut rng);
+    let npmi = NpmiMatrix::from_corpus(&corpus);
+    let config = TrainConfig {
+        num_topics: 16,
+        hidden: 64,
+        epochs: 1,
+        batch_size: 200,
+        embed_dim: 32,
+        ..TrainConfig::default()
+    };
+    time_median(EPOCH_SAMPLES, || {
+        black_box(fit_contratopic(
+            &corpus,
+            emb.clone(),
+            &npmi,
+            &config,
+            &Default::default(),
+        ));
+    })
+}
+
+fn write_train_json(median_ns: u128) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"threads\": {},\n  \"model\": \"ContraTopic\",\n  \"epochs\": 1,\n  \"median_ns\": {},\n  \"median_ms\": {:.3}\n",
+        pool::configured_threads(),
+        median_ns,
+        median_ns as f64 / 1e6
+    );
+    out.push_str("}\n");
+    std::fs::write("BENCH_train_epoch.json", out)
+}
+
+fn main() -> std::io::Result<()> {
+    println!("threads: {}", pool::configured_threads());
+    let cases = sgemm_cases();
+    for c in &cases {
+        println!(
+            "sgemm {:<16} {:>4}x{:<4}x{:<4} median {:>10.3} ms",
+            c.name,
+            c.m,
+            c.k,
+            c.n,
+            c.median_ns as f64 / 1e6
+        );
+    }
+    write_sgemm_json(&cases)?;
+    println!("wrote BENCH_sgemm.json");
+
+    let epoch_ns = train_epoch_median_ns();
+    println!(
+        "train_one_epoch ContraTopic median {:>10.3} ms",
+        epoch_ns as f64 / 1e6
+    );
+    write_train_json(epoch_ns)?;
+    println!("wrote BENCH_train_epoch.json");
+    Ok(())
+}

@@ -53,5 +53,7 @@ fn main() {
             ct_epoch,
         );
     }
-    println!("\npaper (NYTimes, V=34,330): 65.68 s/epoch, 14,593 MiB with the NPMI matrix in GPU memory");
+    println!(
+        "\npaper (NYTimes, V=34,330): 65.68 s/epoch, 14,593 MiB with the NPMI matrix in GPU memory"
+    );
 }

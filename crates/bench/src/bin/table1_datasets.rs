@@ -26,7 +26,11 @@ fn main() {
             ctx.test.num_docs(),
             ctx.train.avg_doc_len(),
             tokens,
-            if ctx.train.labels.is_some() { "yes" } else { "no" },
+            if ctx.train.labels.is_some() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
     println!("\npaper (full scale): 20NG 5770/10827/7183 len 59.8; Yahoo 7394/89808/59873 len 45.9; NYTimes 34330/179814/119876 len 345.7");

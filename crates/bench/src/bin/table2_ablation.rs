@@ -9,9 +9,7 @@
 //! Expected shape: Full >= -S > -P ≈ -I > -N, with -N clearly worst.
 
 use contratopic::{fit_contratopic, AblationVariant};
-use ct_bench::{
-    cluster_counts, evaluate_clustering, mean_std, num_seeds, ExperimentContext,
-};
+use ct_bench::{cluster_counts, evaluate_clustering, mean_std, num_seeds, ExperimentContext};
 use ct_corpus::{DatasetPreset, Scale};
 use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
 use ct_models::TopicModel;
@@ -30,14 +28,23 @@ fn main() {
     ];
     let coh_pcts = [0.1, 0.5, 0.9];
 
-    println!("Table II — ablation on {} (scale {scale:?}, {seeds} seed(s))", ctx.preset.name());
+    println!(
+        "Table II — ablation on {} (scale {scale:?}, {seeds} seed(s))",
+        ctx.preset.name()
+    );
     println!(
         "{:<16} | {:^26} | {:^26} | {:^26}",
         "", "Topic Coherence", "Topic Diversity", "km-Purity"
     );
     println!(
         "{:<16} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "variant", "10%", "50%", "90%", "10%", "50%", "90%",
+        "variant",
+        "10%",
+        "50%",
+        "90%",
+        "10%",
+        "50%",
+        "90%",
         format!("k={}", purity_ks[0]),
         format!("k={}", purity_ks[1]),
         format!("k={}", purity_ks[2]),
@@ -76,9 +83,15 @@ fn main() {
         println!(
             "{:<16} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
             variant.label(),
-            cell(&coh[0]), cell(&coh[1]), cell(&coh[2]),
-            cell(&div[0]), cell(&div[1]), cell(&div[2]),
-            cell(&pur[0]), cell(&pur[1]), cell(&pur[2]),
+            cell(&coh[0]),
+            cell(&coh[1]),
+            cell(&coh[2]),
+            cell(&div[0]),
+            cell(&div[1]),
+            cell(&div[2]),
+            cell(&pur[0]),
+            cell(&pur[1]),
+            cell(&pur[2]),
         );
     }
     println!("\npaper shape: Full >= -S > -P ≈ -I > -N (−N worst across the board)");

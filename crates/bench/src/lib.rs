@@ -11,12 +11,8 @@
 
 use std::sync::Arc;
 
-use contratopic::{
-    fit_contratopic, AblationVariant, ContraTopicConfig, SubsetSamplerConfig,
-};
-use ct_corpus::{
-    generate, train_embeddings, BowCorpus, DatasetPreset, NpmiMatrix, Scale,
-};
+use contratopic::{fit_contratopic, AblationVariant, ContraTopicConfig, SubsetSamplerConfig};
+use ct_corpus::{generate, train_embeddings, BowCorpus, DatasetPreset, NpmiMatrix, Scale};
 use ct_eval::{diversity_at, kmeans, nmi, purity, TopicScores, K_TC, K_TD, PERCENTAGES};
 use ct_models::{
     fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda, Lda,
@@ -194,12 +190,9 @@ impl ModelKind {
             ModelKind::Nstm => Box::new(fit_nstm(&ctx.train, emb, &config)),
             ModelKind::WeTe => Box::new(fit_wete(&ctx.train, emb, &config)),
             ModelKind::NtmR => Box::new(fit_ntmr(&ctx.train, emb, &config)),
-            ModelKind::Vtmrl => Box::new(fit_vtmrl(
-                &ctx.train,
-                emb,
-                ctx.npmi_train.clone(),
-                &config,
-            )),
+            ModelKind::Vtmrl => {
+                Box::new(fit_vtmrl(&ctx.train, emb, ctx.npmi_train.clone(), &config))
+            }
             ModelKind::Clntm => Box::new(fit_clntm(&ctx.train, emb, &config)),
             ModelKind::ContraTopic => Box::new(fit_contratopic(
                 &ctx.train,
@@ -219,12 +212,12 @@ pub struct InterpretabilityResult {
 }
 
 /// Coherence and diversity curves against the *test* NPMI reference.
-pub fn evaluate_interpretability(
-    beta: &Tensor,
-    npmi_test: &NpmiMatrix,
-) -> InterpretabilityResult {
+pub fn evaluate_interpretability(beta: &Tensor, npmi_test: &NpmiMatrix) -> InterpretabilityResult {
     let scores = TopicScores::compute(beta, npmi_test, K_TC);
-    let coherence = PERCENTAGES.iter().map(|&p| scores.coherence_at(p)).collect();
+    let coherence = PERCENTAGES
+        .iter()
+        .map(|&p| scores.coherence_at(p))
+        .collect();
     let diversity = PERCENTAGES
         .iter()
         .map(|&p| diversity_at(beta, &scores, p, K_TD))
@@ -244,7 +237,10 @@ pub fn evaluate_clustering(
 ) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let res = kmeans(theta_test, clusters, 60, &mut rng);
-    (purity(&res.assignments, labels), nmi(&res.assignments, labels))
+    (
+        purity(&res.assignments, labels),
+        nmi(&res.assignments, labels),
+    )
 }
 
 /// Cluster counts for Figure 3, scaled from the paper's {20,40,60,80,100}.
@@ -277,8 +273,7 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var =
-        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -324,8 +319,7 @@ mod tests {
 
     #[test]
     fn model_kinds_have_unique_names() {
-        let names: std::collections::HashSet<_> =
-            ModelKind::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = ModelKind::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), ModelKind::ALL.len());
     }
 

@@ -40,7 +40,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     /// Optional flag parsed to `T`, with a default.

@@ -17,9 +17,9 @@ use rand::SeedableRng;
 const META_MAGIC: &str = "CTMODEL01";
 
 fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> io::Result<T> {
-    value.parse().map_err(|_| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("bad value for {key}"))
-    })
+    value
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad value for {key}")))
 }
 
 /// Everything needed to rebuild a trained ContraTopic/ETM model.
@@ -75,7 +75,10 @@ impl ModelBundle {
                 io::Error::new(io::ErrorKind::InvalidData, "truncated meta header")
             })?;
             let (key, value) = line.split_once('=').ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad meta line '{line}'"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad meta line '{line}'"),
+                )
             })?;
             match key {
                 "num_topics" => config.num_topics = parse_num(key, value)?,

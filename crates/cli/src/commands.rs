@@ -7,9 +7,7 @@ use ct_corpus::{
     generate as synth_generate, render_text_with_stopwords, train_embeddings, BowCorpus,
     DatasetPreset, NpmiMatrix, Pipeline, PipelineConfig, Scale,
 };
-use ct_eval::{
-    describe_topic, diversity_at, perplexity, top_topics, TopicScores, K_TC, K_TD,
-};
+use ct_eval::{describe_topic, diversity_at, perplexity, top_topics, TopicScores, K_TC, K_TD};
 use ct_models::{Backbone, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,11 +60,7 @@ fn read_corpus(path: &str, labels_path: Option<&str>) -> Result<BowCorpus, Strin
     };
     if let Some(l) = &labels {
         if l.len() != docs.len() {
-            return Err(format!(
-                "{} docs but {} labels",
-                docs.len(),
-                l.len()
-            ));
+            return Err(format!("{} docs but {} labels", docs.len(), l.len()));
         }
     }
     let pipeline = Pipeline::new(PipelineConfig::default());
@@ -95,11 +89,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
     fs::write(out, texts.join("\n")).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {} documents to {out}", texts.len());
     if let Some(labels_path) = args.get("labels") {
-        let labels = synth
-            .corpus
-            .labels
-            .as_ref()
-            .ok_or("preset has no labels")?;
+        let labels = synth.corpus.labels.as_ref().ok_or("preset has no labels")?;
         let body: Vec<String> = labels.iter().map(|l| l.to_string()).collect();
         fs::write(labels_path, body.join("\n")).map_err(|e| format!("{labels_path}: {e}"))?;
         eprintln!("wrote labels to {labels_path}");
@@ -110,8 +100,19 @@ pub fn generate(args: &Args) -> Result<(), String> {
 pub fn train(args: &Args) -> Result<(), String> {
     if let Some(f) = args
         .unknown_flags(&[
-            "corpus", "out", "labels", "topics", "epochs", "lambda", "v", "hidden",
-            "embed-dim", "batch", "lr", "variant", "seed",
+            "corpus",
+            "out",
+            "labels",
+            "topics",
+            "epochs",
+            "lambda",
+            "v",
+            "hidden",
+            "embed-dim",
+            "batch",
+            "lr",
+            "variant",
+            "seed",
         ])
         .into_iter()
         .next()
@@ -203,11 +204,7 @@ pub fn topics(args: &Args) -> Result<(), String> {
 }
 
 pub fn eval(args: &Args) -> Result<(), String> {
-    if let Some(f) = args
-        .unknown_flags(&["model", "corpus"])
-        .into_iter()
-        .next()
-    {
+    if let Some(f) = args.unknown_flags(&["model", "corpus"]).into_iter().next() {
         return Err(format!("unknown flag --{f} for eval"));
     }
     let prefix = args.require("model")?;
@@ -266,16 +263,31 @@ mod tests {
         let mp = model_prefix.to_str().unwrap().to_string();
 
         generate(
-            &Args::parse(["generate", "--preset", "20ng", "--scale", "tiny", "--out", &cp])
-                .unwrap(),
+            &Args::parse([
+                "generate", "--preset", "20ng", "--scale", "tiny", "--out", &cp,
+            ])
+            .unwrap(),
         )
         .unwrap();
         assert!(corpus_path.exists());
 
         train(
             &Args::parse([
-                "train", "--corpus", &cp, "--out", &mp, "--topics", "6", "--epochs", "2",
-                "--hidden", "24", "--embed-dim", "12", "--lambda", "10",
+                "train",
+                "--corpus",
+                &cp,
+                "--out",
+                &mp,
+                "--topics",
+                "6",
+                "--epochs",
+                "2",
+                "--hidden",
+                "24",
+                "--embed-dim",
+                "12",
+                "--lambda",
+                "10",
             ])
             .unwrap(),
         )

@@ -118,7 +118,12 @@ mod tests {
         let tape = Tape::new();
         let mut rng = StdRng::seed_from_u64(1);
         let beta = tape.leaf(peaked_beta(3, 20, 0.9));
-        let s = relaxed_subset(&tape, beta, &SubsetSamplerConfig { v: 4, tau_g: 0.5 }, &mut rng);
+        let s = relaxed_subset(
+            &tape,
+            beta,
+            &SubsetSamplerConfig { v: 4, tau_g: 0.5 },
+            &mut rng,
+        );
         assert_eq!(s.draws.len(), 4);
         for d in &s.draws {
             let dv = d.value();
@@ -143,7 +148,12 @@ mod tests {
         let tape = Tape::new();
         let mut rng = StdRng::seed_from_u64(2);
         let beta = tape.leaf(peaked_beta(2, 30, 0.95));
-        let s = relaxed_subset(&tape, beta, &SubsetSamplerConfig { v: 5, tau_g: 0.1 }, &mut rng);
+        let s = relaxed_subset(
+            &tape,
+            beta,
+            &SubsetSamplerConfig { v: 5, tau_g: 0.1 },
+            &mut rng,
+        );
         for t in 0..2 {
             let idx = hard_indices(&s, t);
             let uniq: std::collections::HashSet<_> = idx.iter().collect();
@@ -192,10 +202,12 @@ mod tests {
 
     #[test]
     fn gumbel_noise_statistics() {
-        // Gumbel(0,1) has mean ~0.5772 (Euler–Mascheroni).
+        // Gumbel(0,1) has mean ~0.5772 (Euler–Mascheroni). 160k samples
+        // put the standard error near 0.0032, so a 0.015 tolerance is ~4.7
+        // sigma — seed-robust while still catching real bias.
         let mut rng = StdRng::seed_from_u64(5);
-        let g = gumbel_noise(100, 100, &mut rng);
-        assert!((g.mean() - 0.5772).abs() < 0.02, "mean {}", g.mean());
+        let g = gumbel_noise(400, 400, &mut rng);
+        assert!((g.mean() - 0.5772).abs() < 0.015, "mean {}", g.mean());
     }
 
     #[test]

@@ -34,15 +34,15 @@ pub mod gumbel;
 pub mod kernel;
 pub mod model;
 pub mod online;
-pub mod tuning;
 pub mod regularizer;
+pub mod tuning;
 
 pub use gumbel::{gumbel_noise, relaxed_subset, SubsetSample, SubsetSamplerConfig};
 pub use kernel::SimilarityKernel;
 pub use model::{
-    build_kernel, fit_contratopic, fit_contratopic_wete, fit_contratopic_wlda,
-    fit_multilevel, fit_with_backbone, ContraTopic, ContraTopicConfig,
+    build_kernel, fit_contratopic, fit_contratopic_wete, fit_contratopic_wlda, fit_multilevel,
+    fit_with_backbone, ContraTopic, ContraTopicConfig,
 };
 pub use online::OnlineContraTopic;
-pub use tuning::{grid_search, GridPoint, GridSearchResult, GridSearchSpace};
 pub use regularizer::{AblationVariant, ContrastiveRegularizer};
+pub use tuning::{grid_search, GridPoint, GridSearchResult, GridSearchSpace};

@@ -55,18 +55,22 @@ impl OnlineContraTopic {
         assert!(slice.num_docs() > 0, "empty slice");
         self.accumulator.add_corpus(slice);
         let kernel = SimilarityKernel::from_npmi_owned(self.accumulator.to_npmi());
-        let reg =
-            ContrastiveRegularizer::new(kernel, self.config.sampler, self.config.variant);
+        let reg = ContrastiveRegularizer::new(kernel, self.config.sampler, self.config.variant);
         // Distinct seed per slice so batching/Gumbel noise differ.
         let mut cfg = self.base.clone();
         cfg.seed = self.base.seed.wrapping_add(self.slices_seen as u64 + 1);
         let lambda = self.config.lambda;
         let backbone = &self.backbone;
-        let stats = train_loop(slice, &cfg, &mut self.params, |tape, params, x, idx, rng| {
-            let out = backbone.batch_loss(tape, params, x, idx, true, rng);
-            let r = reg.loss(tape, out.beta, rng);
-            out.loss.add(r.scale(lambda))
-        });
+        let stats = train_loop(
+            slice,
+            &cfg,
+            &mut self.params,
+            |tape, params, x, idx, rng| {
+                let out = backbone.batch_loss(tape, params, x, idx, true, rng);
+                let r = reg.loss(tape, out.beta, rng);
+                out.loss.add(r.scale(lambda))
+            },
+        );
         self.slice_stats.push(stats);
         self.slices_seen += 1;
     }

@@ -8,9 +8,11 @@
 //! subset sampler, so the loss backpropagates into the topic-word
 //! distribution.
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use ct_tensor::ops::concat_rows;
+use ct_tensor::ops::{concat_rows, QuadScratch};
 use ct_tensor::{Tape, Tensor, Var};
 use rand::Rng;
 
@@ -110,6 +112,15 @@ pub struct ContrastiveRegularizer {
     pub kernel: SimilarityKernel,
     pub sampler: SubsetSamplerConfig,
     pub variant: AblationVariant,
+    /// Pair masks memoized by `(k, v)`. The masks depend only on those two
+    /// integers, and `loss` is called once per training step with the same
+    /// shape — rebuilding four `M x M` tensors each step was pure waste.
+    masks: RefCell<HashMap<(usize, usize), Rc<PairMasks>>>,
+    /// How many times mask construction actually ran (test hook).
+    masks_built: Cell<usize>,
+    /// Reused buffer for the kernel product `T = A·N` inside the fused
+    /// `S = A·N·Aᵀ` op — one allocation per instance instead of per step.
+    quad_scratch: Rc<RefCell<QuadScratch>>,
 }
 
 impl ContrastiveRegularizer {
@@ -122,7 +133,26 @@ impl ContrastiveRegularizer {
             kernel,
             sampler,
             variant,
+            masks: RefCell::new(HashMap::new()),
+            masks_built: Cell::new(0),
+            quad_scratch: Rc::new(RefCell::new(QuadScratch::new())),
         }
+    }
+
+    fn masks(&self, k: usize, v: usize) -> Rc<PairMasks> {
+        if let Some(m) = self.masks.borrow().get(&(k, v)) {
+            return Rc::clone(m);
+        }
+        let built = Rc::new(build_masks(k, v));
+        self.masks_built.set(self.masks_built.get() + 1);
+        self.masks.borrow_mut().insert((k, v), Rc::clone(&built));
+        built
+    }
+
+    /// Number of times `build_masks` has actually run for this instance.
+    /// Stays at one per distinct `(k, v)` shape thanks to memoization.
+    pub fn masks_built(&self) -> usize {
+        self.masks_built.get()
     }
 
     /// Build `L_con` on the tape from the differentiable `beta (K, V)`.
@@ -150,9 +180,9 @@ impl ContrastiveRegularizer {
         // Stack draws: row i is draw (i / k) of topic (i % k).
         let a = concat_rows(&sample.draws); // (M, V)
         let m = (k * self.sampler.v) as f32;
-        // Pairwise expected similarity: S = A N A^T.
-        let s = a.matmul_const(self.kernel.matrix()).matmul_nt(a); // (M, M)
-        let masks = build_masks(k, self.sampler.v);
+        // Pairwise expected similarity: S = A N A^T (fused; N is symmetric).
+        let s = a.sym_quadratic_const(self.kernel.matrix(), &self.quad_scratch); // (M, M)
+        let masks = self.masks(k, self.sampler.v);
         match self.variant {
             AblationVariant::Full | AblationVariant::InnerProduct => {
                 // Eq. 2: sum_i -log( sum_{p in P(i)} e^{S_ip}
@@ -180,7 +210,7 @@ impl ContrastiveRegularizer {
     /// ContraTopic-S: replace sampling by the expectation under `beta`:
     /// `S = beta N beta^T (K, K)`; the diagonal entries are the positives.
     fn loss_no_sampling<'t>(&self, beta: Var<'t>, k: usize) -> Var<'t> {
-        let s = beta.matmul_const(self.kernel.matrix()).matmul_nt(beta); // (K, K)
+        let s = beta.sym_quadratic_const(self.kernel.matrix(), &self.quad_scratch); // (K, K)
         let diag = Rc::new(Tensor::eye(k));
         let numer = s.mul_const(&diag).sum_axis1(); // (K, 1) = diagonal
         let denom = s.logsumexp_rows(); // (K, 1)
@@ -242,11 +272,8 @@ mod tests {
 
     fn loss_value(variant: AblationVariant, beta_t: &Tensor, seed: u64) -> f32 {
         let kernel = kernel_two_clusters();
-        let reg = ContrastiveRegularizer::new(
-            kernel,
-            SubsetSamplerConfig { v: 4, tau_g: 0.2 },
-            variant,
-        );
+        let reg =
+            ContrastiveRegularizer::new(kernel, SubsetSamplerConfig { v: 4, tau_g: 0.2 }, variant);
         let tape = Tape::new();
         let beta = tape.leaf(beta_t.clone());
         let mut rng = StdRng::seed_from_u64(seed);
@@ -340,6 +367,54 @@ mod tests {
             "loss did not decrease: {} -> {last}",
             first.unwrap()
         );
+    }
+
+    #[test]
+    fn masks_built_at_most_once_per_shape() {
+        let reg = ContrastiveRegularizer::new(
+            kernel_two_clusters(),
+            SubsetSamplerConfig { v: 4, tau_g: 0.2 },
+            AblationVariant::Full,
+        );
+        assert_eq!(reg.masks_built(), 0);
+        let beta_t = aligned_beta();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let tape = Tape::new();
+            let beta = tape.leaf(beta_t.clone());
+            let _ = reg.loss(&tape, beta, &mut rng).scalar_value();
+        }
+        assert_eq!(reg.masks_built(), 1, "masks must be built once per (k, v)");
+    }
+
+    #[test]
+    fn caching_does_not_change_loss_values() {
+        // A long-lived regularizer (warm mask cache + reused scratch) must
+        // produce bit-identical losses to fresh instances fed the same RNG
+        // stream.
+        let mk = || {
+            ContrastiveRegularizer::new(
+                kernel_two_clusters(),
+                SubsetSamplerConfig { v: 4, tau_g: 0.2 },
+                AblationVariant::Full,
+            )
+        };
+        let reused = mk();
+        let beta_t = aligned_beta();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for step in 0..4 {
+            let ta = Tape::new();
+            let la = reused
+                .loss(&ta, ta.leaf(beta_t.clone()), &mut rng_a)
+                .scalar_value();
+            let fresh = mk();
+            let tb = Tape::new();
+            let lb = fresh
+                .loss(&tb, tb.leaf(beta_t.clone()), &mut rng_b)
+                .scalar_value();
+            assert_eq!(la.to_bits(), lb.to_bits(), "step {step}: {la} vs {lb}");
+        }
     }
 
     #[test]

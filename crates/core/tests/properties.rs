@@ -1,8 +1,7 @@
 //! Property-based tests of the sampler and regularizer invariants.
 
 use contratopic::{
-    relaxed_subset, AblationVariant, ContrastiveRegularizer, SimilarityKernel,
-    SubsetSamplerConfig,
+    relaxed_subset, AblationVariant, ContrastiveRegularizer, SimilarityKernel, SubsetSamplerConfig,
 };
 use ct_tensor::{Tape, Tensor};
 use proptest::prelude::*;

@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn batch_iter_covers_all_docs_once() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut seen = vec![0; 10];
+        let mut seen = [0; 10];
         for batch in BatchIter::new(10, 3, &mut rng) {
             assert!(batch.len() <= 3);
             for i in batch {

@@ -74,12 +74,12 @@ pub fn symmetric_topk_eigs<R: Rng>(
     // Rayleigh quotients.
     let mx = m.matmul(&x);
     let mut eigvals = vec![0.0f32; dim];
-    for c in 0..dim {
+    for (c, ev) in eigvals.iter_mut().enumerate() {
         let mut acc = 0.0f64;
         for r in 0..v {
             acc += (x.get(r, c) as f64) * (mx.get(r, c) as f64);
         }
-        eigvals[c] = acc as f32;
+        *ev = acc as f32;
     }
     // Sort columns by |eigenvalue| descending.
     let mut order: Vec<usize> = (0..dim).collect();
@@ -138,8 +138,8 @@ pub fn train_embeddings<R: Rng>(corpus: &BowCorpus, dim: usize, rng: &mut R) -> 
 pub fn embeddings_from_matrix<R: Rng>(m: &Tensor, dim: usize, rng: &mut R) -> Tensor {
     let (u, vals) = symmetric_topk_eigs(m, dim, 12, rng);
     let mut emb = u;
-    for c in 0..dim {
-        let s = vals[c].abs().sqrt();
+    for (c, &val) in vals.iter().enumerate().take(dim) {
+        let s = val.abs().sqrt();
         for r in 0..emb.rows() {
             let v = emb.get(r, c) * s;
             emb.set(r, c, v);
@@ -164,7 +164,12 @@ pub fn degrade_embeddings<R: Rng>(mut emb: Tensor, noise_rel: f32, rng: &mut R) 
     let mean_norm = {
         let mut acc = 0.0f64;
         for r in 0..emb.rows() {
-            acc += emb.row(r).iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+            acc += emb
+                .row(r)
+                .iter()
+                .map(|&v| (v as f64).powi(2))
+                .sum::<f64>()
+                .sqrt();
         }
         (acc / emb.rows().max(1) as f64) as f32
     };
@@ -245,11 +250,7 @@ mod tests {
     #[test]
     fn subspace_iteration_finds_dominant_eigenpair() {
         // Known spectrum: diag(5, 2, 1).
-        let m = Tensor::from_vec(
-            vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0],
-            3,
-            3,
-        );
+        let m = Tensor::from_vec(vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0], 3, 3);
         let mut rng = StdRng::seed_from_u64(1);
         let (u, vals) = symmetric_topk_eigs(&m, 2, 30, &mut rng);
         assert!((vals[0] - 5.0).abs() < 1e-2, "vals {vals:?}");
@@ -283,7 +284,13 @@ mod tests {
         // Mean perturbation norm should be ~0.5x the mean signal norm.
         let mean_norm = |t: &Tensor| -> f64 {
             (0..t.rows())
-                .map(|r| t.row(r).iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt())
+                .map(|r| {
+                    t.row(r)
+                        .iter()
+                        .map(|&v| (v as f64).powi(2))
+                        .sum::<f64>()
+                        .sqrt()
+                })
                 .sum::<f64>()
                 / t.rows() as f64
         };

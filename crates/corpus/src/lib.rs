@@ -19,5 +19,7 @@ pub use bow::{BatchIter, BowCorpus, SparseDoc};
 pub use embed::{cosine, degrade_embeddings, train_embeddings, CorpusStats};
 pub use npmi::NpmiMatrix;
 pub use pipeline::{Pipeline, PipelineConfig};
-pub use synth::{generate, render_text_with_stopwords, DatasetPreset, Scale, SynthCorpus, SynthSpec};
+pub use synth::{
+    generate, render_text_with_stopwords, DatasetPreset, Scale, SynthCorpus, SynthSpec,
+};
 pub use vocab::Vocab;

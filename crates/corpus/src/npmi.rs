@@ -203,10 +203,7 @@ mod tests {
     fn independent_words_near_zero() {
         // Construct near-independence: each pair co-occurs at chance rate.
         // 0 in half the docs, 1 in half, together in a quarter.
-        let c = corpus_from_docs(
-            2,
-            &[&[0, 1], &[0], &[1], &[], &[0, 1], &[0], &[1], &[]],
-        );
+        let c = corpus_from_docs(2, &[&[0, 1], &[0], &[1], &[], &[0, 1], &[0], &[1], &[]]);
         let mut c = c;
         c.docs.retain(|d| !d.is_empty());
         // p0 = 4/6, p1 = 4/6, p01 = 2/6 vs independent 16/36 = 0.444 — close.

@@ -11,17 +11,122 @@ use crate::vocab::Vocab;
 /// A small English stopword list (the usual function words; the paper's
 /// exact list is unspecified).
 pub const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has",
-    "have", "he", "her", "his", "i", "in", "is", "it", "its", "of", "on", "or", "she",
-    "that", "the", "their", "them", "they", "this", "to", "was", "we", "were", "will",
-    "with", "you", "your", "not", "no", "so", "if", "then", "than", "there", "these",
-    "those", "been", "being", "do", "does", "did", "what", "when", "where", "which",
-    "who", "whom", "why", "how", "all", "any", "both", "each", "few", "more", "most",
-    "other", "some", "such", "only", "own", "same", "too", "very", "can", "just",
-    "should", "now", "also", "into", "over", "under", "again", "once", "here", "out",
-    "up", "down", "about", "between", "through", "during", "before", "after", "above",
-    "below", "off", "because", "while", "until", "against", "am", "my", "me", "our",
-    "ours", "us", "him", "himself", "herself", "itself", "themselves", "myself",
+    "a",
+    "an",
+    "and",
+    "are",
+    "as",
+    "at",
+    "be",
+    "but",
+    "by",
+    "for",
+    "from",
+    "had",
+    "has",
+    "have",
+    "he",
+    "her",
+    "his",
+    "i",
+    "in",
+    "is",
+    "it",
+    "its",
+    "of",
+    "on",
+    "or",
+    "she",
+    "that",
+    "the",
+    "their",
+    "them",
+    "they",
+    "this",
+    "to",
+    "was",
+    "we",
+    "were",
+    "will",
+    "with",
+    "you",
+    "your",
+    "not",
+    "no",
+    "so",
+    "if",
+    "then",
+    "than",
+    "there",
+    "these",
+    "those",
+    "been",
+    "being",
+    "do",
+    "does",
+    "did",
+    "what",
+    "when",
+    "where",
+    "which",
+    "who",
+    "whom",
+    "why",
+    "how",
+    "all",
+    "any",
+    "both",
+    "each",
+    "few",
+    "more",
+    "most",
+    "other",
+    "some",
+    "such",
+    "only",
+    "own",
+    "same",
+    "too",
+    "very",
+    "can",
+    "just",
+    "should",
+    "now",
+    "also",
+    "into",
+    "over",
+    "under",
+    "again",
+    "once",
+    "here",
+    "out",
+    "up",
+    "down",
+    "about",
+    "between",
+    "through",
+    "during",
+    "before",
+    "after",
+    "above",
+    "below",
+    "off",
+    "because",
+    "while",
+    "until",
+    "against",
+    "am",
+    "my",
+    "me",
+    "our",
+    "ours",
+    "us",
+    "him",
+    "himself",
+    "herself",
+    "itself",
+    "themselves",
+    "myself",
 ];
 
 /// Configuration for [`Pipeline`].
@@ -133,10 +238,7 @@ impl Pipeline {
         let mut corpus = BowCorpus::new(vocab);
         let mut kept_labels = Vec::new();
         for (i, doc) in tokenized.iter().enumerate() {
-            let ids: Vec<u32> = doc
-                .iter()
-                .filter_map(|w| corpus.vocab.id(w))
-                .collect();
+            let ids: Vec<u32> = doc.iter().filter_map(|w| corpus.vocab.id(w)).collect();
             if ids.len() < self.config.min_doc_tokens {
                 continue;
             }
@@ -208,7 +310,11 @@ mod tests {
 
     #[test]
     fn build_drops_short_docs_and_keeps_labels_aligned() {
-        let texts = ["good document with plenty words", "xx", "another good document words"];
+        let texts = [
+            "good document with plenty words",
+            "xx",
+            "another good document words",
+        ];
         let labels = [7usize, 8, 9];
         let p = Pipeline::new(PipelineConfig {
             min_doc_count: 1,
@@ -222,7 +328,11 @@ mod tests {
 
     #[test]
     fn vocabulary_order_is_deterministic() {
-        let texts = ["zebra apple mango", "apple mango zebra", "mango zebra apple"];
+        let texts = [
+            "zebra apple mango",
+            "apple mango zebra",
+            "mango zebra apple",
+        ];
         let p = Pipeline::new(PipelineConfig {
             min_doc_count: 1,
             max_doc_freq: 1.0,

@@ -140,8 +140,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for &shape in &[0.3, 1.0, 2.5, 10.0] {
             let n = 4000;
-            let mean: f64 =
-                (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| gamma_sample(shape, &mut rng)).sum::<f64>() / n as f64;
             assert!(
                 (mean - shape).abs() < 0.15 * shape.max(1.0),
                 "shape {shape}: mean {mean}"
@@ -165,9 +164,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for &lam in &[2.0, 15.0, 100.0] {
             let n = 3000;
-            let mean: f64 =
-                (0..n).map(|_| poisson_sample(lam, &mut rng) as f64).sum::<f64>() / n as f64;
-            assert!((mean - lam).abs() < 0.1 * lam.max(5.0), "lambda {lam}: mean {mean}");
+            let mean: f64 = (0..n)
+                .map(|_| poisson_sample(lam, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lam).abs() < 0.1 * lam.max(5.0),
+                "lambda {lam}: mean {mean}"
+            );
         }
     }
 

@@ -20,26 +20,506 @@ use crate::vocab::Vocab;
 /// core words from these, so case-study output reads like the paper's
 /// Tables IV–VI.
 pub const THEMES: &[(&str, [&str; 20])] = &[
-    ("space", ["space", "nasa", "orbit", "launch", "shuttle", "moon", "lunar", "satellite", "earth", "astronaut", "rocket", "mission", "mars", "telescope", "solar", "gravity", "spacecraft", "cosmos", "astronomy", "payload"]),
-    ("medicine", ["patients", "health", "medical", "disease", "cancer", "drug", "treatment", "doctor", "symptoms", "clinical", "infection", "therapy", "diagnosis", "blood", "surgery", "vaccine", "chronic", "medicine", "hospital", "dose"]),
-    ("religion", ["god", "jesus", "church", "christian", "bible", "faith", "christ", "holy", "prayer", "scripture", "religion", "belief", "worship", "gospel", "sin", "heaven", "soul", "divine", "theology", "preacher"]),
-    ("sports", ["game", "team", "season", "players", "league", "hockey", "baseball", "score", "coach", "playoff", "goal", "win", "defense", "offense", "tournament", "champion", "stadium", "referee", "rookie", "roster"]),
-    ("encryption", ["key", "encryption", "chip", "clipper", "keys", "security", "algorithm", "privacy", "cipher", "escrow", "nsa", "wiretap", "cryptography", "decrypt", "secret", "scheme", "backdoor", "protocol", "secure", "hash"]),
-    ("mideast", ["israel", "israeli", "arab", "jewish", "jews", "palestinian", "peace", "land", "war", "territory", "conflict", "treaty", "border", "refugees", "diplomacy", "militia", "occupation", "settlement", "negotiation", "ceasefire"]),
-    ("hardware", ["drive", "scsi", "disk", "controller", "bus", "card", "memory", "ram", "processor", "motherboard", "cpu", "hardware", "floppy", "cache", "chipset", "firmware", "interface", "port", "jumper", "megabyte"]),
-    ("graphics", ["image", "graphics", "jpeg", "gif", "color", "format", "images", "pixel", "rendering", "animation", "bitmap", "resolution", "shader", "polygon", "texture", "palette", "viewer", "conversion", "compression", "vector"]),
-    ("autos", ["car", "engine", "cars", "dealer", "miles", "tires", "brake", "transmission", "fuel", "driver", "highway", "vehicle", "honda", "mileage", "clutch", "sedan", "torque", "exhaust", "garage", "warranty"]),
-    ("cooking", ["cup", "sugar", "butter", "flour", "bake", "oven", "sauce", "garlic", "pepper", "recipe", "cream", "salt", "dough", "cheese", "onion", "simmer", "whisk", "tablespoon", "teaspoon", "marinade"]),
-    ("finance", ["market", "stock", "price", "trading", "economy", "bank", "interest", "investment", "profit", "shares", "fund", "inflation", "earnings", "revenue", "dividend", "broker", "portfolio", "asset", "bond", "currency"]),
-    ("music", ["album", "band", "guitar", "song", "music", "concert", "drums", "vocals", "melody", "lyrics", "chord", "studio", "tour", "record", "bass", "rhythm", "singer", "acoustic", "orchestra", "tempo"]),
-    ("politics", ["government", "president", "congress", "election", "vote", "policy", "senate", "campaign", "democrat", "republican", "legislation", "lobby", "governor", "debate", "ballot", "candidate", "reform", "mandate", "veto", "caucus"]),
-    ("wrestling", ["wrestling", "wrestler", "ring", "match", "championship", "wwe", "smackdown", "cena", "batista", "orton", "heel", "babyface", "promo", "tagteam", "suplex", "pin", "submission", "brand", "feud", "rumble"]),
-    ("aviation", ["aircraft", "pilot", "flight", "airline", "runway", "cockpit", "altitude", "boeing", "airport", "turbine", "fuselage", "landing", "takeoff", "hangar", "airspace", "propeller", "aviation", "cargo", "crew", "radar"]),
-    ("law", ["court", "judge", "lawyer", "trial", "jury", "verdict", "appeal", "plaintiff", "defendant", "statute", "attorney", "testimony", "evidence", "ruling", "lawsuit", "prosecutor", "bail", "felony", "contract", "litigation"]),
-    ("gardening", ["garden", "soil", "seeds", "plants", "compost", "bloom", "pruning", "roots", "mulch", "watering", "fertilizer", "perennial", "greenhouse", "weeds", "harvest", "shrub", "botanical", "flower", "shade", "seedling"]),
-    ("photography", ["camera", "lens", "aperture", "shutter", "exposure", "focus", "tripod", "photograph", "iso", "flash", "portrait", "landscape", "zoom", "filter", "darkroom", "negative", "framing", "lighting", "composition", "print"]),
-    ("chess", ["chess", "pawn", "knight", "bishop", "rook", "queen", "checkmate", "opening", "endgame", "gambit", "castling", "grandmaster", "tactics", "sacrifice", "blunder", "tournamentplay", "defence", "attackline", "boardgame", "notation"]),
-    ("weather", ["storm", "rain", "temperature", "forecast", "hurricane", "snow", "wind", "humidity", "thunder", "climate", "drought", "flood", "frost", "tornado", "rainfall", "barometer", "heatwave", "blizzard", "monsoon", "fog"]),
+    (
+        "space",
+        [
+            "space",
+            "nasa",
+            "orbit",
+            "launch",
+            "shuttle",
+            "moon",
+            "lunar",
+            "satellite",
+            "earth",
+            "astronaut",
+            "rocket",
+            "mission",
+            "mars",
+            "telescope",
+            "solar",
+            "gravity",
+            "spacecraft",
+            "cosmos",
+            "astronomy",
+            "payload",
+        ],
+    ),
+    (
+        "medicine",
+        [
+            "patients",
+            "health",
+            "medical",
+            "disease",
+            "cancer",
+            "drug",
+            "treatment",
+            "doctor",
+            "symptoms",
+            "clinical",
+            "infection",
+            "therapy",
+            "diagnosis",
+            "blood",
+            "surgery",
+            "vaccine",
+            "chronic",
+            "medicine",
+            "hospital",
+            "dose",
+        ],
+    ),
+    (
+        "religion",
+        [
+            "god",
+            "jesus",
+            "church",
+            "christian",
+            "bible",
+            "faith",
+            "christ",
+            "holy",
+            "prayer",
+            "scripture",
+            "religion",
+            "belief",
+            "worship",
+            "gospel",
+            "sin",
+            "heaven",
+            "soul",
+            "divine",
+            "theology",
+            "preacher",
+        ],
+    ),
+    (
+        "sports",
+        [
+            "game",
+            "team",
+            "season",
+            "players",
+            "league",
+            "hockey",
+            "baseball",
+            "score",
+            "coach",
+            "playoff",
+            "goal",
+            "win",
+            "defense",
+            "offense",
+            "tournament",
+            "champion",
+            "stadium",
+            "referee",
+            "rookie",
+            "roster",
+        ],
+    ),
+    (
+        "encryption",
+        [
+            "key",
+            "encryption",
+            "chip",
+            "clipper",
+            "keys",
+            "security",
+            "algorithm",
+            "privacy",
+            "cipher",
+            "escrow",
+            "nsa",
+            "wiretap",
+            "cryptography",
+            "decrypt",
+            "secret",
+            "scheme",
+            "backdoor",
+            "protocol",
+            "secure",
+            "hash",
+        ],
+    ),
+    (
+        "mideast",
+        [
+            "israel",
+            "israeli",
+            "arab",
+            "jewish",
+            "jews",
+            "palestinian",
+            "peace",
+            "land",
+            "war",
+            "territory",
+            "conflict",
+            "treaty",
+            "border",
+            "refugees",
+            "diplomacy",
+            "militia",
+            "occupation",
+            "settlement",
+            "negotiation",
+            "ceasefire",
+        ],
+    ),
+    (
+        "hardware",
+        [
+            "drive",
+            "scsi",
+            "disk",
+            "controller",
+            "bus",
+            "card",
+            "memory",
+            "ram",
+            "processor",
+            "motherboard",
+            "cpu",
+            "hardware",
+            "floppy",
+            "cache",
+            "chipset",
+            "firmware",
+            "interface",
+            "port",
+            "jumper",
+            "megabyte",
+        ],
+    ),
+    (
+        "graphics",
+        [
+            "image",
+            "graphics",
+            "jpeg",
+            "gif",
+            "color",
+            "format",
+            "images",
+            "pixel",
+            "rendering",
+            "animation",
+            "bitmap",
+            "resolution",
+            "shader",
+            "polygon",
+            "texture",
+            "palette",
+            "viewer",
+            "conversion",
+            "compression",
+            "vector",
+        ],
+    ),
+    (
+        "autos",
+        [
+            "car",
+            "engine",
+            "cars",
+            "dealer",
+            "miles",
+            "tires",
+            "brake",
+            "transmission",
+            "fuel",
+            "driver",
+            "highway",
+            "vehicle",
+            "honda",
+            "mileage",
+            "clutch",
+            "sedan",
+            "torque",
+            "exhaust",
+            "garage",
+            "warranty",
+        ],
+    ),
+    (
+        "cooking",
+        [
+            "cup",
+            "sugar",
+            "butter",
+            "flour",
+            "bake",
+            "oven",
+            "sauce",
+            "garlic",
+            "pepper",
+            "recipe",
+            "cream",
+            "salt",
+            "dough",
+            "cheese",
+            "onion",
+            "simmer",
+            "whisk",
+            "tablespoon",
+            "teaspoon",
+            "marinade",
+        ],
+    ),
+    (
+        "finance",
+        [
+            "market",
+            "stock",
+            "price",
+            "trading",
+            "economy",
+            "bank",
+            "interest",
+            "investment",
+            "profit",
+            "shares",
+            "fund",
+            "inflation",
+            "earnings",
+            "revenue",
+            "dividend",
+            "broker",
+            "portfolio",
+            "asset",
+            "bond",
+            "currency",
+        ],
+    ),
+    (
+        "music",
+        [
+            "album",
+            "band",
+            "guitar",
+            "song",
+            "music",
+            "concert",
+            "drums",
+            "vocals",
+            "melody",
+            "lyrics",
+            "chord",
+            "studio",
+            "tour",
+            "record",
+            "bass",
+            "rhythm",
+            "singer",
+            "acoustic",
+            "orchestra",
+            "tempo",
+        ],
+    ),
+    (
+        "politics",
+        [
+            "government",
+            "president",
+            "congress",
+            "election",
+            "vote",
+            "policy",
+            "senate",
+            "campaign",
+            "democrat",
+            "republican",
+            "legislation",
+            "lobby",
+            "governor",
+            "debate",
+            "ballot",
+            "candidate",
+            "reform",
+            "mandate",
+            "veto",
+            "caucus",
+        ],
+    ),
+    (
+        "wrestling",
+        [
+            "wrestling",
+            "wrestler",
+            "ring",
+            "match",
+            "championship",
+            "wwe",
+            "smackdown",
+            "cena",
+            "batista",
+            "orton",
+            "heel",
+            "babyface",
+            "promo",
+            "tagteam",
+            "suplex",
+            "pin",
+            "submission",
+            "brand",
+            "feud",
+            "rumble",
+        ],
+    ),
+    (
+        "aviation",
+        [
+            "aircraft",
+            "pilot",
+            "flight",
+            "airline",
+            "runway",
+            "cockpit",
+            "altitude",
+            "boeing",
+            "airport",
+            "turbine",
+            "fuselage",
+            "landing",
+            "takeoff",
+            "hangar",
+            "airspace",
+            "propeller",
+            "aviation",
+            "cargo",
+            "crew",
+            "radar",
+        ],
+    ),
+    (
+        "law",
+        [
+            "court",
+            "judge",
+            "lawyer",
+            "trial",
+            "jury",
+            "verdict",
+            "appeal",
+            "plaintiff",
+            "defendant",
+            "statute",
+            "attorney",
+            "testimony",
+            "evidence",
+            "ruling",
+            "lawsuit",
+            "prosecutor",
+            "bail",
+            "felony",
+            "contract",
+            "litigation",
+        ],
+    ),
+    (
+        "gardening",
+        [
+            "garden",
+            "soil",
+            "seeds",
+            "plants",
+            "compost",
+            "bloom",
+            "pruning",
+            "roots",
+            "mulch",
+            "watering",
+            "fertilizer",
+            "perennial",
+            "greenhouse",
+            "weeds",
+            "harvest",
+            "shrub",
+            "botanical",
+            "flower",
+            "shade",
+            "seedling",
+        ],
+    ),
+    (
+        "photography",
+        [
+            "camera",
+            "lens",
+            "aperture",
+            "shutter",
+            "exposure",
+            "focus",
+            "tripod",
+            "photograph",
+            "iso",
+            "flash",
+            "portrait",
+            "landscape",
+            "zoom",
+            "filter",
+            "darkroom",
+            "negative",
+            "framing",
+            "lighting",
+            "composition",
+            "print",
+        ],
+    ),
+    (
+        "chess",
+        [
+            "chess",
+            "pawn",
+            "knight",
+            "bishop",
+            "rook",
+            "queen",
+            "checkmate",
+            "opening",
+            "endgame",
+            "gambit",
+            "castling",
+            "grandmaster",
+            "tactics",
+            "sacrifice",
+            "blunder",
+            "tournamentplay",
+            "defence",
+            "attackline",
+            "boardgame",
+            "notation",
+        ],
+    ),
+    (
+        "weather",
+        [
+            "storm",
+            "rain",
+            "temperature",
+            "forecast",
+            "hurricane",
+            "snow",
+            "wind",
+            "humidity",
+            "thunder",
+            "climate",
+            "drought",
+            "flood",
+            "frost",
+            "tornado",
+            "rainfall",
+            "barometer",
+            "heatwave",
+            "blizzard",
+            "monsoon",
+            "fog",
+        ],
+    ),
 ];
 
 /// Number of core words each planted topic owns.
@@ -152,8 +632,8 @@ fn build_true_beta(spec: &SynthSpec) -> Tensor {
     for t in 0..k {
         let row = beta.row_mut(t);
         let bg_mass = 1.0 - spec.core_mass;
-        for i in 0..n_core {
-            row[i] = (bg_mass * core_floor) as f32;
+        for slot in row.iter_mut().take(n_core) {
+            *slot = (bg_mass * core_floor) as f32;
         }
         for (i, &w) in bg.iter().enumerate() {
             row[n_core + i] = (bg_mass * 0.9 * w / bg_sum) as f32;
@@ -323,12 +803,20 @@ impl DatasetPreset {
         // mixed documents, like real text. On easy corpora every model
         // saturates the planted-NPMI ceiling and the paper's comparisons
         // degenerate.
-        let (vocab_size, num_topics, num_labels, num_docs, avg_doc_len, with_labels, core_mass, alpha) =
-            match self {
-                DatasetPreset::Ng20Like => (1200, 48, 20, 2500, 60.0, true, 0.58, 0.15),
-                DatasetPreset::YahooLike => (1500, 50, 25, 4000, 46.0, true, 0.56, 0.16),
-                DatasetPreset::NyTimesLike => (2400, 60, 0, 4000, 80.0, false, 0.60, 0.13),
-            };
+        let (
+            vocab_size,
+            num_topics,
+            num_labels,
+            num_docs,
+            avg_doc_len,
+            with_labels,
+            core_mass,
+            alpha,
+        ) = match self {
+            DatasetPreset::Ng20Like => (1200, 48, 20, 2500, 60.0, true, 0.58, 0.15),
+            DatasetPreset::YahooLike => (1500, 50, 25, 4000, 46.0, true, 0.56, 0.16),
+            DatasetPreset::NyTimesLike => (2400, 60, 0, 4000, 80.0, false, 0.60, 0.13),
+        };
         let num_docs = ((num_docs as f64) * f).round() as usize;
         let (vocab_size, num_topics, num_labels, core_mass, alpha) = match scale {
             Scale::Tiny => {

@@ -8,16 +8,14 @@ use rand::SeedableRng;
 
 fn corpus_strat() -> impl Strategy<Value = BowCorpus> {
     // 6-word vocabulary, 3..20 docs of 1..8 tokens each.
-    proptest::collection::vec(proptest::collection::vec(0u32..6, 1..8), 3..20).prop_map(
-        |docs| {
-            let vocab = Vocab::from_words((0..6).map(|i| format!("w{i}")));
-            let mut c = BowCorpus::new(vocab);
-            for d in docs {
-                c.docs.push(SparseDoc::from_tokens(&d));
-            }
-            c
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..6, 1..8), 3..20).prop_map(|docs| {
+        let vocab = Vocab::from_words((0..6).map(|i| format!("w{i}")));
+        let mut c = BowCorpus::new(vocab);
+        for d in docs {
+            c.docs.push(SparseDoc::from_tokens(&d));
+        }
+        c
+    })
 }
 
 proptest! {

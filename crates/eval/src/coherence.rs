@@ -61,7 +61,10 @@ impl TopicScores {
 /// Mean-NPMI coherence curve over [`PERCENTAGES`].
 pub fn coherence_curve(beta: &Tensor, npmi: &NpmiMatrix, k_tc: usize) -> Vec<f64> {
     let scores = TopicScores::compute(beta, npmi, k_tc);
-    PERCENTAGES.iter().map(|&p| scores.coherence_at(p)).collect()
+    PERCENTAGES
+        .iter()
+        .map(|&p| scores.coherence_at(p))
+        .collect()
 }
 
 /// Topic diversity at proportion `pct`: unique fraction of top `k_td` words

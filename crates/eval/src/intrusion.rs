@@ -101,7 +101,11 @@ pub fn generate_questionnaire<R: Rng>(
             probs[v / 2]
         };
         let mut pool: Vec<usize> = Vec::new();
-        let sources: &[usize] = if outside.is_empty() { &scores.order } else { &outside };
+        let sources: &[usize] = if outside.is_empty() {
+            &scores.order
+        } else {
+            &outside
+        };
         for &src in sources {
             if src == t {
                 continue;

@@ -38,7 +38,9 @@ pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> 
     let mut centroids = Tensor::zeros(k, dim);
     let first = rng.gen_range(0..n);
     centroids.row_mut(0).copy_from_slice(data.row(first));
-    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(data.row(i), centroids.row(0))).collect();
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(0)))
+        .collect();
     for c in 1..k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -56,10 +58,10 @@ pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> 
             pick
         };
         centroids.row_mut(c).copy_from_slice(data.row(next));
-        for i in 0..n {
+        for (i, d) in d2.iter_mut().enumerate() {
             let nd = sq_dist(data.row(i), centroids.row(c));
-            if nd < d2[i] {
-                d2[i] = nd;
+            if nd < *d {
+                *d = nd;
             }
         }
     }
@@ -72,7 +74,7 @@ pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> 
         iterations = it + 1;
         let mut changed = false;
         inertia = 0.0;
-        for i in 0..n {
+        for (i, slot) in assignments.iter_mut().enumerate() {
             let row = data.row(i);
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
@@ -84,8 +86,8 @@ pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> 
                 }
             }
             inertia += best_d;
-            if assignments[i] != best {
-                assignments[i] = best;
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
@@ -95,16 +97,15 @@ pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> 
         // Recompute centroids; empty clusters re-seed to the farthest point.
         let mut counts = vec![0usize; k];
         let mut sums = Tensor::zeros(k, dim);
-        for i in 0..n {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
             let s = sums.row_mut(c);
             for (sv, &dv) in s.iter_mut().zip(data.row(i)) {
                 *sv += dv;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 let far = (0..n)
                     .max_by(|&a, &b| {
                         sq_dist(data.row(a), centroids.row(assignments[a]))
@@ -114,7 +115,7 @@ pub fn kmeans<R: Rng>(data: &Tensor, k: usize, max_iter: usize, rng: &mut R) -> 
                     .unwrap();
                 centroids.row_mut(c).copy_from_slice(data.row(far));
             } else {
-                let inv = 1.0 / counts[c] as f32;
+                let inv = 1.0 / count as f32;
                 let (s, cr) = (sums.row(c).to_vec(), centroids.row_mut(c));
                 for (cv, sv) in cr.iter_mut().zip(s) {
                     *cv = sv * inv;

@@ -8,7 +8,6 @@
 //! Topic-word quality is only improved *implicitly* — the key difference
 //! from ContraTopic's topic-wise regularizer.
 
-
 use ct_corpus::BowCorpus;
 use ct_tensor::{Params, Tape, Tensor, Var};
 use rand::rngs::StdRng;
@@ -52,8 +51,7 @@ impl ClntmBackbone {
             .map(|d| {
                 let mut w = corpus.tfidf_doc(d, &df);
                 w.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-                let counts: std::collections::HashMap<u32, f32> =
-                    corpus.docs[d].iter().collect();
+                let counts: std::collections::HashMap<u32, f32> = corpus.docs[d].iter().collect();
                 w.into_iter()
                     .map(|(id, _)| (id, counts[&id]))
                     .collect::<RankedDoc>()
@@ -142,7 +140,10 @@ impl Backbone for ClntmBackbone {
             let mut tn = t.clone();
             tn.normalize_rows_l1();
             let tv = tape.constant(tn);
-            let (mu, _lv) = self.inner.encoder.posterior(tape, params, tv, training, rng);
+            let (mu, _lv) = self
+                .inner
+                .encoder
+                .posterior(tape, params, tv, training, rng);
             mu
         };
         let h = Self::normalize_rows(encode(x, rng));

@@ -228,11 +228,16 @@ mod tests {
         };
         let mut params = Params::new();
         let b = params.add("b", Tensor::zeros(1, 6));
-        let stats = train_loop(&corpus, &config, &mut params, |tape, params, x, _idx, _rng| {
-            let bv = tape.param(params, b);
-            let xc = tape.constant(x.clone());
-            xc.sub(bv).square().mean_all()
-        });
+        let stats = train_loop(
+            &corpus,
+            &config,
+            &mut params,
+            |tape, params, x, _idx, _rng| {
+                let bv = tape.param(params, b);
+                let xc = tape.constant(x.clone());
+                xc.sub(bv).square().mean_all()
+            },
+        );
         assert!(stats.epoch_losses.first().unwrap() > stats.epoch_losses.last().unwrap());
         assert!(*stats.epoch_losses.last().unwrap() < 0.3);
     }

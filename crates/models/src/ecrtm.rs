@@ -112,8 +112,13 @@ pub type Ecrtm = Fitted<EcrtmBackbone>;
 pub fn fit_ecrtm(corpus: &BowCorpus, embeddings: Tensor, config: &TrainConfig) -> Ecrtm {
     let mut params = Params::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let backbone =
-        EcrtmBackbone::new(&mut params, corpus.vocab_size(), embeddings, config, &mut rng);
+    let backbone = EcrtmBackbone::new(
+        &mut params,
+        corpus.vocab_size(),
+        embeddings,
+        config,
+        &mut rng,
+    );
     fit_backbone(backbone, params, corpus, config)
 }
 
@@ -133,17 +138,21 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(1);
         let mut params = Params::new();
-        let bb = EcrtmBackbone::new(&mut params, corpus.vocab_size(), emb.clone(), &config, &mut rng);
+        let bb = EcrtmBackbone::new(
+            &mut params,
+            corpus.vocab_size(),
+            emb.clone(),
+            &config,
+            &mut rng,
+        );
         // Place topic embeddings exactly on two word embeddings -> small
         // distance to those clusters.
         let tid = bb.inner.decoder.topics;
         let mut good = Tensor::zeros(2, emb.cols());
-        good.row_mut(0).copy_from_slice(
-            &crate::common::normalize_rows_l2(emb.clone()).row(0).to_vec(),
-        );
-        good.row_mut(1).copy_from_slice(
-            &crate::common::normalize_rows_l2(emb.clone()).row(12).to_vec(),
-        );
+        good.row_mut(0)
+            .copy_from_slice(crate::common::normalize_rows_l2(emb.clone()).row(0));
+        good.row_mut(1)
+            .copy_from_slice(crate::common::normalize_rows_l2(emb.clone()).row(12));
         *params.value_mut(tid) = good;
         let tape = Tape::new();
         let on_words = bb.ecr_loss(&tape, &params).scalar_value();
@@ -151,10 +160,7 @@ mod tests {
         *params.value_mut(tid) = Tensor::full(2, emb.cols(), 10.0);
         let tape = Tape::new();
         let far = bb.ecr_loss(&tape, &params).scalar_value();
-        assert!(
-            on_words < far,
-            "on-words {on_words} should beat far {far}"
-        );
+        assert!(on_words < far, "on-words {on_words} should beat far {far}");
     }
 
     #[test]

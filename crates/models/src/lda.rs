@@ -105,8 +105,8 @@ impl Lda {
 
                     let mut total = 0.0;
                     for t in 0..k {
-                        let p = (dk[t] + alpha) * (n_kw[t * v + w as usize] + eta)
-                            / (n_k[t] + v_eta);
+                        let p =
+                            (dk[t] + alpha) * (n_kw[t * v + w as usize] + eta) / (n_k[t] + v_eta);
                         probs[t] = p;
                         total += p;
                     }
@@ -148,8 +148,8 @@ impl TopicModel for Lda {
         for t in 0..k {
             let denom = self.n_k[t] + v as f64 * eta;
             let row = beta.row_mut(t);
-            for w in 0..v {
-                row[w] = ((self.n_kw[t * v + w] + eta) / denom) as f32;
+            for (w, slot) in row.iter_mut().enumerate() {
+                *slot = ((self.n_kw[t * v + w] + eta) / denom) as f32;
             }
         }
         beta
@@ -201,8 +201,8 @@ impl TopicModel for Lda {
                 }
             }
             let total: f64 = dk.iter().sum::<f64>() + k as f64 * alpha;
-            for t in 0..k {
-                theta.set(di, t, ((dk[t] + alpha) / total) as f32);
+            for (t, &dkt) in dk.iter().enumerate() {
+                theta.set(di, t, ((dkt + alpha) / total) as f32);
             }
         }
         theta

@@ -22,9 +22,7 @@ pub mod vtmrl;
 pub mod wete;
 pub mod wlda;
 
-pub use backbone::{
-    fit_backbone, fit_backbone_with_regularizer, Backbone, BackboneOut, Fitted,
-};
+pub use backbone::{fit_backbone, fit_backbone_with_regularizer, Backbone, BackboneOut, Fitted};
 pub use clntm::{fit_clntm, Clntm, ClntmBackbone};
 pub use common::{train_loop, TopicModel, TrainConfig, TrainStats};
 pub use decoder::{EtmDecoder, FreeDecoder};

@@ -72,15 +72,10 @@ impl NstmBackbone {
 
     /// Entropic OT distance between the batch of doc-word distributions
     /// `xbar` (constant) and `theta` (variable), by unrolled Sinkhorn.
-    pub fn sinkhorn_distance<'t>(
-        &self,
-        xbar: Var<'t>,
-        theta: Var<'t>,
-        cost: Var<'t>,
-    ) -> Var<'t> {
+    pub fn sinkhorn_distance<'t>(&self, xbar: Var<'t>, theta: Var<'t>, cost: Var<'t>) -> Var<'t> {
         let n = xbar.shape().0 as f32;
         let kernel = cost.scale(-1.0 / self.epsilon).exp(); // (V, K)
-        // Scaling vectors: u (n, V), v (n, K); v starts at 1.
+                                                            // Scaling vectors: u (n, V), v (n, K); v starts at 1.
         let mut v = theta.scale(0.0).add_scalar(1.0);
         let mut u = xbar; // placeholder; overwritten in the first iteration
         for _ in 0..self.sinkhorn_iters {
@@ -127,9 +122,7 @@ impl Backbone for NstmBackbone {
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {
         let mut rng = StdRng::seed_from_u64(0);
-        self.encoder
-            .infer_mu(params, x, &mut rng)
-            .softmax_rows(1.0)
+        self.encoder.infer_mu(params, x, &mut rng).softmax_rows(1.0)
     }
 
     fn beta_tensor(&self, params: &Params) -> Tensor {
@@ -148,7 +141,13 @@ pub type Nstm = Fitted<NstmBackbone>;
 pub fn fit_nstm(corpus: &BowCorpus, embeddings: Tensor, config: &TrainConfig) -> Nstm {
     let mut params = Params::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let backbone = NstmBackbone::new(&mut params, corpus.vocab_size(), embeddings, config, &mut rng);
+    let backbone = NstmBackbone::new(
+        &mut params,
+        corpus.vocab_size(),
+        embeddings,
+        config,
+        &mut rng,
+    );
     fit_backbone(backbone, params, corpus, config)
 }
 

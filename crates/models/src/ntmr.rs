@@ -59,11 +59,7 @@ impl Backbone for NtmRBackbone {
         // each topic's mass onto words near its own centroid.
         let rho = params.value_rc(self.inner.decoder.rho); // rows unit-norm
         let centroid = beta.matmul_const(&rho); // (K, e)
-        let c_norm = centroid
-            .square()
-            .sum_axis1()
-            .sqrt_eps(1e-6)
-            .clamp_min(1e-6);
+        let c_norm = centroid.square().sum_axis1().sqrt_eps(1e-6).clamp_min(1e-6);
         let c_hat = centroid.div(c_norm);
         let sim = c_hat.matmul_nt_const(&rho); // (K, V) cosine
         let k = beta.shape().0 as f32;
@@ -92,7 +88,13 @@ pub type NtmR = Fitted<NtmRBackbone>;
 pub fn fit_ntmr(corpus: &BowCorpus, embeddings: Tensor, config: &TrainConfig) -> NtmR {
     let mut params = Params::new();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let backbone = NtmRBackbone::new(&mut params, corpus.vocab_size(), embeddings, config, &mut rng);
+    let backbone = NtmRBackbone::new(
+        &mut params,
+        corpus.vocab_size(),
+        embeddings,
+        config,
+        &mut rng,
+    );
     fit_backbone(backbone, params, corpus, config)
 }
 

@@ -65,7 +65,9 @@ impl Backbone for ProdLdaBackbone {
         // Product of experts: mix logits, batch-normalize (reference AVITM
         // detail that prevents component collapse), then one softmax.
         let logits = self.decoder.logits_var(tape, params);
-        let mixed = self.decoder_bn.forward(tape, params, theta.matmul(logits), training);
+        let mixed = self
+            .decoder_bn
+            .forward(tape, params, theta.matmul(logits), training);
         let log_p = mixed.log_softmax_rows(1.0);
         let x_rc = Rc::new(x.clone());
         let recon = log_p.mul_const(&x_rc).sum_all().scale(-1.0 / n);

@@ -121,9 +121,7 @@ impl Backbone for WldaBackbone {
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {
         let mut rng = StdRng::seed_from_u64(0);
         // Deterministic encoder: softmax(mu).
-        self.encoder
-            .infer_mu(params, x, &mut rng)
-            .softmax_rows(1.0)
+        self.encoder.infer_mu(params, x, &mut rng).softmax_rows(1.0)
     }
 
     fn beta_tensor(&self, params: &Params) -> Tensor {

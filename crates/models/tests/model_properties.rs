@@ -3,8 +3,8 @@
 
 use ct_corpus::{NpmiMatrix, SparseDoc, Vocab};
 use ct_models::{
-    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda,
-    Lda, LdaConfig, TopicModel, TrainConfig,
+    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda, Lda,
+    LdaConfig, TopicModel, TrainConfig,
 };
 use ct_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -83,12 +83,7 @@ fn every_model_produces_simplex_beta_and_theta() {
     let corpus = fixture_corpus();
     for model in all_models(&corpus) {
         let beta = model.beta();
-        assert_eq!(
-            beta.shape(),
-            (4, 30),
-            "{}: wrong beta shape",
-            model.name()
-        );
+        assert_eq!(beta.shape(), (4, 30), "{}: wrong beta shape", model.name());
         assert!(!beta.has_non_finite(), "{}: beta has NaN", model.name());
         for t in 0..4 {
             let s: f32 = beta.row(t).iter().sum();

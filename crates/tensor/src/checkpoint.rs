@@ -39,8 +39,7 @@ fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 name"))
+    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 name"))
 }
 
 /// Serialize one tensor (shape + little-endian f32 data).
@@ -57,9 +56,9 @@ pub fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
 pub fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
     let rows = read_u64(r)? as usize;
     let cols = read_u64(r)? as usize;
-    let numel = rows.checked_mul(cols).ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "tensor shape overflow")
-    })?;
+    let numel = rows
+        .checked_mul(cols)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "tensor shape overflow"))?;
     if numel > (1 << 31) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -198,9 +197,7 @@ mod tests {
         fresh.add("enc.w", Tensor::zeros(2, 2));
         fresh.add_frozen("rho", Tensor::zeros(1, 3));
         fresh.add("dec.topics", Tensor::ones(3, 1));
-        let restored = fresh
-            .load_named(&mut io::Cursor::new(&bytes))
-            .unwrap();
+        let restored = fresh.load_named(&mut io::Cursor::new(&bytes)).unwrap();
         assert_eq!(restored, 3);
         let w = fresh.ids().next().unwrap();
         assert_eq!(fresh.value(w).data(), &[1.0, -2.0, 3.5, 0.25]);

@@ -31,6 +31,7 @@ pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod sgemm;
 pub mod tape;
 pub mod tensor;

@@ -128,10 +128,12 @@ impl BatchNorm1d {
         } else {
             let rm = std::rc::Rc::new(self.running_mean.borrow().clone());
             let rv = self.running_var.borrow();
-            let inv_std =
-                std::rc::Rc::new(rv.map(|v| 1.0 / (v + self.eps).sqrt()));
+            let inv_std = std::rc::Rc::new(rv.map(|v| 1.0 / (v + self.eps).sqrt()));
             let neg_rm = std::rc::Rc::new(rm.map(|v| -v));
-            x.add_const(&neg_rm).mul_const(&inv_std).mul(gamma).add(beta)
+            x.add_const(&neg_rm)
+                .mul_const(&inv_std)
+                .mul(gamma)
+                .add(beta)
         }
     }
 }
@@ -199,9 +201,7 @@ mod tests {
         let mut params = Params::new();
         let mlp = Mlp::new(&mut params, "mlp", 2, 16, 2, Activation::Tanh, &mut rng);
         let head = Linear::new(&mut params, "head", 16, 1, &mut rng);
-        let xs: Vec<f32> = vec![
-            0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5, 0.2, 0.8,
-        ];
+        let xs: Vec<f32> = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5, 0.2, 0.8];
         let ys: Vec<f32> = xs.chunks(2).map(|p| p[0] * p[1]).collect();
         let x = Tensor::from_vec(xs, 6, 2);
         let y_neg = std::rc::Rc::new(Tensor::col_vector(ys.iter().map(|v| -v).collect()));

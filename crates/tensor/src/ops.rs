@@ -10,6 +10,7 @@
 //! one side is a row vector `(1, m)`, a column vector `(n, 1)`, or a scalar
 //! `(1, 1)` relative to the other. Gradients are summed over broadcast axes.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use rand::Rng;
@@ -19,7 +20,7 @@ use crate::tensor::Tensor;
 
 /// SELU activation constants (Klambauer et al. 2017), used by the paper's
 /// encoder MLP.
-pub const SELU_LAMBDA: f32 = 1.050_700_98;
+pub const SELU_LAMBDA: f32 = 1.050_701;
 pub const SELU_ALPHA: f32 = 1.673_263_2;
 
 // ---------------------------------------------------------------------------
@@ -106,20 +107,16 @@ fn sum_axis1_t(t: &Tensor) -> Tensor {
 // ---------------------------------------------------------------------------
 
 impl<'t> Var<'t> {
-    fn unary(
-        self,
-        out: Tensor,
-        bw: impl Fn(&Tensor, &mut GradSink, usize) + 'static,
-    ) -> Var<'t> {
+    fn unary(self, out: Tensor, bw: impl Fn(&Tensor, &mut GradSink, usize) + 'static) -> Var<'t> {
         let req = self.requires_grad();
         let id = self.id;
-        let backward = req.then(|| {
-            Box::new(move |g: &Tensor, sink: &mut GradSink| bw(g, sink, id)) as _
-        });
+        let backward =
+            req.then(|| Box::new(move |g: &Tensor, sink: &mut GradSink| bw(g, sink, id)) as _);
         self.tape().push(out, req, backward)
     }
 
     /// Elementwise/broadcast addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let out = broadcast_zip(&av, &bv, |a, b| a + b);
@@ -141,11 +138,13 @@ impl<'t> Var<'t> {
     }
 
     /// Elementwise/broadcast subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Var<'t>) -> Var<'t> {
         self.add(other.scale(-1.0))
     }
 
     /// Elementwise/broadcast multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let out = broadcast_zip(&av, &bv, |a, b| a * b);
@@ -169,6 +168,7 @@ impl<'t> Var<'t> {
     }
 
     /// Elementwise/broadcast division `self / other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Var<'t>) -> Var<'t> {
         let (av, bv) = (self.value(), other.value());
         let out = broadcast_zip(&av, &bv, |a, b| a / b);
@@ -207,6 +207,7 @@ impl<'t> Var<'t> {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Var<'t> {
         self.scale(-1.0)
     }
@@ -525,7 +526,13 @@ impl<'t> Var<'t> {
         let keep = 1.0 - p;
         let inv_keep = 1.0 / keep;
         let mask_data: Vec<f32> = (0..x.numel())
-            .map(|_| if rng.gen::<f32>() < keep { inv_keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    inv_keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Rc::new(Tensor::from_vec(mask_data, x.rows(), x.cols()));
         let out = x.zip(&mask, |x, m| x * m);
@@ -577,6 +584,97 @@ impl<'t> Var<'t> {
             sink.add(id, g.matmul(&c));
         })
     }
+
+    /// Fused symmetric quadratic form `S = X·N·Xᵀ` for a constant
+    /// **symmetric** `N` (a similarity kernel).
+    ///
+    /// Compared to `x.matmul_const(&n).matmul_nt(x)` this keeps the
+    /// intermediate `T = X·N` in a caller-owned [`QuadScratch`] instead of a
+    /// fresh allocation, and the backward pass reuses it: with `N = Nᵀ`,
+    /// `dX = (G + Gᵀ)·T`, which replaces the two largest backward matmuls of
+    /// the chained form (`G·Xᵀ`-shaped products against the `(V, V)` kernel)
+    /// with a single `(M, M)·(M, V)` product. The forward value is bitwise
+    /// identical to the chained form; gradients are mathematically equal but
+    /// associate differently.
+    ///
+    /// The scratch is guarded by a generation counter: if another forward
+    /// pass overwrote it before this node's backward runs, `T` is recomputed
+    /// rather than silently using stale data.
+    pub fn sym_quadratic_const(
+        self,
+        n: &Rc<Tensor>,
+        scratch: &Rc<RefCell<QuadScratch>>,
+    ) -> Var<'t> {
+        let xv = self.value();
+        let (m, v) = xv.shape();
+        assert_eq!(
+            n.rows(),
+            n.cols(),
+            "sym_quadratic_const kernel must be square"
+        );
+        assert_eq!(v, n.rows(), "operand columns must match kernel size");
+        debug_assert!(
+            tensor_is_symmetric(n, 1e-5),
+            "sym_quadratic_const requires a symmetric kernel"
+        );
+        let gen = {
+            let mut s = scratch.borrow_mut();
+            s.generation += 1;
+            let t = s.prepare(m, v);
+            crate::sgemm::sgemm_nn(m, v, v, xv.data(), n.data(), t.data_mut());
+            s.generation
+        };
+        let out = {
+            let s = scratch.borrow();
+            s.t.as_ref()
+                .expect("scratch populated above")
+                .matmul_nt(&xv)
+        };
+        let n = n.clone();
+        let scratch = scratch.clone();
+        self.unary(out, move |g, sink, id| {
+            // dX = (G + Gᵀ)·T — relies on N being symmetric.
+            let gsym = g.zip(&g.transposed(), |a, b| a + b);
+            let s = scratch.borrow();
+            let da = if s.generation == gen {
+                gsym.matmul(s.t.as_ref().expect("scratch populated by forward"))
+            } else {
+                drop(s);
+                gsym.matmul(&xv.matmul(&n))
+            };
+            sink.add(id, da);
+        })
+    }
+}
+
+/// Reusable intermediate buffer for [`Var::sym_quadratic_const`]. Owned by
+/// the caller (one per regularizer instance) so the `(M, V)` product `X·N`
+/// is allocated once and recycled every training step.
+#[derive(Default)]
+pub struct QuadScratch {
+    t: Option<Tensor>,
+    generation: u64,
+}
+
+impl QuadScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hand back a zeroed `(rows, cols)` tensor, reusing the allocation when
+    /// the shape is unchanged (the common case: one shape per regularizer).
+    fn prepare(&mut self, rows: usize, cols: usize) -> &mut Tensor {
+        match &mut self.t {
+            Some(t) if t.shape() == (rows, cols) => t.data_mut().fill(0.0),
+            slot => *slot = Some(Tensor::zeros(rows, cols)),
+        }
+        self.t.as_mut().expect("slot filled above")
+    }
+}
+
+// Referenced from a debug_assert!, which type-checks in release builds too.
+fn tensor_is_symmetric(t: &Tensor, tol: f32) -> bool {
+    (0..t.rows()).all(|i| (i + 1..t.cols()).all(|j| (t.get(i, j) - t.get(j, i)).abs() <= tol))
 }
 
 /// Stack vars vertically (all must share a tape and a column count).
@@ -666,89 +764,139 @@ mod tests {
 
     #[test]
     fn grad_add_mul_chain() {
-        grad_check(rand_t(3, 4, 1), |_t, x| x.mul(x).add(x.scale(3.0)).sum_all(), 1e-2);
+        grad_check(
+            rand_t(3, 4, 1),
+            |_t, x| x.mul(x).add(x.scale(3.0)).sum_all(),
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_broadcast_row_add() {
         // x (1,4) broadcast against a constant (3,4).
-        grad_check(rand_t(1, 4, 2), |t, x| {
-            let c = t.constant(rand_t(3, 4, 3));
-            c.add(x).square().sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(1, 4, 2),
+            |t, x| {
+                let c = t.constant(rand_t(3, 4, 3));
+                c.add(x).square().sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_broadcast_col_mul() {
-        grad_check(rand_t(3, 1, 4), |t, x| {
-            let c = t.constant(rand_t(3, 5, 5));
-            c.mul(x).sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 1, 4),
+            |t, x| {
+                let c = t.constant(rand_t(3, 5, 5));
+                c.mul(x).sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_div() {
-        grad_check(rand_t(2, 3, 6).map(|v| v + 3.0), |t, x| {
-            let c = t.constant(rand_t(2, 3, 7).map(|v| v + 3.0));
-            c.div(x).sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(2, 3, 6).map(|v| v + 3.0),
+            |t, x| {
+                let c = t.constant(rand_t(2, 3, 7).map(|v| v + 3.0));
+                c.div(x).sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_matmul_both_sides() {
-        grad_check(rand_t(3, 4, 8), |t, x| {
-            let b = t.constant(rand_t(4, 2, 9));
-            x.matmul(b).square().sum_all()
-        }, 1e-2);
-        grad_check(rand_t(4, 2, 10), |t, x| {
-            let a = t.constant(rand_t(3, 4, 11));
-            a.matmul(x).square().sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 4, 8),
+            |t, x| {
+                let b = t.constant(rand_t(4, 2, 9));
+                x.matmul(b).square().sum_all()
+            },
+            1e-2,
+        );
+        grad_check(
+            rand_t(4, 2, 10),
+            |t, x| {
+                let a = t.constant(rand_t(3, 4, 11));
+                a.matmul(x).square().sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_matmul_nt_tn() {
-        grad_check(rand_t(3, 4, 12), |t, x| {
-            let b = t.constant(rand_t(5, 4, 13));
-            x.matmul_nt(b).square().sum_all()
-        }, 1e-2);
-        grad_check(rand_t(4, 3, 14), |t, x| {
-            let b = t.constant(rand_t(4, 5, 15));
-            x.matmul_tn(b).square().sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 4, 12),
+            |t, x| {
+                let b = t.constant(rand_t(5, 4, 13));
+                x.matmul_nt(b).square().sum_all()
+            },
+            1e-2,
+        );
+        grad_check(
+            rand_t(4, 3, 14),
+            |t, x| {
+                let b = t.constant(rand_t(4, 5, 15));
+                x.matmul_tn(b).square().sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_exp_ln() {
         grad_check(rand_t(2, 3, 16), |_t, x| x.exp().sum_all(), 1e-2);
-        grad_check(rand_t(2, 3, 17).map(|v| v.abs() + 0.5), |_t, x| {
-            x.ln_clamped(1e-8).sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(2, 3, 17).map(|v| v.abs() + 0.5),
+            |_t, x| x.ln_clamped(1e-8).sum_all(),
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_activations() {
         grad_check(rand_t(2, 5, 18), |_t, x| x.sigmoid().sum_all(), 1e-2);
         grad_check(rand_t(2, 5, 19), |_t, x| x.tanh_act().sum_all(), 1e-2);
-        grad_check(rand_t(2, 5, 20).map(|v| v + 0.01), |_t, x| x.relu().sum_all(), 2e-2);
+        grad_check(
+            rand_t(2, 5, 20).map(|v| v + 0.01),
+            |_t, x| x.relu().sum_all(),
+            2e-2,
+        );
         grad_check(rand_t(2, 5, 21), |_t, x| x.selu().sum_all(), 1e-2);
         grad_check(rand_t(2, 5, 22), |_t, x| x.softplus().sum_all(), 1e-2);
     }
 
     #[test]
     fn grad_softmax_and_log_softmax() {
-        grad_check(rand_t(3, 5, 23), |t, x| {
-            let w = t.constant(rand_t(3, 5, 24));
-            x.softmax_rows(1.0).mul(w).sum_all()
-        }, 1e-2);
-        grad_check(rand_t(3, 5, 25), |t, x| {
-            let w = t.constant(rand_t(3, 5, 26));
-            x.log_softmax_rows(0.7).mul(w).sum_all()
-        }, 1e-2);
-        grad_check(rand_t(2, 4, 27), |t, x| {
-            let w = t.constant(rand_t(2, 4, 28));
-            x.softmax_rows(0.3).mul(w).sum_all()
-        }, 2e-2);
+        grad_check(
+            rand_t(3, 5, 23),
+            |t, x| {
+                let w = t.constant(rand_t(3, 5, 24));
+                x.softmax_rows(1.0).mul(w).sum_all()
+            },
+            1e-2,
+        );
+        grad_check(
+            rand_t(3, 5, 25),
+            |t, x| {
+                let w = t.constant(rand_t(3, 5, 26));
+                x.log_softmax_rows(0.7).mul(w).sum_all()
+            },
+            1e-2,
+        );
+        grad_check(
+            rand_t(2, 4, 27),
+            |t, x| {
+                let w = t.constant(rand_t(2, 4, 28));
+                x.softmax_rows(0.3).mul(w).sum_all()
+            },
+            2e-2,
+        );
     }
 
     #[test]
@@ -759,41 +907,67 @@ mod tests {
     #[test]
     fn grad_reductions() {
         grad_check(rand_t(3, 4, 30), |_t, x| x.mean_all(), 1e-2);
-        grad_check(rand_t(3, 4, 31), |t, x| {
-            let w = t.constant(rand_t(1, 4, 32));
-            x.sum_axis0().mul(w).sum_all()
-        }, 1e-2);
-        grad_check(rand_t(3, 4, 33), |t, x| {
-            let w = t.constant(rand_t(3, 1, 34));
-            x.sum_axis1().mul(w).sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 4, 31),
+            |t, x| {
+                let w = t.constant(rand_t(1, 4, 32));
+                x.sum_axis0().mul(w).sum_all()
+            },
+            1e-2,
+        );
+        grad_check(
+            rand_t(3, 4, 33),
+            |t, x| {
+                let w = t.constant(rand_t(3, 1, 34));
+                x.sum_axis1().mul(w).sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_mul_const_and_matmul_const() {
         let c = std::rc::Rc::new(rand_t(3, 4, 35));
-        grad_check(rand_t(3, 4, 36), {
-            let c = c.clone();
-            move |_t, x| x.mul_const(&c).sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 4, 36),
+            {
+                let c = c.clone();
+                move |_t, x| x.mul_const(&c).sum_all()
+            },
+            1e-2,
+        );
         let m = std::rc::Rc::new(rand_t(4, 2, 37));
-        grad_check(rand_t(3, 4, 38), {
-            let m = m.clone();
-            move |_t, x| x.matmul_const(&m).square().sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 4, 38),
+            {
+                let m = m.clone();
+                move |_t, x| x.matmul_const(&m).square().sum_all()
+            },
+            1e-2,
+        );
         let mt = std::rc::Rc::new(rand_t(2, 4, 39));
-        grad_check(rand_t(3, 4, 40), {
-            let mt = mt.clone();
-            move |_t, x| x.matmul_nt_const(&mt).square().sum_all()
-        }, 1e-2);
+        grad_check(
+            rand_t(3, 4, 40),
+            {
+                let mt = mt.clone();
+                move |_t, x| x.matmul_nt_const(&mt).square().sum_all()
+            },
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_clamp_and_sqrt() {
-        grad_check(rand_t(2, 4, 41).map(|v| v + 2.5), |_t, x| {
-            x.sqrt_eps(1e-8).sum_all()
-        }, 1e-2);
-        grad_check(rand_t(2, 4, 42), |_t, x| x.clamp_min(-0.1).square().sum_all(), 3e-2);
+        grad_check(
+            rand_t(2, 4, 41).map(|v| v + 2.5),
+            |_t, x| x.sqrt_eps(1e-8).sum_all(),
+            1e-2,
+        );
+        grad_check(
+            rand_t(2, 4, 42),
+            |_t, x| x.clamp_min(-0.1).square().sum_all(),
+            3e-2,
+        );
     }
 
     #[test]
@@ -847,11 +1021,7 @@ mod tests {
         assert_eq!(cat.shape(), (5, 3));
         assert_eq!(cat.value().row(2), &[2.0, 2.0, 2.0]);
         // Weight rows differently so gradients are distinguishable.
-        let w = tape.constant(Tensor::from_vec(
-            (0..15).map(|i| i as f32).collect(),
-            5,
-            3,
-        ));
+        let w = tape.constant(Tensor::from_vec((0..15).map(|i| i as f32).collect(), 5, 3));
         let loss = cat.mul(w).sum_all();
         let grads = tape.backward(loss);
         let ga = grads.get(a).unwrap();
@@ -859,6 +1029,70 @@ mod tests {
         assert_eq!(ga.row(0), &[0.0, 1.0, 2.0]);
         assert_eq!(gc.row(1), &[12.0, 13.0, 14.0]);
         assert!(grads.get(b).is_none());
+    }
+
+    #[test]
+    fn sym_quadratic_matches_chained_matmuls_bitwise() {
+        use super::QuadScratch;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let base = rand_t(6, 6, 44);
+        let n = Rc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
+        let scratch = Rc::new(RefCell::new(QuadScratch::new()));
+        let x_t = rand_t(4, 6, 45);
+        let tape = Tape::new();
+        let x = tape.leaf(x_t.clone());
+        let fused = x.sym_quadratic_const(&n, &scratch);
+        let tape2 = Tape::new();
+        let x2 = tape2.leaf(x_t);
+        let chained = x2.matmul_const(&n).matmul_nt(x2);
+        for (a, b) in fused.value().data().iter().zip(chained.value().data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grad_sym_quadratic() {
+        use super::QuadScratch;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let base = rand_t(5, 5, 46);
+        let n = Rc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
+        let scratch = Rc::new(RefCell::new(QuadScratch::new()));
+        grad_check(
+            rand_t(3, 5, 47),
+            move |_t, x| x.sym_quadratic_const(&n, &scratch).square().sum_all(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn sym_quadratic_backward_survives_scratch_reuse() {
+        // Two forwards share one scratch; backward of the *first* node then
+        // sees a stale generation and must recompute T instead of using the
+        // second forward's buffer.
+        use super::QuadScratch;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let base = rand_t(4, 4, 48);
+        let n = Rc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
+        let scratch = Rc::new(RefCell::new(QuadScratch::new()));
+        let tape = Tape::new();
+        let x = tape.leaf(rand_t(3, 4, 49));
+        let first = x.sym_quadratic_const(&n, &scratch).sum_all();
+        let y = tape.leaf(rand_t(3, 4, 50));
+        let _second = y.sym_quadratic_const(&n, &scratch);
+        let grads = tape.backward(first);
+        let got = grads.get(x).expect("grad on x").clone();
+
+        // Reference: gradient of the same loss without scratch interference.
+        let tape_ref = Tape::new();
+        let xr = tape_ref.leaf(rand_t(3, 4, 49));
+        let loss = xr.matmul_const(&n).matmul_nt(xr).sum_all();
+        let expect = tape_ref.backward(loss).get(xr).unwrap().clone();
+        for (a, b) in got.data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -125,12 +125,7 @@ impl Optimizer for Adam {
             // Split borrows: grad is read-only while value is written.
             let grad = params.grad(id).clone();
             let value = params.value_mut(id);
-            let (vd, gd, md, vvd) = (
-                value.data_mut(),
-                grad.data(),
-                m.data_mut(),
-                v.data_mut(),
-            );
+            let (vd, gd, md, vvd) = (value.data_mut(), grad.data(), m.data_mut(), v.data_mut());
             for i in 0..gd.len() {
                 let g = gd[i] + wd * vd[i];
                 md[i] = b1 * md[i] + (1.0 - b1) * g;
@@ -202,7 +197,10 @@ mod tests {
     fn adam_skips_frozen() {
         let mut params = Params::new();
         let id = params.add_frozen("frozen", Tensor::ones(1, 2));
-        params.grad_mut(id).data_mut().copy_from_slice(&[10.0, 10.0]);
+        params
+            .grad_mut(id)
+            .data_mut()
+            .copy_from_slice(&[10.0, 10.0]);
         let mut opt = Adam::new(0.1);
         opt.step(&mut params);
         assert_eq!(params.value(id).data(), &[1.0, 1.0]);

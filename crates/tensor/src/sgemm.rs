@@ -2,25 +2,49 @@
 //!
 //! Three layouts are provided so callers never materialize transposes in hot
 //! paths: `C = A·B` (nn), `C = A·Bᵀ` (nt), and `C = Aᵀ·B` (tn). All operate
-//! on row-major slices. The `nn` and `tn` kernels use an `i-k-j` loop order
-//! so the innermost loop is a unit-stride axpy over a row of `B`, which LLVM
-//! autovectorizes; the `nt` kernel is a blocked dot-product.
+//! on row-major slices. The `nn` and `tn` kernels use loop orders whose
+//! innermost loop is a unit-stride axpy over a row of `B`, which LLVM
+//! autovectorizes; the `nt` kernel is an unrolled dot-product.
 //!
-//! When the work is large enough and more than one CPU is available, the row
-//! range is split across scoped crossbeam threads. On single-core hosts the
-//! kernels run inline with no thread overhead.
+//! Large multiplies are partitioned across the persistent worker pool in
+//! [`crate::pool`]: `nn`/`nt` split the output *row* range, `tn` splits the
+//! output *column* range (its outer loop walks the shared `k` dimension, so
+//! rows cannot be split without changing accumulation order). Each worker
+//! owns a disjoint slab of `C` and accumulates into each element in the same
+//! sequential `k` order regardless of the worker count, so results are
+//! bitwise identical for any `CT_NUM_THREADS`.
+//!
+//! The dense inner loops carry no `aik == 0.0` branch — on dense training
+//! data the branch is pure overhead and blocks vectorization. Callers with
+//! genuinely sparse left operands (bag-of-words batches feeding the encoder)
+//! use [`sgemm_nn_sparse_a`], which keeps the skip.
 
-/// Minimum number of multiply-adds before threading is considered.
-const PAR_THRESHOLD: usize = 1 << 22;
+use crate::pool;
 
-fn worker_count(flops: usize) -> usize {
-    if flops < PAR_THRESHOLD {
-        return 1;
+/// Rows of `B` kept hot per k-panel (L1-sized: 64 rows × 4 B × ~256 cols).
+const KB: usize = 64;
+
+/// Column tile width for the packed `nn` path.
+const NB_PACK: usize = 256;
+
+/// Minimum `n` before packing `B` tiles pays for the copy: below this a full
+/// row of `B` already fits comfortably in L1 and packing is pure overhead.
+const PACK_MIN_N: usize = 192;
+
+#[derive(Clone, Copy)]
+struct MutPtr(*mut f32);
+// SAFETY: only ever dereferenced for disjoint index ranges handed out by
+// `pool::run_partitioned`, so no two threads touch the same element.
+unsafe impl Send for MutPtr {}
+unsafe impl Sync for MutPtr {}
+
+impl MutPtr {
+    /// Accessor rather than field access so closures capture the `Sync`
+    /// wrapper itself — edition-2021 disjoint capture would otherwise pull
+    /// in just the raw `*mut f32` field, which is not `Sync`.
+    fn get(self) -> *mut f32 {
+        self.0
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
 }
 
 /// `C += A(m x k) · B(k x n)`, all row-major. `c` must be zeroed by the
@@ -29,36 +53,31 @@ pub fn sgemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    let workers = worker_count(m * k * n);
-    if workers <= 1 || m < workers {
-        sgemm_nn_range(0, m, k, n, a, b, c);
-        return;
-    }
-    let chunk = m.div_ceil(workers);
-    crossbeam::scope(|s| {
-        for (wi, c_chunk) in c.chunks_mut(chunk * n).enumerate() {
-            let row0 = wi * chunk;
-            let rows = c_chunk.len() / n;
-            let a = &a[row0 * k..(row0 + rows) * k];
-            s.spawn(move |_| sgemm_nn_range(0, rows, k, n, a, b, c_chunk));
-        }
-    })
-    .expect("sgemm worker panicked");
+    let c_ptr = MutPtr(c.as_mut_ptr());
+    pool::run_partitioned(m, pool::min_items_for_grain(k * n), |rows| {
+        let base = c_ptr.get();
+        let slab = rows.len();
+        // SAFETY: row ranges from `run_partitioned` are disjoint, so the
+        // `C` slabs are non-overlapping.
+        let c_slab = unsafe { std::slice::from_raw_parts_mut(base.add(rows.start * n), slab * n) };
+        let a_slab = &a[rows.start * k..(rows.start + slab) * k];
+        sgemm_nn_rows(slab, k, n, a_slab, b, c_slab);
+    });
 }
 
-fn sgemm_nn_range(r0: usize, r1: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+fn sgemm_nn_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if n >= PACK_MIN_N {
+        sgemm_nn_rows_packed(m, k, n, a, b, c);
+        return;
+    }
     // i-k-j with k blocked for L1 reuse of B rows.
-    const KB: usize = 64;
     for kb in (0..k).step_by(KB) {
         let kend = (kb + KB).min(k);
-        for i in r0..r1 {
+        for i in 0..m {
             let a_row = &a[i * k..(i + 1) * k];
             let c_row = &mut c[i * n..(i + 1) * n];
             for kk in kb..kend {
                 let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
                 let b_row = &b[kk * n..(kk + 1) * n];
                 for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                     *cv += aik * bv;
@@ -68,29 +87,109 @@ fn sgemm_nn_range(r0: usize, r1: usize, k: usize, n: usize, a: &[f32], b: &[f32]
     }
 }
 
+thread_local! {
+    /// Reused `B`-tile packing buffer — one per thread, so pool workers
+    /// packing concurrently never contend or allocate after warm-up.
+    static PACK_BUF: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Packed variant for wide outputs: copies each `KB x NB_PACK` tile of `B`
+/// into a contiguous per-thread buffer, then streams the whole row slab of
+/// `A`/`C` over it. For vocabulary-sized `n` (hundreds to thousands) the
+/// strided tile of `B` spans many cache lines per column step; packing turns
+/// the inner axpy into purely sequential reads. Accumulation order over `k`
+/// is unchanged (`kb` ascending, `kk` ascending), so results stay bitwise
+/// identical to the unpacked kernel.
+fn sgemm_nn_rows_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    PACK_BUF.with(|buf| {
+        let mut pack = buf.borrow_mut();
+        pack.resize(KB * NB_PACK, 0.0);
+        for jb in (0..n).step_by(NB_PACK) {
+            let jw = (jb + NB_PACK).min(n) - jb;
+            for kb in (0..k).step_by(KB) {
+                let kw = (kb + KB).min(k) - kb;
+                for kk in 0..kw {
+                    let src = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + jw];
+                    pack[kk * jw..kk * jw + jw].copy_from_slice(src);
+                }
+                for i in 0..m {
+                    let a_seg = &a[i * k + kb..i * k + kb + kw];
+                    let c_row = &mut c[i * n + jb..i * n + jb + jw];
+                    for (kk, &aik) in a_seg.iter().enumerate() {
+                        let b_row = &pack[kk * jw..(kk + 1) * jw];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `C += A(m x k) · B(k x n)` for a *sparse* left operand: the inner loop
+/// skips zero entries of `A`. Intended for bag-of-words batches, where most
+/// vocabulary counts are zero and the skip saves the whole axpy. On dense
+/// inputs prefer [`sgemm_nn`]; the per-element branch costs more than it
+/// saves there. (Pedantic note: skipping `0.0 · x` can flip the sign of a
+/// zero or drop a NaN from a non-finite `B`; training inputs are finite
+/// counts, where the result is identical.)
+pub fn sgemm_nn_sparse_a(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let c_ptr = MutPtr(c.as_mut_ptr());
+    pool::run_partitioned(m, pool::min_items_for_grain(k * n), |rows| {
+        let base = c_ptr.get();
+        let slab = rows.len();
+        // SAFETY: disjoint row ranges — see `sgemm_nn`.
+        let c_slab = unsafe { std::slice::from_raw_parts_mut(base.add(rows.start * n), slab * n) };
+        for i in 0..slab {
+            let a_row = &a[(rows.start + i) * k..(rows.start + i + 1) * k];
+            let c_row = &mut c_slab[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Whether `a` is sparse enough (and the multiply big enough) that scanning
+/// it and dispatching to [`sgemm_nn_sparse_a`] is likely to win. The scan is
+/// `O(mk)` against an `O(mkn)` multiply, so it is only attempted when `n`
+/// amortizes it.
+pub fn sparse_a_worthwhile(m: usize, k: usize, n: usize, a: &[f32]) -> bool {
+    if m * k * n < (1 << 20) || n < 16 {
+        return false;
+    }
+    let zeros = a.iter().filter(|v| **v == 0.0).count();
+    // Worth it from ~60% zeros: the skip saves the axpy but costs a branch.
+    zeros * 10 >= a.len() * 6
+}
+
 /// `C += A(m x k) · B(n x k)ᵀ`, producing `C (m x n)`.
 pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    let workers = worker_count(m * k * n);
-    if workers <= 1 || m < workers {
-        sgemm_nt_range(m, k, n, a, b, c);
-        return;
-    }
-    let chunk = m.div_ceil(workers);
-    crossbeam::scope(|s| {
-        for (wi, c_chunk) in c.chunks_mut(chunk * n).enumerate() {
-            let row0 = wi * chunk;
-            let rows = c_chunk.len() / n;
-            let a = &a[row0 * k..(row0 + rows) * k];
-            s.spawn(move |_| sgemm_nt_range(rows, k, n, a, b, c_chunk));
-        }
-    })
-    .expect("sgemm worker panicked");
+    let c_ptr = MutPtr(c.as_mut_ptr());
+    pool::run_partitioned(m, pool::min_items_for_grain(k * n), |rows| {
+        let base = c_ptr.get();
+        let slab = rows.len();
+        // SAFETY: disjoint row ranges — see `sgemm_nn`.
+        let c_slab = unsafe { std::slice::from_raw_parts_mut(base.add(rows.start * n), slab * n) };
+        let a_slab = &a[rows.start * k..(rows.start + slab) * k];
+        sgemm_nt_rows(slab, k, n, a_slab, b, c_slab);
+    });
 }
 
-fn sgemm_nt_range(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+fn sgemm_nt_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -119,27 +218,36 @@ fn sgemm_nt_range(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
 }
 
 /// `C += A(k x m)ᵀ · B(k x n)`, producing `C (m x n)`.
+///
+/// The outer loop walks the shared `k` dimension (each step a rank-1
+/// update), so splitting *rows* would interleave partial sums and change
+/// accumulation order. Instead the output **columns** are split: each worker
+/// owns `C[:, j0..j1]` and applies every rank-1 update to its slab in the
+/// same `k` order, preserving bitwise determinism. This is the gradient
+/// kernel (`dW = Xᵀ·dY`), the single biggest matmul in the backward pass.
 pub fn sgemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    // k is the shared outer dimension; each k-step is a rank-1 update.
-    // This is inherently serial over output rows unless we split columns,
-    // which is rarely worth it at our scale — run inline.
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aik = a_row[i];
-            if aik == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aik * bv;
+    let c_ptr = MutPtr(c.as_mut_ptr());
+    pool::run_partitioned(n, pool::min_items_for_grain(k * m), |cols| {
+        let base = c_ptr.get();
+        let jw = cols.len();
+        for kk in 0..k {
+            let a_col = &a[kk * m..(kk + 1) * m];
+            let b_seg = &b[kk * n + cols.start..kk * n + cols.end];
+            for (i, &aik) in a_col.iter().enumerate() {
+                // SAFETY: column slabs are disjoint across workers, so the
+                // `jw` elements starting at `i*n + cols.start` are only ever
+                // written by this worker.
+                let c_seg =
+                    unsafe { std::slice::from_raw_parts_mut(base.add(i * n + cols.start), jw) };
+                for (cv, &bv) in c_seg.iter_mut().zip(b_seg) {
+                    *cv += aik * bv;
+                }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -165,7 +273,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect()
@@ -183,6 +293,54 @@ mod tests {
                 assert!((x - y).abs() < 1e-4, "{x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn nn_packed_path_matches_naive() {
+        // n >= PACK_MIN_N and n not a multiple of NB_PACK, k not a multiple
+        // of KB: exercises ragged tiles on the packed path.
+        let (m, k, n) = (9, 70, PACK_MIN_N + 61);
+        let a = rand_vec(m * k, 11);
+        let b = rand_vec(k * n, 12);
+        let mut c = vec![0.0; m * n];
+        sgemm_nn(m, k, n, &a, &b, &mut c);
+        let expect = naive_nn(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sparse_a_matches_dense() {
+        let (m, k, n) = (7, 40, 23);
+        let mut a = rand_vec(m * k, 13);
+        // Zero out ~75% of A.
+        for (idx, v) in a.iter_mut().enumerate() {
+            if idx % 4 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = rand_vec(k * n, 14);
+        let mut dense = vec![0.0; m * n];
+        sgemm_nn(m, k, n, &a, &b, &mut dense);
+        let mut sparse = vec![0.0; m * n];
+        sgemm_nn_sparse_a(m, k, n, &a, &b, &mut sparse);
+        for (x, y) in sparse.iter().zip(&dense) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sparse_heuristic_requires_size_and_density() {
+        let dense = vec![1.0f32; 64 * 64];
+        assert!(!sparse_a_worthwhile(64, 64, 600, &dense), "dense A");
+        let mut sparse = vec![0.0f32; 256 * 600];
+        sparse[3] = 1.0;
+        assert!(
+            sparse_a_worthwhile(256, 600, 128, &sparse),
+            "sparse A, big op"
+        );
+        assert!(!sparse_a_worthwhile(4, 4, 4, &sparse[..16]), "tiny op");
     }
 
     #[test]

@@ -171,7 +171,9 @@ impl Tape {
         let mut by_id: Vec<Option<Tensor>> = vec![None; nodes.len()];
         by_id[loss.id] = Some(Tensor::scalar(1.0));
         for id in (0..=loss.id).rev() {
-            let Some(grad) = by_id[id].take() else { continue };
+            let Some(grad) = by_id[id].take() else {
+                continue;
+            };
             if let Some(bw) = &nodes[id].backward {
                 let mut sink = GradSink { grads: &mut by_id };
                 bw(&grad, &mut sink);

@@ -309,16 +309,26 @@ impl Tensor {
         let mut idx: Vec<usize> = (0..row.len()).collect();
         let k = k.min(row.len());
         idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
-            row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         idx.truncate(k);
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx
     }
 
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Dot product of two same-shaped tensors viewed as flat vectors.
@@ -387,7 +397,9 @@ impl Tensor {
         }
     }
 
-    /// Matrix product `self @ other` using the blocked kernel.
+    /// Matrix product `self @ other` using the blocked kernel. Mostly-zero
+    /// left operands (bag-of-words batches) are detected and routed to the
+    /// zero-skipping sparse kernel.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -395,14 +407,25 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        crate::sgemm::sgemm_nn(
-            self.rows,
-            self.cols,
-            other.cols,
-            &self.data,
-            &other.data,
-            &mut out.data,
-        );
+        if crate::sgemm::sparse_a_worthwhile(self.rows, self.cols, other.cols, &self.data) {
+            crate::sgemm::sgemm_nn_sparse_a(
+                self.rows,
+                self.cols,
+                other.cols,
+                &self.data,
+                &other.data,
+                &mut out.data,
+            );
+        } else {
+            crate::sgemm::sgemm_nn(
+                self.rows,
+                self.cols,
+                other.cols,
+                &self.data,
+                &other.data,
+                &mut out.data,
+            );
+        }
         out
     }
 
@@ -579,7 +602,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let t = Tensor::randn(100, 100, 1.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (t.numel() as f32);
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");

@@ -6,9 +6,7 @@
 //! cargo run --release --example backbone_swap
 //! ```
 
-use contratopic::{
-    fit_contratopic, fit_contratopic_wete, fit_contratopic_wlda, ContraTopicConfig,
-};
+use contratopic::{fit_contratopic, fit_contratopic_wete, fit_contratopic_wlda, ContraTopicConfig};
 use ct_corpus::{generate, train_embeddings, DatasetPreset, NpmiMatrix, Scale};
 use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
 use ct_models::{fit_etm, fit_wete, fit_wlda, TopicModel, TrainConfig};

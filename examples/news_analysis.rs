@@ -11,8 +11,8 @@
 
 use contratopic::{fit_contratopic, ContraTopicConfig};
 use ct_corpus::{
-    generate, render_text_with_stopwords, train_embeddings, DatasetPreset, NpmiMatrix,
-    Pipeline, PipelineConfig, Scale,
+    generate, render_text_with_stopwords, train_embeddings, DatasetPreset, NpmiMatrix, Pipeline,
+    PipelineConfig, Scale,
 };
 use ct_eval::{kmeans, nmi, purity, top_topics, TopicScores, K_TC};
 use ct_models::{fit_etm, TopicModel, TrainConfig};

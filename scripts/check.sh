@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints-as-errors, and the full test suite.
+# Documented in README.md ("Tests"); run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q --workspace
+
+echo "== check.sh: all gates passed"

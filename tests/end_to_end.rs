@@ -3,9 +3,7 @@
 //! and experiment harnesses do.
 
 use contratopic::{fit_contratopic, AblationVariant, ContraTopicConfig};
-use ct_corpus::{
-    generate, train_embeddings, DatasetPreset, NpmiMatrix, Scale, SynthSpec,
-};
+use ct_corpus::{generate, train_embeddings, DatasetPreset, NpmiMatrix, Scale, SynthSpec};
 use ct_eval::{
     coherence_curve, diversity_curve, kmeans, nmi, perplexity, purity, top_topics,
     word_intrusion_score, IntrusionConfig, TopicScores, K_TC,
@@ -218,10 +216,7 @@ fn experiment_presets_are_consistent() {
         let synth = generate(&preset.spec(Scale::Tiny), &mut rng);
         let (train, test) = synth.corpus.split(preset.train_frac(), &mut rng);
         assert!(train.num_docs() > test.num_docs() / 2);
-        assert_eq!(
-            train.labels.is_some(),
-            preset != DatasetPreset::NyTimesLike
-        );
+        assert_eq!(train.labels.is_some(), preset != DatasetPreset::NyTimesLike);
         let npmi = NpmiMatrix::from_corpus(&test);
         assert_eq!(npmi.vocab_size(), test.vocab_size());
     }

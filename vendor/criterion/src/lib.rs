@@ -1,0 +1,186 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the types and macros the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `criterion_group!`, `criterion_main!` — over
+//! a simple wall-clock harness: each benchmark is warmed up once, then timed
+//! for `sample_size` samples whose median is reported. No statistical
+//! analysis, plots, or baseline storage; the numbers are printed to stdout
+//! in a stable `name ... median` format that `perf_snapshot` and humans can
+//! both read.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside timing (allocator, caches, lazy pools).
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    if samples.is_empty() {
+        Duration::ZERO
+    } else {
+        samples[samples.len() / 2]
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let med = median(&mut b.samples);
+    println!(
+        "{name:<44} median {med:>12.3?}  ({} samples)",
+        b.sample_size
+    );
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the default modest: this harness is for relative regression
+        // tracking, not publication-grade statistics.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size override (criterion's `sample_size`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            run_one(name, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Used by `criterion_main!`; a no-op in this harness.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks with its own sample-size override.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        if self.parent.enabled(&full) {
+            let n = self.sample_size.unwrap_or(self.parent.sample_size);
+            run_one(&full, n, &mut f);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Both criterion_group! forms used in the wild: the simple list form and
+/// the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_inherits_and_overrides_sample_size() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut runs = 0usize;
+        g.bench_function("x", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 6);
+    }
+}

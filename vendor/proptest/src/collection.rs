@@ -1,0 +1,79 @@
+//! Collection strategies (`vec`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoLenRange {
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoLenRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoLenRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `elem` and a length drawn
+/// from `len`.
+pub fn vec<S: Strategy, L: IntoLenRange>(elem: S, len: L) -> VecStrategy<S> {
+    let (lo, hi) = len.bounds();
+    VecStrategy { elem, lo, hi }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.lo..=self.hi);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_length_specs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let exact = vec(0u32..5, 7usize).sample(&mut rng);
+            assert_eq!(exact.len(), 7);
+            let ranged = vec(0u32..5, 1..4).sample(&mut rng);
+            assert!((1..4).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&v| v < 5));
+        }
+    }
+
+    #[test]
+    fn nested_vec_composes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = vec(vec(0u32..6, 1..8), 3..20).sample(&mut rng);
+        assert!((3..20).contains(&v.len()));
+        assert!(v.iter().all(|d| (1..8).contains(&d.len())));
+    }
+}

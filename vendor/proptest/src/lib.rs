@@ -1,0 +1,128 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The workspace's property tests use a narrow slice of proptest: the
+//! [`proptest!`] macro, [`Strategy`] + `prop_map`, [`collection::vec`],
+//! integer/float range strategies, simple regex string strategies, and the
+//! `prop_assert*` macros. This vendored crate implements exactly that slice
+//! as a randomized sampler *without shrinking*: each test runs
+//! `ProptestConfig::cases` deterministic random cases and panics on the
+//! first failure (printing the failing inputs is delegated to the assert
+//! message).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic per-test RNG: a fixed base seed mixed with the test name so
+/// different properties explore different streams but reruns are exactly
+/// reproducible.
+pub fn __runner_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x9E3779B97F4A7C15)
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Reject the current case when `cond` is false. Unlike upstream, a rejected
+/// case is simply skipped (it still counts toward `cases`) rather than
+/// resampled.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The property-test macro: each `fn name(x in strat, ...)` item becomes a
+/// `#[test]` that samples its strategies for `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::__runner_rng(stringify!($name), case);
+                    // One closure per case so `prop_assume!` can reject the
+                    // case with an early `return`.
+                    let mut case_fn = || {
+                        $(
+                            let $arg = $crate::Strategy::sample(&($strat), &mut rng);
+                        )+
+                        $body
+                    };
+                    case_fn();
+                }
+            }
+        )*
+    };
+}

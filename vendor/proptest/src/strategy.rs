@@ -1,0 +1,199 @@
+//! The [`Strategy`] trait and the built-in strategies the workspace uses:
+//! numeric ranges, `prop_map`, and regex-lite string generation.
+
+use rand::distributions::SampleUniform;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of random values of type `Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: `sample`
+/// directly produces a value from the runner RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// A `&str` is interpreted as a regex-lite pattern over literal characters,
+/// character classes `[a-z0-9 ]`, and `{m,n}` / `{n}` repetition of the
+/// preceding atom — the subset the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let reps = rng.gen_range(*lo..=*hi);
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(chars) => {
+                        out.push(chars[rng.gen_range(0..chars.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+/// Parse into (atom, min_reps, max_reps) triples.
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out: Vec<(Atom, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+                out.push((Atom::Class(set), 1, 1));
+                i = close + 1;
+            }
+            '{' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pat:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((l, h)) => (
+                        l.trim().parse().expect("bad repetition lower bound"),
+                        h.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                };
+                let last = out.last_mut().expect("repetition with no preceding atom");
+                last.1 = lo;
+                last.2 = hi;
+                i = close + 1;
+            }
+            '\\' => {
+                out.push((Atom::Literal(chars[i + 1]), 1, 1));
+                i += 2;
+            }
+            c => {
+                out.push((Atom::Literal(c), 1, 1));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategies_sample_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.5f32..2.0).sample(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = (1usize..5).prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_lite_class_repetition() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "[a-c ]{0,12}".sample(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == ' '));
+        }
+    }
+}
