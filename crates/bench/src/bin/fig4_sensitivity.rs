@@ -8,21 +8,50 @@
 //! Expected shape: coherence rises with lambda; diversity and purity rise
 //! then fall once lambda gets large; v rises quickly then plateaus.
 
-use contratopic::fit_contratopic;
+use contratopic::fit_contratopic_traced;
 use ct_bench::{cluster_counts, evaluate_clustering, ExperimentContext};
 use ct_corpus::{DatasetPreset, Scale};
 use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
-use ct_models::TopicModel;
+use ct_models::{JsonlSink, NoopSink, TopicModel, TraceEvent, TraceSink};
+use std::fs::File;
+use std::io::BufWriter;
 
-fn eval_point(ctx: &ExperimentContext, lambda: f32, v: usize) -> (f64, f64, f64, f64, f64, f64) {
+/// Training telemetry for the whole sweep, gated on `CT_TRACE`: every
+/// sweep point's training run lands in one JSONL stream, each prefixed
+/// with a `meta` record naming the point.
+fn trace_sink() -> Box<dyn TraceSink> {
+    match std::env::var("CT_TRACE") {
+        Ok(path) => {
+            let file = File::create(&path)
+                .unwrap_or_else(|e| panic!("CT_TRACE={path}: cannot create trace file: {e}"));
+            println!("writing training traces to {path}");
+            Box::new(JsonlSink::new(BufWriter::new(file)))
+        }
+        Err(_) => Box::new(NoopSink),
+    }
+}
+
+fn eval_point(
+    ctx: &ExperimentContext,
+    lambda: f32,
+    v: usize,
+    trace: &mut dyn TraceSink,
+) -> (f64, f64, f64, f64, f64, f64) {
     let base = ctx.train_config(42);
     let cfg = ctx.contratopic_config().with_lambda(lambda).with_v(v);
-    let model = fit_contratopic(
+    if trace.enabled() {
+        trace.record(&TraceEvent::Meta {
+            key: "point",
+            value: format!("{} lambda={lambda} v={v}", ctx.preset.name()),
+        });
+    }
+    let model = fit_contratopic_traced(
         &ctx.train,
         ctx.embeddings.clone(),
         &ctx.npmi_train,
         &base,
         &cfg,
+        trace,
     );
     let beta = model.beta();
     let scores = TopicScores::compute(&beta, &ctx.npmi_test, K_TC);
@@ -41,7 +70,7 @@ fn eval_point(ctx: &ExperimentContext, lambda: f32, v: usize) -> (f64, f64, f64,
     )
 }
 
-fn sweep(ctx: &ExperimentContext, lambdas: &[f32], vs: &[usize]) {
+fn sweep(ctx: &ExperimentContext, lambdas: &[f32], vs: &[usize], trace: &mut dyn TraceSink) {
     println!(
         "\n=== {} ===\n[lambda sweep, v = 10]\n{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         ctx.preset.name(),
@@ -54,7 +83,7 @@ fn sweep(ctx: &ExperimentContext, lambdas: &[f32], vs: &[usize]) {
         "pur@max"
     );
     for &l in lambdas {
-        let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, l, 10);
+        let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, l, 10, trace);
         println!("{l:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}");
     }
     println!(
@@ -69,7 +98,7 @@ fn sweep(ctx: &ExperimentContext, lambdas: &[f32], vs: &[usize]) {
         "pur@max"
     );
     for &v in vs {
-        let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, ctx.default_lambda(), v);
+        let (c1, c9, d1, d9, pmin, pmax) = eval_point(ctx, ctx.default_lambda(), v, trace);
         println!("{v:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3} {pmin:>8.3} {pmax:>8.3}");
     }
 }
@@ -80,8 +109,9 @@ fn main() {
     let lambdas = [0.0f32, 100.0, 400.0, 1200.0];
     let vs = [1usize, 7, 13, 19];
     println!("Figure 4 — sensitivity to lambda and v (scale {scale:?})");
+    let mut trace = trace_sink();
     for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
         let ctx = ExperimentContext::build(preset, scale, 42);
-        sweep(&ctx, &lambdas, &vs);
+        sweep(&ctx, &lambdas, &vs, trace.as_mut());
     }
 }

@@ -15,9 +15,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use contratopic::fit_contratopic;
+use contratopic::{fit_contratopic, fit_contratopic_traced};
 use ct_corpus::{generate, train_embeddings, NpmiMatrix, SynthSpec};
-use ct_models::TrainConfig;
+use ct_models::{JsonlSink, TrainConfig};
 use ct_tensor::{pool, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,7 +150,7 @@ fn train_epoch_median_ns() -> u128 {
         embed_dim: 32,
         ..TrainConfig::default()
     };
-    time_median(EPOCH_SAMPLES, || {
+    let median = time_median(EPOCH_SAMPLES, || {
         black_box(fit_contratopic(
             &corpus,
             emb.clone(),
@@ -158,7 +158,30 @@ fn train_epoch_median_ns() -> u128 {
             &config,
             &Default::default(),
         ));
-    })
+    });
+    // Optional: one extra traced run, outside the timing loop, so the
+    // telemetry of the exact benchmark workload can be inspected.
+    if let Ok(path) = std::env::var("CT_TRACE") {
+        match std::fs::File::create(&path) {
+            Ok(file) => {
+                let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+                black_box(fit_contratopic_traced(
+                    &corpus,
+                    emb.clone(),
+                    &npmi,
+                    &config,
+                    &Default::default(),
+                    &mut sink,
+                ));
+                match sink.finish() {
+                    Ok(_) => println!("wrote training trace to {path}"),
+                    Err(e) => eprintln!("warning: trace {path}: {e}"),
+                }
+            }
+            Err(e) => eprintln!("warning: trace {path}: {e}"),
+        }
+    }
+    median
 }
 
 fn write_train_json(median_ns: u128) -> std::io::Result<()> {

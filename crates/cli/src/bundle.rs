@@ -4,7 +4,7 @@
 //! `ct_tensor::checkpoint`). Together they are enough to reconstruct the
 //! model for inference on new documents.
 
-use std::fs::File;
+use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
@@ -22,6 +22,27 @@ fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> io::Result<T> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("bad value for {key}")))
 }
 
+/// Write `path` atomically: stream into a sibling temp file, fsync, then
+/// rename over the target. A crash mid-save leaves either the old file or
+/// no file — never a torn half-write that a later load would misparse.
+fn atomic_write(
+    path: &str,
+    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = format!("{path}.tmp-{}", std::process::id());
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
 /// Everything needed to rebuild a trained ContraTopic/ETM model.
 #[derive(Debug)]
 pub struct ModelBundle {
@@ -30,30 +51,31 @@ pub struct ModelBundle {
 }
 
 impl ModelBundle {
-    /// Write `<prefix>.meta` and `<prefix>.ckpt`.
+    /// Write `<prefix>.meta` and `<prefix>.ckpt`, each atomically
+    /// (temp file + rename), so an interrupted save cannot corrupt a
+    /// previously written bundle.
     pub fn save(
         prefix: &str,
         config: &TrainConfig,
         vocab: &Vocab,
         params: &Params,
     ) -> io::Result<()> {
-        let mut meta = BufWriter::new(File::create(format!("{prefix}.meta"))?);
-        writeln!(meta, "{META_MAGIC}")?;
-        writeln!(meta, "num_topics={}", config.num_topics)?;
-        writeln!(meta, "hidden={}", config.hidden)?;
-        writeln!(meta, "encoder_depth={}", config.encoder_depth)?;
-        writeln!(meta, "embed_dim={}", config.embed_dim)?;
-        writeln!(meta, "tau_beta={}", config.tau_beta)?;
-        writeln!(meta, "dropout={}", config.dropout)?;
-        writeln!(meta, "seed={}", config.seed)?;
-        writeln!(meta, "vocab_size={}", vocab.len())?;
-        for w in vocab.words() {
-            writeln!(meta, "{w}")?;
-        }
-        meta.flush()?;
-        let mut ckpt = BufWriter::new(File::create(format!("{prefix}.ckpt"))?);
-        params.save(&mut ckpt)?;
-        ckpt.flush()
+        atomic_write(&format!("{prefix}.meta"), |meta| {
+            writeln!(meta, "{META_MAGIC}")?;
+            writeln!(meta, "num_topics={}", config.num_topics)?;
+            writeln!(meta, "hidden={}", config.hidden)?;
+            writeln!(meta, "encoder_depth={}", config.encoder_depth)?;
+            writeln!(meta, "embed_dim={}", config.embed_dim)?;
+            writeln!(meta, "tau_beta={}", config.tau_beta)?;
+            writeln!(meta, "dropout={}", config.dropout)?;
+            writeln!(meta, "seed={}", config.seed)?;
+            writeln!(meta, "vocab_size={}", vocab.len())?;
+            for w in vocab.words() {
+                writeln!(meta, "{w}")?;
+            }
+            Ok(())
+        })?;
+        atomic_write(&format!("{prefix}.ckpt"), |ckpt| params.save(ckpt))
     }
 
     /// Read `<prefix>.meta` back.
@@ -173,6 +195,75 @@ mod tests {
         std::fs::write(format!("{}.meta", prefix.display()), "NOT A MODEL\n").unwrap();
         let err = ModelBundle::load_meta(prefix.to_str().unwrap()).unwrap_err();
         assert!(err.to_string().contains("bad magic"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn saved_bundle(tag: &str) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!("ct_bundle_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("model").to_str().unwrap().to_string();
+        let vocab = Vocab::from_words((0..12).map(|i| format!("w{i}")));
+        let config = TrainConfig {
+            num_topics: 3,
+            hidden: 16,
+            embed_dim: 6,
+            ..TrainConfig::tiny()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = Tensor::randn(12, 6, 1.0, &mut rng);
+        let mut params = Params::new();
+        EtmBackbone::new(&mut params, 12, emb, &config, &mut rng);
+        ModelBundle::save(&prefix, &config, &vocab, &params).unwrap();
+        (dir, prefix)
+    }
+
+    #[test]
+    fn load_model_rejects_truncated_checkpoint() {
+        let (dir, prefix) = saved_bundle("trunc");
+        let ckpt_path = format!("{prefix}.ckpt");
+        let bytes = std::fs::read(&ckpt_path).unwrap();
+        std::fs::write(&ckpt_path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = match ModelBundle::load_model(&prefix) {
+            Ok(_) => panic!("corrupt checkpoint loaded successfully"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_model_rejects_trailing_garbage() {
+        let (dir, prefix) = saved_bundle("tail");
+        let ckpt_path = format!("{prefix}.ckpt");
+        let mut bytes = std::fs::read(&ckpt_path).unwrap();
+        bytes.extend_from_slice(b"JUNK");
+        std::fs::write(&ckpt_path, &bytes).unwrap();
+        let err = match ModelBundle::load_model(&prefix) {
+            Ok(_) => panic!("corrupt checkpoint loaded successfully"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_save_leaves_no_temp_files() {
+        let (dir, prefix) = saved_bundle("atomic");
+        // Save again over the existing files; the rename must replace
+        // them in place and clean up every temp file.
+        let (bundle, _, params) = ModelBundle::load_model(&prefix).unwrap();
+        ModelBundle::save(&prefix, &bundle.config, &bundle.vocab, &params).unwrap();
+        ModelBundle::load_model(&prefix).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,6 +1,7 @@
 //! The four CLI subcommands.
 
 use std::fs;
+use std::io::BufWriter;
 
 use contratopic::{AblationVariant, ContraTopicConfig, SubsetSamplerConfig};
 use ct_corpus::{
@@ -8,7 +9,7 @@ use ct_corpus::{
     DatasetPreset, NpmiMatrix, Pipeline, PipelineConfig, Scale,
 };
 use ct_eval::{describe_topic, diversity_at, perplexity, top_topics, TopicScores, K_TC, K_TD};
-use ct_models::{Backbone, TrainConfig};
+use ct_models::{parse_divergence_policy, Backbone, JsonlSink, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -113,6 +114,8 @@ pub fn train(args: &Args) -> Result<(), String> {
             "lr",
             "variant",
             "seed",
+            "trace",
+            "divergence",
         ])
         .into_iter()
         .next()
@@ -121,6 +124,8 @@ pub fn train(args: &Args) -> Result<(), String> {
     }
     let corpus = read_corpus(args.require("corpus")?, args.get("labels"))?;
     let out = args.require("out")?;
+    let divergence =
+        parse_divergence_policy(args.get_or("divergence", "skip".to_string())?.as_str())?;
     let config = TrainConfig {
         num_topics: args.get_or("topics", 20)?,
         hidden: args.get_or("hidden", 64)?,
@@ -129,6 +134,7 @@ pub fn train(args: &Args) -> Result<(), String> {
         batch_size: args.get_or("batch", 256)?,
         learning_rate: args.get_or("lr", 3e-3)?,
         seed: args.get_or("seed", 42)?,
+        divergence,
         ..TrainConfig::default()
     };
     let ct_config = ContraTopicConfig {
@@ -150,7 +156,23 @@ pub fn train(args: &Args) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let npmi = NpmiMatrix::from_corpus(&corpus);
     let embeddings = train_embeddings(&corpus, config.embed_dim, &mut rng);
-    let model = contratopic::fit_contratopic(&corpus, embeddings, &npmi, &config, &ct_config);
+    let model = match args.get("trace") {
+        Some(path) => {
+            let file = fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut sink = JsonlSink::new(BufWriter::new(file));
+            let model = contratopic::fit_contratopic_traced(
+                &corpus, embeddings, &npmi, &config, &ct_config, &mut sink,
+            );
+            // Surface deferred JSONL write errors before declaring success.
+            sink.finish().map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote training trace to {path}");
+            model
+        }
+        None => contratopic::fit_contratopic(&corpus, embeddings, &npmi, &config, &ct_config),
+    };
+    if let Err(msg) = model.inner.stats.check_diverged() {
+        return Err(format!("training diverged: {msg}"));
+    }
     ModelBundle::save(out, &config, &corpus.vocab, &model.inner.params)
         .map_err(|e| format!("saving {out}: {e}"))?;
     eprintln!("saved {out}.meta and {out}.ckpt");
@@ -271,6 +293,8 @@ mod tests {
         .unwrap();
         assert!(corpus_path.exists());
 
+        let trace_path = dir.join("trace.jsonl");
+        let tp = trace_path.to_str().unwrap().to_string();
         train(
             &Args::parse([
                 "train",
@@ -288,12 +312,23 @@ mod tests {
                 "12",
                 "--lambda",
                 "10",
+                "--trace",
+                &tp,
+                "--divergence",
+                "skip",
             ])
             .unwrap(),
         )
         .unwrap();
         assert!(dir.join("model.meta").exists());
         assert!(dir.join("model.ckpt").exists());
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let epoch_lines: Vec<&str> = trace
+            .lines()
+            .filter(|l| l.contains("\"event\":\"epoch\""))
+            .collect();
+        assert_eq!(epoch_lines.len(), 2, "one JSONL record per epoch:\n{trace}");
+        assert!(trace.contains("\"masks_built\""), "{trace}");
 
         topics(&Args::parse(["topics", "--model", &mp, "--top", "5"]).unwrap()).unwrap();
         eval(&Args::parse(["eval", "--model", &mp, "--corpus", &cp]).unwrap()).unwrap();

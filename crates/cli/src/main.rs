@@ -29,6 +29,8 @@ COMMANDS:
              [--labels labels.txt] [--topics K] [--epochs N] [--lambda L]
              [--v N] [--hidden N] [--embed-dim N] [--batch N] [--lr F]
              [--variant full|p|n|i|s] [--seed N]
+             [--trace trace.jsonl]     write per-batch/per-epoch telemetry as JSONL
+             [--divergence skip|halt]  non-finite batch policy (default: skip)
   topics     Print each topic's top words from a trained model
              --model model-prefix  [--corpus corpus.txt]  [--top N]
   eval       Score a trained model on a corpus (coherence/diversity/perplexity)

@@ -40,8 +40,9 @@ pub mod tuning;
 pub use gumbel::{gumbel_noise, relaxed_subset, SubsetSample, SubsetSamplerConfig};
 pub use kernel::SimilarityKernel;
 pub use model::{
-    build_kernel, fit_contratopic, fit_contratopic_wete, fit_contratopic_wlda, fit_multilevel,
-    fit_with_backbone, ContraTopic, ContraTopicConfig,
+    build_kernel, fit_contratopic, fit_contratopic_traced, fit_contratopic_wete,
+    fit_contratopic_wlda, fit_multilevel, fit_with_backbone, fit_with_backbone_traced, ContraTopic,
+    ContraTopicConfig,
 };
 pub use online::OnlineContraTopic;
 pub use regularizer::{AblationVariant, ContrastiveRegularizer};

@@ -3,8 +3,9 @@
 //! `L = L_rec + L_kl + lambda * L_con`.
 
 use ct_corpus::{BowCorpus, NpmiMatrix};
+use ct_models::trace::{NoopSink, TraceEvent, TraceSink};
 use ct_models::{
-    fit_backbone_with_regularizer, Backbone, EtmBackbone, Fitted, TopicModel, TrainConfig,
+    fit_backbone_with_regularizer_traced, Backbone, EtmBackbone, Fitted, TopicModel, TrainConfig,
     WeTeBackbone, WldaBackbone,
 };
 use ct_tensor::{Params, Tensor};
@@ -117,16 +118,47 @@ pub fn fit_with_backbone<B: Backbone>(
     base: &TrainConfig,
     config: &ContraTopicConfig,
 ) -> ContraTopic<B> {
+    fit_with_backbone_traced(
+        backbone,
+        params,
+        corpus,
+        kernel,
+        base,
+        config,
+        &mut NoopSink,
+    )
+}
+
+/// [`fit_with_backbone`] with training telemetry routed to `trace`:
+/// per-batch/per-epoch loss components (including the weighted
+/// regularizer term), divergence events, and the regularizer's pair-mask
+/// cache-miss counter (`masks_built`).
+pub fn fit_with_backbone_traced<B: Backbone>(
+    backbone: B,
+    params: Params,
+    corpus: &BowCorpus,
+    kernel: SimilarityKernel,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+    trace: &mut dyn TraceSink,
+) -> ContraTopic<B> {
     let reg = ContrastiveRegularizer::new(kernel, config.sampler, config.variant);
     let name = ContraTopic::<B>::label_for(backbone.name(), config.variant);
-    let inner = fit_backbone_with_regularizer(
+    let inner = fit_backbone_with_regularizer_traced(
         backbone,
         params,
         corpus,
         base,
         config.lambda,
         |tape, beta, rng| reg.loss(tape, beta, rng),
+        trace,
     );
+    if trace.enabled() {
+        trace.record(&TraceEvent::Counter {
+            name: "masks_built",
+            value: reg.masks_built() as u64,
+        });
+    }
     ContraTopic {
         inner,
         variant: config.variant,
@@ -144,11 +176,25 @@ pub fn fit_contratopic(
     base: &TrainConfig,
     config: &ContraTopicConfig,
 ) -> ContraTopic<EtmBackbone> {
+    fit_contratopic_traced(corpus, embeddings, npmi, base, config, &mut NoopSink)
+}
+
+/// [`fit_contratopic`] with training telemetry routed to `trace` (the
+/// CLI's `--trace` flag and the bench binaries' `CT_TRACE` wire through
+/// here).
+pub fn fit_contratopic_traced(
+    corpus: &BowCorpus,
+    embeddings: Tensor,
+    npmi: &NpmiMatrix,
+    base: &TrainConfig,
+    config: &ContraTopicConfig,
+    trace: &mut dyn TraceSink,
+) -> ContraTopic<EtmBackbone> {
     let kernel = build_kernel(config.variant, npmi, &embeddings);
     let mut params = Params::new();
     let mut rng = StdRng::seed_from_u64(base.seed);
     let backbone = EtmBackbone::new(&mut params, corpus.vocab_size(), embeddings, base, &mut rng);
-    fit_with_backbone(backbone, params, corpus, kernel, base, config)
+    fit_with_backbone_traced(backbone, params, corpus, kernel, base, config, trace)
 }
 
 /// §V-I backbone substitution: WLDA + regularizer.
@@ -296,6 +342,49 @@ mod tests {
         let wete = fit_contratopic_wete(&corpus, emb, &npmi, &base, &config);
         assert_eq!(wete.name(), "ContraTopic(WeTe)");
         assert!(!wete.beta().has_non_finite());
+    }
+
+    #[test]
+    fn tracing_is_observation_only_and_emits_valid_records() {
+        // A traced run and an untraced run with the same seed must produce
+        // byte-identical checkpoints — telemetry never touches the RNG or
+        // the parameters.
+        let (corpus, emb, npmi) = setup();
+        let base = TrainConfig {
+            epochs: 3,
+            ..base_config()
+        };
+        let config = ContraTopicConfig {
+            lambda: 5.0,
+            sampler: SubsetSamplerConfig { v: 5, tau_g: 0.5 },
+            ..Default::default()
+        };
+        let plain = fit_contratopic(&corpus, emb.clone(), &npmi, &base, &config);
+        let mut sink = ct_models::JsonlSink::new(Vec::new());
+        let traced = fit_contratopic_traced(&corpus, emb, &npmi, &base, &config, &mut sink);
+        assert_eq!(
+            ct_tensor::checkpoint::params_to_bytes(&plain.inner.params),
+            ct_tensor::checkpoint::params_to_bytes(&traced.inner.params),
+            "tracing changed the trained parameters"
+        );
+        let jsonl = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let epochs: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"event\":\"epoch\""))
+            .collect();
+        assert_eq!(epochs.len(), base.epochs, "one epoch record per epoch");
+        for line in &epochs {
+            assert!(line.contains("\"backbone\":"), "{line}");
+            assert!(line.contains("\"reg\":"), "{line}");
+            assert!(line.contains("\"grad_norm\":"), "{line}");
+            assert!(line.contains("\"skipped\":0"), "{line}");
+        }
+        assert!(
+            jsonl.contains("\"name\":\"masks_built\",\"value\":1"),
+            "regularizer mask cache counter missing:\n{jsonl}"
+        );
+        assert_eq!(traced.inner.stats.epoch_components.len(), base.epochs);
+        assert!(traced.inner.stats.outcome.is_completed());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 
 use ct_corpus::npmi::CoocAccumulator;
 use ct_corpus::BowCorpus;
-use ct_models::{train_loop, Backbone, EtmBackbone, TopicModel, TrainConfig, TrainStats};
+use ct_models::trace::{NoopSink, TraceEvent, TraceSink};
+use ct_models::{
+    train_loop_traced, Backbone, BatchLoss, EtmBackbone, TopicModel, TrainConfig, TrainStats,
+};
 use ct_tensor::{Params, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +55,13 @@ impl OnlineContraTopic {
     /// kernel, then continue training (warm start) on the slice's
     /// documents with the regularizer built from *all* counts so far.
     pub fn fit_slice(&mut self, slice: &BowCorpus) {
+        self.fit_slice_traced(slice, &mut NoopSink);
+    }
+
+    /// [`Self::fit_slice`] with telemetry routed to `trace`. The slice
+    /// index is announced as a `Meta { key: "slice" }` event before the
+    /// training events, so one JSONL stream can carry a whole stream run.
+    pub fn fit_slice_traced(&mut self, slice: &BowCorpus, trace: &mut dyn TraceSink) {
         assert!(slice.num_docs() > 0, "empty slice");
         self.accumulator.add_corpus(slice);
         let kernel = SimilarityKernel::from_npmi_owned(self.accumulator.to_npmi());
@@ -61,16 +71,33 @@ impl OnlineContraTopic {
         cfg.seed = self.base.seed.wrapping_add(self.slices_seen as u64 + 1);
         let lambda = self.config.lambda;
         let backbone = &self.backbone;
-        let stats = train_loop(
+        if trace.enabled() {
+            trace.record(&TraceEvent::Meta {
+                key: "slice",
+                value: self.slices_seen.to_string(),
+            });
+        }
+        let stats = train_loop_traced(
             slice,
             &cfg,
             &mut self.params,
             |tape, params, x, idx, rng| {
                 let out = backbone.batch_loss(tape, params, x, idx, true, rng);
                 let r = reg.loss(tape, out.beta, rng);
-                out.loss.add(r.scale(lambda))
+                let components = out.components(Some(lambda * r.scalar_value()));
+                BatchLoss {
+                    loss: out.loss.add(r.scale(lambda)),
+                    components,
+                }
             },
+            trace,
         );
+        if trace.enabled() {
+            trace.record(&TraceEvent::Counter {
+                name: "masks_built",
+                value: reg.masks_built() as u64,
+            });
+        }
         self.slice_stats.push(stats);
         self.slices_seen += 1;
     }

@@ -28,17 +28,27 @@ pub struct NpmiMatrix {
 #[derive(Clone, Debug)]
 pub struct CoocAccumulator {
     vocab_size: usize,
-    /// Upper-triangle pair counts, dense.
+    /// Strict upper-triangle pair counts, packed row-major: entry
+    /// `(i, j)` with `i < j` lives at [`tri_index`]`(v, i, j)`. Halves
+    /// the accumulator's resident memory versus a dense `v * v` grid —
+    /// the dense `O(V^2)` matrix is only materialized by [`Self::to_npmi`].
     pair: Vec<u32>,
     df: Vec<u32>,
     num_docs: usize,
+}
+
+/// Index of pair `(i, j)`, `i < j < v`, in a packed strict upper triangle.
+#[inline]
+fn tri_index(v: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < v, "tri_index({v}, {i}, {j})");
+    i * (2 * v - i - 1) / 2 + (j - i - 1)
 }
 
 impl CoocAccumulator {
     pub fn new(vocab_size: usize) -> Self {
         Self {
             vocab_size,
-            pair: vec![0; vocab_size * vocab_size],
+            pair: vec![0; vocab_size * vocab_size.saturating_sub(1) / 2],
             df: vec![0; vocab_size],
             num_docs: 0,
         }
@@ -53,12 +63,19 @@ impl CoocAccumulator {
         );
         let v = self.vocab_size;
         for doc in &corpus.docs {
+            // `SparseDoc::ids()` is sorted ascending and unique, so every
+            // later id `j` satisfies `i < j` — the packed row for `i`
+            // starts at tri_index(v, i, i + 1) and ids are contiguous
+            // offsets `j - i - 1` from there.
             let ids = doc.ids();
             for (a, &i) in ids.iter().enumerate() {
-                self.df[i as usize] += 1;
-                let row = i as usize * v;
-                for &j in &ids[a + 1..] {
-                    self.pair[row + j as usize] += 1;
+                let i = i as usize;
+                self.df[i] += 1;
+                if a + 1 < ids.len() {
+                    let base = tri_index(v, i, i + 1);
+                    for &j in &ids[a + 1..] {
+                        self.pair[base + (j as usize - i - 1)] += 1;
+                    }
                 }
             }
             self.num_docs += 1;
@@ -76,11 +93,15 @@ impl CoocAccumulator {
         let dn = self.num_docs as f64;
         let mut matrix = Tensor::zeros(v, v);
         let data = matrix.data_mut();
+        // The (i, j > i) loop order below visits the packed triangle
+        // sequentially, so a running index replaces tri_index here.
+        let mut tri = 0usize;
         for i in 0..v {
             data[i * v + i] = 1.0;
             let pi = self.df[i] as f64 / dn;
             for j in (i + 1)..v {
-                let cij = self.pair[i * v + j];
+                let cij = self.pair[tri];
+                tri += 1;
                 let val = if cij == 0 || pi == 0.0 || self.df[j] == 0 {
                     -1.0
                 } else {
@@ -249,6 +270,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tri_index_is_a_packed_bijection() {
+        for v in [2usize, 3, 7, 16] {
+            let mut seen = vec![false; v * (v - 1) / 2];
+            for i in 0..v {
+                for j in (i + 1)..v {
+                    let t = tri_index(v, i, j);
+                    assert!(!seen[t], "tri_index collision at ({i},{j}) in v={v}");
+                    seen[t] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "tri_index not onto for v={v}");
+        }
+    }
+
+    #[test]
+    fn accumulator_handles_tiny_vocabs() {
+        // v = 1 has an empty triangle; the accumulator must not panic.
+        let c = corpus_from_docs(1, &[&[0], &[0]]);
+        let mut acc = CoocAccumulator::new(1);
+        acc.add_corpus(&c);
+        let n = acc.to_npmi();
+        assert_eq!(n.get(0, 0), 1.0);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use ct_tensor::{Params, Tape, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{infer_theta_blocked, train_loop, TopicModel, TrainConfig, TrainStats};
+use crate::common::{
+    infer_theta_blocked, train_loop_traced, BatchLoss, TopicModel, TrainConfig, TrainStats,
+};
+use crate::trace::{LossComponents, NoopSink, TraceSink};
 
 /// Output of one backbone forward pass.
 pub struct BackboneOut<'t> {
@@ -16,6 +19,34 @@ pub struct BackboneOut<'t> {
     pub loss: Var<'t>,
     /// Differentiable topic-word distribution `(K, V)` for regularizers.
     pub beta: Var<'t>,
+    /// The KL term of `loss`, for backbones whose objective has one
+    /// (telemetry only — `loss` already includes it).
+    pub kl: Option<Var<'t>>,
+}
+
+impl<'t> BackboneOut<'t> {
+    pub fn new(loss: Var<'t>, beta: Var<'t>) -> Self {
+        Self {
+            loss,
+            beta,
+            kl: None,
+        }
+    }
+
+    pub fn with_kl(mut self, kl: Var<'t>) -> Self {
+        self.kl = Some(kl);
+        self
+    }
+
+    /// Telemetry breakdown of this output, with an optional weighted
+    /// regularizer contribution added on top by the caller.
+    pub fn components(&self, regularizer: Option<f32>) -> LossComponents {
+        LossComponents {
+            backbone: self.loss.scalar_value(),
+            kl: self.kl.map(|k| k.scalar_value()),
+            regularizer,
+        }
+    }
 }
 
 /// A VAE-style neural topic model viewed as a pluggable backbone.
@@ -96,13 +127,34 @@ impl<B: Backbone> TopicModel for Fitted<B> {
 /// Train a backbone on `corpus` with its own objective (no regularizer).
 pub fn fit_backbone<B: Backbone>(
     backbone: B,
-    mut params: Params,
+    params: Params,
     corpus: &BowCorpus,
     config: &TrainConfig,
 ) -> Fitted<B> {
-    let stats = train_loop(corpus, config, &mut params, |tape, params, x, idx, rng| {
-        backbone.batch_loss(tape, params, x, idx, true, rng).loss
-    });
+    fit_backbone_traced(backbone, params, corpus, config, &mut NoopSink)
+}
+
+/// [`fit_backbone`] with training telemetry routed to `trace`.
+pub fn fit_backbone_traced<B: Backbone>(
+    backbone: B,
+    mut params: Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    trace: &mut dyn TraceSink,
+) -> Fitted<B> {
+    let stats = train_loop_traced(
+        corpus,
+        config,
+        &mut params,
+        |tape, params, x, idx, rng| {
+            let out = backbone.batch_loss(tape, params, x, idx, true, rng);
+            BatchLoss {
+                components: out.components(None),
+                loss: out.loss,
+            }
+        },
+        trace,
+    );
     Fitted::new(backbone, params, stats)
 }
 
@@ -110,21 +162,58 @@ pub fn fit_backbone<B: Backbone>(
 /// `reg(tape, beta_var)` scaled by `lambda` — the hook ContraTopic uses.
 pub fn fit_backbone_with_regularizer<B, F>(
     backbone: B,
-    mut params: Params,
+    params: Params,
     corpus: &BowCorpus,
     config: &TrainConfig,
     lambda: f32,
-    mut reg: F,
+    reg: F,
 ) -> Fitted<B>
 where
     B: Backbone,
     F: for<'t> FnMut(&'t Tape, Var<'t>, &mut StdRng) -> Var<'t>,
 {
-    let stats = train_loop(corpus, config, &mut params, |tape, params, x, idx, rng| {
-        let out = backbone.batch_loss(tape, params, x, idx, true, rng);
-        let r = reg(tape, out.beta, rng);
-        out.loss.add(r.scale(lambda))
-    });
+    fit_backbone_with_regularizer_traced(
+        backbone,
+        params,
+        corpus,
+        config,
+        lambda,
+        reg,
+        &mut NoopSink,
+    )
+}
+
+/// [`fit_backbone_with_regularizer`] with training telemetry routed to
+/// `trace`; the weighted regularizer value is reported as a separate loss
+/// component per batch.
+pub fn fit_backbone_with_regularizer_traced<B, F>(
+    backbone: B,
+    mut params: Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    lambda: f32,
+    mut reg: F,
+    trace: &mut dyn TraceSink,
+) -> Fitted<B>
+where
+    B: Backbone,
+    F: for<'t> FnMut(&'t Tape, Var<'t>, &mut StdRng) -> Var<'t>,
+{
+    let stats = train_loop_traced(
+        corpus,
+        config,
+        &mut params,
+        |tape, params, x, idx, rng| {
+            let out = backbone.batch_loss(tape, params, x, idx, true, rng);
+            let r = reg(tape, out.beta, rng);
+            let weighted = lambda * r.scalar_value();
+            BatchLoss {
+                components: out.components(Some(weighted)),
+                loss: out.loss.add(r.scale(lambda)),
+            }
+        },
+        trace,
+    );
     Fitted::new(backbone, params, stats)
 }
 

@@ -127,9 +127,10 @@ impl Backbone for ClntmBackbone {
         training: bool,
         rng: &mut StdRng,
     ) -> BackboneOut<'t> {
-        let (elbo, _theta, beta) = self.inner.elbo(tape, params, x, training, rng);
+        let e = self.inner.elbo(tape, params, x, training, rng);
+        let (elbo, kl, beta) = (e.loss, e.kl, e.beta);
         if !training || indices.is_empty() {
-            return BackboneOut { loss: elbo, beta };
+            return BackboneOut::new(elbo, beta).with_kl(kl);
         }
         let v = x.cols();
         let (pos, neg) = self.augment(indices, v, rng);
@@ -160,7 +161,7 @@ impl Backbone for ClntmBackbone {
             .softplus()
             .mean_all();
         let loss = elbo.add(contrast.scale(self.contrast_weight));
-        BackboneOut { loss, beta }
+        BackboneOut::new(loss, beta).with_kl(kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

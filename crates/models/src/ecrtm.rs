@@ -84,12 +84,9 @@ impl Backbone for EcrtmBackbone {
         training: bool,
         rng: &mut StdRng,
     ) -> BackboneOut<'t> {
-        let (elbo, _theta, beta) = self.inner.elbo(tape, params, x, training, rng);
+        let e = self.inner.elbo(tape, params, x, training, rng);
         let ecr = self.ecr_loss(tape, params);
-        BackboneOut {
-            loss: elbo.add(ecr.scale(self.ecr_weight)),
-            beta,
-        }
+        BackboneOut::new(e.loss.add(ecr.scale(self.ecr_weight)), e.beta).with_kl(e.kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

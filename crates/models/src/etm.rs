@@ -46,7 +46,8 @@ impl EtmBackbone {
         Self { encoder, decoder }
     }
 
-    /// Shared ELBO pieces: returns `(recon + kl, theta, beta)`.
+    /// Shared ELBO pieces (loss = recon + kl, with the parts exposed for
+    /// derived objectives and telemetry).
     pub fn elbo<'t>(
         &self,
         tape: &'t Tape,
@@ -54,7 +55,7 @@ impl EtmBackbone {
         x: &Tensor,
         training: bool,
         rng: &mut StdRng,
-    ) -> (Var<'t>, Var<'t>, Var<'t>) {
+    ) -> ElboOut<'t> {
         let n = x.rows() as f32;
         let mut xn = x.clone();
         xn.normalize_rows_l1();
@@ -68,8 +69,23 @@ impl EtmBackbone {
             .mul_const(&x_rc)
             .sum_all()
             .scale(-1.0 / n);
-        (recon.add(kl), theta, beta)
+        ElboOut {
+            loss: recon.add(kl),
+            kl,
+            theta,
+            beta,
+        }
     }
+}
+
+/// Pieces of one ETM ELBO evaluation.
+pub struct ElboOut<'t> {
+    /// `recon + kl`.
+    pub loss: Var<'t>,
+    /// The KL term alone (telemetry).
+    pub kl: Var<'t>,
+    pub theta: Var<'t>,
+    pub beta: Var<'t>,
 }
 
 impl Backbone for EtmBackbone {
@@ -86,8 +102,8 @@ impl Backbone for EtmBackbone {
         training: bool,
         rng: &mut StdRng,
     ) -> BackboneOut<'t> {
-        let (loss, _theta, beta) = self.elbo(tape, params, x, training, rng);
-        BackboneOut { loss, beta }
+        let e = self.elbo(tape, params, x, training, rng);
+        BackboneOut::new(e.loss, e.beta).with_kl(e.kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -18,13 +18,20 @@ pub mod nstm;
 pub mod ntmr;
 pub mod prodlda;
 pub mod testutil;
+pub mod trace;
 pub mod vtmrl;
 pub mod wete;
 pub mod wlda;
 
-pub use backbone::{fit_backbone, fit_backbone_with_regularizer, Backbone, BackboneOut, Fitted};
+pub use backbone::{
+    fit_backbone, fit_backbone_traced, fit_backbone_with_regularizer,
+    fit_backbone_with_regularizer_traced, Backbone, BackboneOut, Fitted,
+};
 pub use clntm::{fit_clntm, Clntm, ClntmBackbone};
-pub use common::{train_loop, TopicModel, TrainConfig, TrainStats};
+pub use common::{
+    train_loop, train_loop_traced, BatchLoss, DivergencePolicy, TopicModel, TrainConfig,
+    TrainOutcome, TrainStats,
+};
 pub use decoder::{EtmDecoder, FreeDecoder};
 pub use ecrtm::{fit_ecrtm, Ecrtm, EcrtmBackbone};
 pub use encoder::Encoder;
@@ -33,6 +40,10 @@ pub use lda::{Lda, LdaConfig};
 pub use nstm::{fit_nstm, Nstm, NstmBackbone};
 pub use ntmr::{fit_ntmr, NtmR, NtmRBackbone};
 pub use prodlda::{fit_prodlda, ProdLda, ProdLdaBackbone};
+pub use trace::{
+    parse_divergence_policy, CollectSink, ConsoleSink, JsonlSink, LossComponents, NoopSink,
+    TraceEvent, TraceSink,
+};
 pub use vtmrl::{fit_vtmrl, gumbel_top_k, Vtmrl, VtmrlBackbone};
 pub use wete::{fit_wete, WeTe, WeTeBackbone};
 pub use wlda::{fit_wlda, Wlda, WldaBackbone};

@@ -117,7 +117,7 @@ impl Backbone for NstmBackbone {
         let cost = self.cost(tape, params);
         let ot = self.sinkhorn_distance(xbar, theta, cost);
         let beta = self.decoder.beta(tape, params);
-        BackboneOut { loss: ot, beta }
+        BackboneOut::new(ot, beta)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -53,7 +53,8 @@ impl Backbone for NtmRBackbone {
         training: bool,
         rng: &mut StdRng,
     ) -> BackboneOut<'t> {
-        let (elbo, _theta, beta) = self.inner.elbo(tape, params, x, training, rng);
+        let e = self.inner.elbo(tape, params, x, training, rng);
+        let (elbo, kl, beta) = (e.loss, e.kl, e.beta);
         // Coherence surrogate: topic centroid s_k = beta_k @ rho_hat;
         // reward = sum_k sum_w beta_kw * cos(rho_w, s_k). Maximizing pulls
         // each topic's mass onto words near its own centroid.
@@ -65,7 +66,7 @@ impl Backbone for NtmRBackbone {
         let k = beta.shape().0 as f32;
         let coherence = beta.mul(sim).sum_all().scale(1.0 / k);
         let loss = elbo.sub(coherence.scale(self.coherence_weight));
-        BackboneOut { loss, beta }
+        BackboneOut::new(loss, beta).with_kl(kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -72,10 +72,7 @@ impl Backbone for ProdLdaBackbone {
         let x_rc = Rc::new(x.clone());
         let recon = log_p.mul_const(&x_rc).sum_all().scale(-1.0 / n);
         let beta = self.decoder.beta(tape, params);
-        BackboneOut {
-            loss: recon.add(kl),
-            beta,
-        }
+        BackboneOut::new(recon.add(kl), beta).with_kl(kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

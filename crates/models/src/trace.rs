@@ -1,0 +1,458 @@
+//! Structured training telemetry.
+//!
+//! The training driver ([`crate::common::train_loop_traced`]) emits
+//! [`TraceEvent`]s into a [`TraceSink`]: per-batch loss components, the
+//! global gradient norm before clipping, clip activations, the Adam step
+//! count, divergence events (skipped batches with the offending loss
+//! value), and wall-clock spans for the forward/backward/step phases.
+//! Sinks are pluggable:
+//!
+//! - [`NoopSink`] — the default; reports `enabled() == false` so the
+//!   driver skips event construction and timing entirely (zero overhead).
+//! - [`JsonlSink`] — one JSON object per line, machine-readable; wired to
+//!   the CLI's `--trace <path>` flag and the bench binaries' `CT_TRACE`
+//!   environment variable.
+//! - [`ConsoleSink`] — human-readable per-epoch lines (what
+//!   `TrainConfig::verbose` used to print with `eprintln!`; library code
+//!   must not write to stderr directly — `scripts/check.sh` enforces it).
+//! - [`CollectSink`] — buffers events in memory, for tests.
+//!
+//! Tracing is observation-only: it never touches the RNG or the parameter
+//! values, so a traced run and an untraced run with the same seed produce
+//! byte-identical checkpoints (covered by a determinism test in the
+//! `contratopic` crate).
+
+use std::io::{self, Write};
+
+/// Per-batch loss breakdown. `backbone` is the backbone's own objective
+/// (ELBO / OT / WAE loss); `kl` is its KL term where the backbone exposes
+/// one; `regularizer` is the *weighted* regularizer contribution
+/// (`lambda * L_con`) when one is attached. The total batch loss is
+/// `backbone + regularizer`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LossComponents {
+    pub backbone: f32,
+    pub kl: Option<f32>,
+    pub regularizer: Option<f32>,
+}
+
+/// One telemetry event. Field meanings are documented per variant; all
+/// wall-clock spans are nanoseconds and are `0` when the sink reported
+/// itself disabled at the time of measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Free-form annotation, e.g. a sweep point or a stream-slice label.
+    Meta { key: &'static str, value: String },
+    /// A named counter sampled at a point in time (e.g. `masks_built`,
+    /// the regularizer's pair-mask cache-miss count).
+    Counter { name: &'static str, value: u64 },
+    /// Emitted once when `train_loop_traced` starts.
+    TrainStart {
+        epochs: usize,
+        num_docs: usize,
+        batch_size: usize,
+    },
+    /// A batch that completed forward/backward/step.
+    BatchEnd {
+        epoch: usize,
+        batch: usize,
+        loss: f32,
+        components: LossComponents,
+        /// Global gradient norm *before* clipping.
+        grad_norm: f32,
+        /// Whether clipping actually rescaled the gradients.
+        clipped: bool,
+        /// Adam step count after this batch's update.
+        adam_step: u64,
+        forward_ns: u64,
+        backward_ns: u64,
+        step_ns: u64,
+    },
+    /// A diverged batch dropped under [`DivergencePolicy::SkipBatch`],
+    /// with the offending (non-finite) loss value.
+    BatchSkipped {
+        epoch: usize,
+        batch: usize,
+        loss: f32,
+    },
+    /// End of one epoch. `components` and `grad_norm` are means over the
+    /// epoch's non-skipped batches.
+    EpochEnd {
+        epoch: usize,
+        mean_loss: f32,
+        components: LossComponents,
+        grad_norm: f32,
+        batches: usize,
+        skipped: usize,
+        wall_ns: u64,
+    },
+    /// Terminal: every batch of an epoch diverged under
+    /// [`DivergencePolicy::SkipBatch`]; training stopped.
+    AllBatchesDiverged { epoch: usize },
+    /// Terminal: [`DivergencePolicy::Halt`] hit a non-finite loss.
+    HaltedOnDivergence {
+        epoch: usize,
+        batch: usize,
+        loss: f32,
+    },
+    /// Emitted once when the driver returns.
+    TrainEnd {
+        epochs_run: usize,
+        skipped_batches: usize,
+        wall_ns: u64,
+    },
+}
+
+use crate::common::DivergencePolicy;
+
+/// Receiver for [`TraceEvent`]s.
+pub trait TraceSink {
+    /// Whether events will actually be recorded. When `false` the driver
+    /// skips event construction and all timing calls.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// The default sink: records nothing, reports itself disabled.
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Buffers events in memory (test helper).
+#[derive(Default)]
+pub struct CollectSink {
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for CollectSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Format an `f32` as a JSON value. JSON has no literal for non-finite
+/// floats, so `NaN`/`inf` — exactly what divergence events carry — are
+/// emitted as strings.
+fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+fn json_opt_f32(v: Option<f32>) -> String {
+    match v {
+        Some(v) => json_f32(v),
+        None => "null".to_string(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn components_json(c: &LossComponents) -> String {
+    format!(
+        "\"backbone\":{},\"kl\":{},\"reg\":{}",
+        json_f32(c.backbone),
+        json_opt_f32(c.kl),
+        json_opt_f32(c.regularizer),
+    )
+}
+
+/// Render one event as a single-line JSON object (no trailing newline).
+pub fn event_to_json(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::Meta { key, value } => {
+            format!(
+                "{{\"event\":\"meta\",\"key\":{},\"value\":{}}}",
+                json_str(key),
+                json_str(value)
+            )
+        }
+        TraceEvent::Counter { name, value } => {
+            format!(
+                "{{\"event\":\"counter\",\"name\":{},\"value\":{value}}}",
+                json_str(name)
+            )
+        }
+        TraceEvent::TrainStart {
+            epochs,
+            num_docs,
+            batch_size,
+        } => format!(
+            "{{\"event\":\"train_start\",\"epochs\":{epochs},\"num_docs\":{num_docs},\
+             \"batch_size\":{batch_size}}}"
+        ),
+        TraceEvent::BatchEnd {
+            epoch,
+            batch,
+            loss,
+            components,
+            grad_norm,
+            clipped,
+            adam_step,
+            forward_ns,
+            backward_ns,
+            step_ns,
+        } => format!(
+            "{{\"event\":\"batch\",\"epoch\":{epoch},\"batch\":{batch},\"loss\":{},{},\
+             \"grad_norm\":{},\"clipped\":{clipped},\"adam_step\":{adam_step},\
+             \"forward_ns\":{forward_ns},\"backward_ns\":{backward_ns},\"step_ns\":{step_ns}}}",
+            json_f32(*loss),
+            components_json(components),
+            json_f32(*grad_norm),
+        ),
+        TraceEvent::BatchSkipped { epoch, batch, loss } => format!(
+            "{{\"event\":\"batch_skipped\",\"epoch\":{epoch},\"batch\":{batch},\"loss\":{}}}",
+            json_f32(*loss)
+        ),
+        TraceEvent::EpochEnd {
+            epoch,
+            mean_loss,
+            components,
+            grad_norm,
+            batches,
+            skipped,
+            wall_ns,
+        } => format!(
+            "{{\"event\":\"epoch\",\"epoch\":{epoch},\"mean_loss\":{},{},\"grad_norm\":{},\
+             \"batches\":{batches},\"skipped\":{skipped},\"wall_ns\":{wall_ns}}}",
+            json_f32(*mean_loss),
+            components_json(components),
+            json_f32(*grad_norm),
+        ),
+        TraceEvent::AllBatchesDiverged { epoch } => {
+            format!("{{\"event\":\"all_batches_diverged\",\"epoch\":{epoch}}}")
+        }
+        TraceEvent::HaltedOnDivergence { epoch, batch, loss } => format!(
+            "{{\"event\":\"halted_on_divergence\",\"epoch\":{epoch},\"batch\":{batch},\
+             \"loss\":{}}}",
+            json_f32(*loss)
+        ),
+        TraceEvent::TrainEnd {
+            epochs_run,
+            skipped_batches,
+            wall_ns,
+        } => format!(
+            "{{\"event\":\"train_end\",\"epochs_run\":{epochs_run},\
+             \"skipped_batches\":{skipped_batches},\"wall_ns\":{wall_ns}}}"
+        ),
+    }
+}
+
+/// Machine-readable sink: one JSON object per event, one event per line.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    /// First write error, if any (subsequent events are dropped; surfaced
+    /// by [`JsonlSink::finish`]).
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        Self { out, error: None }
+    }
+
+    /// Flush and return the underlying writer, or the first write error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event_to_json(event);
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Human-readable sink: one line per epoch plus divergence notices. This
+/// is what `TrainConfig::verbose` routes through (to stderr).
+pub struct ConsoleSink<W: Write> {
+    out: W,
+}
+
+impl ConsoleSink<io::Stderr> {
+    pub fn stderr() -> Self {
+        Self { out: io::stderr() }
+    }
+}
+
+impl<W: Write> ConsoleSink<W> {
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+}
+
+impl<W: Write> TraceSink for ConsoleSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        // Write errors are deliberately dropped: progress lines are
+        // best-effort and must not abort training.
+        let _ = match event {
+            TraceEvent::EpochEnd {
+                epoch,
+                mean_loss,
+                skipped,
+                ..
+            } => {
+                if *skipped > 0 {
+                    writeln!(
+                        self.out,
+                        "epoch {:>3}: loss {mean_loss:.4} ({skipped} diverged batches skipped)",
+                        epoch + 1
+                    )
+                } else {
+                    writeln!(self.out, "epoch {:>3}: loss {mean_loss:.4}", epoch + 1)
+                }
+            }
+            TraceEvent::AllBatchesDiverged { epoch } => writeln!(
+                self.out,
+                "epoch {:>3}: every batch diverged; stopping",
+                epoch + 1
+            ),
+            TraceEvent::HaltedOnDivergence { epoch, batch, loss } => writeln!(
+                self.out,
+                "epoch {:>3}: halted on non-finite loss {loss} (batch {batch})",
+                epoch + 1
+            ),
+            _ => Ok(()),
+        };
+    }
+}
+
+/// Parse a divergence-policy name (CLI plumbing lives here so every
+/// front-end spells the values the same way).
+pub fn parse_divergence_policy(s: &str) -> Result<DivergencePolicy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "skip" | "skip-batch" => Ok(DivergencePolicy::SkipBatch),
+        "halt" | "halt-with-error" => Ok(DivergencePolicy::Halt),
+        other => Err(format!("unknown divergence policy '{other}' (skip|halt)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        let mut s = NoopSink;
+        s.record(&TraceEvent::AllBatchesDiverged { epoch: 0 });
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&TraceEvent::TrainStart {
+            epochs: 2,
+            num_docs: 10,
+            batch_size: 4,
+        });
+        sink.record(&TraceEvent::BatchEnd {
+            epoch: 0,
+            batch: 1,
+            loss: 1.5,
+            components: LossComponents {
+                backbone: 1.0,
+                kl: Some(0.25),
+                regularizer: Some(0.5),
+            },
+            grad_norm: 3.0,
+            clipped: true,
+            adam_step: 2,
+            forward_ns: 10,
+            backward_ns: 20,
+            step_ns: 5,
+        });
+        sink.record(&TraceEvent::BatchSkipped {
+            epoch: 0,
+            batch: 2,
+            loss: f32::NAN,
+        });
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "bad line {l}");
+        }
+        assert!(lines[1].contains("\"kl\":0.25"));
+        assert!(lines[1].contains("\"clipped\":true"));
+        // Non-finite floats must be quoted, or the line is invalid JSON.
+        assert!(lines[2].contains("\"loss\":\"NaN\""));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let e = TraceEvent::Meta {
+            key: "point",
+            value: "a\"b\\c\nd".to_string(),
+        };
+        let line = event_to_json(&e);
+        assert!(line.contains("a\\\"b\\\\c\\nd"), "{line}");
+    }
+
+    #[test]
+    fn console_sink_formats_epochs() {
+        let mut sink = ConsoleSink::new(Vec::new());
+        sink.record(&TraceEvent::EpochEnd {
+            epoch: 0,
+            mean_loss: 1.25,
+            components: LossComponents::default(),
+            grad_norm: 0.0,
+            batches: 4,
+            skipped: 1,
+            wall_ns: 0,
+        });
+        let out = String::from_utf8(sink.out).unwrap();
+        assert!(out.contains("loss 1.2500"), "{out}");
+        assert!(out.contains("1 diverged"), "{out}");
+    }
+
+    #[test]
+    fn parses_divergence_policy() {
+        assert_eq!(
+            parse_divergence_policy("skip").unwrap(),
+            DivergencePolicy::SkipBatch
+        );
+        assert_eq!(
+            parse_divergence_policy("HALT").unwrap(),
+            DivergencePolicy::Halt
+        );
+        assert!(parse_divergence_policy("explode").is_err());
+    }
+}

@@ -90,7 +90,8 @@ impl Backbone for VtmrlBackbone {
         training: bool,
         rng: &mut StdRng,
     ) -> BackboneOut<'t> {
-        let (elbo, _theta, beta) = self.inner.elbo(tape, params, x, training, rng);
+        let e = self.inner.elbo(tape, params, x, training, rng);
+        let (elbo, kl, beta) = (e.loss, e.kl, e.beta);
         let beta_val = beta.value();
         let (k, v) = beta_val.shape();
 
@@ -123,10 +124,7 @@ impl Backbone for VtmrlBackbone {
             .mul_const(&adv) // column-broadcast over the K rows
             .sum_all()
             .scale(-self.rl_weight / k as f32);
-        BackboneOut {
-            loss: elbo.add(rl),
-            beta,
-        }
+        BackboneOut::new(elbo.add(rl), beta).with_kl(kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

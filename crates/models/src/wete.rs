@@ -104,7 +104,7 @@ impl Backbone for WeTeBackbone {
 
         let beta = self.decoder.beta(tape, params);
         let loss = fwd.add(bwd).scale(self.ct_weight).add(kl);
-        BackboneOut { loss, beta }
+        BackboneOut::new(loss, beta).with_kl(kl)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -112,10 +112,7 @@ impl Backbone for WldaBackbone {
             }
         }
         let mmd = mmd_rbf(theta, &Rc::new(prior), self.gamma);
-        BackboneOut {
-            loss: recon.add(mmd.scale(self.mmd_weight)),
-            beta,
-        }
+        BackboneOut::new(recon.add(mmd.scale(self.mmd_weight)), beta)
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

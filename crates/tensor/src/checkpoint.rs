@@ -6,6 +6,7 @@
 //! [`Params::load_named`] restores the trained values by name. A full
 //! [`Params::load`] reconstructs a registry standalone.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::rc::Rc;
 
@@ -42,17 +43,28 @@ fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
     String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 name"))
 }
 
+/// Elements per I/O chunk when (de)serializing tensor payloads (16 KiB).
+const CHUNK_ELEMS: usize = 4096;
+
 /// Serialize one tensor (shape + little-endian f32 data).
 pub fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> io::Result<()> {
     write_u64(w, t.rows() as u64)?;
     write_u64(w, t.cols() as u64)?;
-    for &v in t.data() {
-        w.write_all(&v.to_le_bytes())?;
+    let mut buf = [0u8; CHUNK_ELEMS * 4];
+    for chunk in t.data().chunks(CHUNK_ELEMS) {
+        for (slot, &v) in buf.chunks_exact_mut(4).zip(chunk) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf[..chunk.len() * 4])?;
     }
     Ok(())
 }
 
 /// Deserialize one tensor.
+///
+/// Reads the payload in bounded chunks, so a corrupt header claiming a
+/// huge element count fails with an I/O error at the true end of input
+/// instead of preallocating gigabytes up front.
 pub fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
     let rows = read_u64(r)? as usize;
     let cols = read_u64(r)? as usize;
@@ -65,11 +77,20 @@ pub fn read_tensor<R: Read>(r: &mut R) -> io::Result<Tensor> {
             "unreasonable tensor size in checkpoint",
         ));
     }
-    let mut data = Vec::with_capacity(numel);
-    let mut buf = [0u8; 4];
-    for _ in 0..numel {
-        r.read_exact(&mut buf)?;
-        data.push(f32::from_le_bytes(buf));
+    // Never trust the header for the initial allocation: cap it at one
+    // chunk and let the Vec grow as bytes actually arrive.
+    let mut data = Vec::with_capacity(numel.min(CHUNK_ELEMS));
+    let mut buf = [0u8; CHUNK_ELEMS * 4];
+    let mut remaining = numel;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_ELEMS);
+        r.read_exact(&mut buf[..take * 4])?;
+        data.extend(
+            buf[..take * 4]
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= take;
     }
     Ok(Tensor::from_vec(data, rows, cols))
 }
@@ -110,7 +131,17 @@ impl Params {
                 params.add(name, tensor);
             }
         }
-        Ok(params)
+        // The format is self-delimiting; anything after the last entry
+        // means the file was appended to or the header undercounts —
+        // either way the checkpoint cannot be trusted.
+        let mut probe = [0u8; 1];
+        match r.read(&mut probe)? {
+            0 => Ok(params),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after checkpoint payload",
+            )),
+        }
     }
 
     /// Restore values into an *existing* registry by parameter name (the
@@ -119,11 +150,12 @@ impl Params {
     /// checkpoint are ignored, missing ones are an error.
     pub fn load_named<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
         let loaded = Params::load(r)?;
+        let by_name: HashMap<&str, _> = loaded.ids().map(|l| (loaded.name(l), l)).collect();
         let mut restored = 0;
         let my_ids: Vec<_> = self.ids().collect();
         for id in my_ids {
             let name = self.name(id).to_string();
-            let Some(src) = loaded.ids().find(|&l| loaded.name(l) == name) else {
+            let Some(&src) = by_name.get(name.as_str()) else {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("checkpoint is missing parameter '{name}'"),
@@ -234,5 +266,53 @@ mod tests {
         write_tensor(&mut buf, &t).unwrap();
         let back = read_tensor(&mut io::Cursor::new(&buf)).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn tensor_roundtrip_across_chunk_boundary() {
+        let n = CHUNK_ELEMS + 37;
+        let t = Tensor::from_vec((0..n).map(|i| i as f32 * 0.5).collect(), n, 1);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back = read_tensor(&mut io::Cursor::new(&buf)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_truncated_checkpoint() {
+        let bytes = params_to_bytes(&sample_params());
+        for cut in [bytes.len() - 1, bytes.len() / 2, MAGIC.len() + 3] {
+            let err = params_from_bytes(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = params_to_bytes(&sample_params());
+        bytes.push(0xAB);
+        let err = params_from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn huge_header_fails_without_preallocating() {
+        // A header claiming 2^31 - 1 elements passes the size gate but the
+        // payload is absent; the chunked reader must hit EOF quickly and
+        // must not reserve the full 8 GiB up front.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, (1u64 << 31) - 1).unwrap();
+        write_u64(&mut buf, 1).unwrap();
+        let err = read_tensor(&mut io::Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Just over the gate: rejected before any payload read.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, (1u64 << 31) + 1).unwrap();
+        write_u64(&mut buf, 1).unwrap();
+        let err = read_tensor(&mut io::Cursor::new(&buf)).unwrap_err();
+        assert!(
+            err.to_string().contains("unreasonable tensor size"),
+            "{err}"
+        );
     }
 }

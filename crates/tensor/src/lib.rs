@@ -39,6 +39,6 @@ pub mod tensor;
 pub use checkpoint::{params_from_bytes, params_to_bytes};
 pub use nn::{Activation, BatchNorm1d, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use params::{he_normal, xavier_uniform, ParamId, Params};
+pub use params::{he_normal, xavier_uniform, ClipReport, ParamId, Params};
 pub use tape::{Grads, Tape, Var};
 pub use tensor::Tensor;

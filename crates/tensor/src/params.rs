@@ -27,6 +27,15 @@ pub struct Params {
     entries: Vec<Entry>,
 }
 
+/// Outcome of a gradient-clipping call (training-telemetry hook).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClipReport {
+    /// Global gradient norm before clipping.
+    pub pre_norm: f32,
+    /// Whether the gradients were actually rescaled.
+    pub clipped: bool,
+}
+
 impl std::fmt::Debug for Params {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut d = f.debug_struct("Params");
@@ -137,8 +146,15 @@ impl Params {
     /// Scale all gradients so their global norm is at most `max_norm`.
     /// Returns the pre-clip norm.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        self.clip_grad_norm_report(max_norm).pre_norm
+    }
+
+    /// [`Params::clip_grad_norm`] with a full telemetry report: the
+    /// pre-clip global norm and whether rescaling actually happened.
+    pub fn clip_grad_norm_report(&mut self, max_norm: f32) -> ClipReport {
         let norm = self.grad_norm();
-        if norm > max_norm && norm > 0.0 {
+        let clipped = norm > max_norm && norm > 0.0;
+        if clipped {
             let s = max_norm / norm;
             for e in &mut self.entries {
                 if !e.frozen {
@@ -146,7 +162,10 @@ impl Params {
                 }
             }
         }
-        norm
+        ClipReport {
+            pre_norm: norm,
+            clipped,
+        }
     }
 
     /// Total number of trainable scalars.
@@ -206,6 +225,19 @@ mod tests {
         let pre = p.clip_grad_norm(1.0);
         assert!((pre - 5.0).abs() < 1e-6);
         assert!((p.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_report_flags_activation() {
+        let mut p = Params::new();
+        let id = p.add("w", Tensor::zeros(1, 2));
+        p.grad_mut(id).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let r = p.clip_grad_norm_report(10.0);
+        assert!(!r.clipped);
+        assert!((r.pre_norm - 5.0).abs() < 1e-6);
+        let r = p.clip_grad_norm_report(1.0);
+        assert!(r.clipped);
+        assert!((r.pre_norm - 5.0).abs() < 1e-6);
     }
 
     #[test]

@@ -13,4 +13,27 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo test -q"
 cargo test -q --workspace
 
+# Checkpoint robustness must hold even when someone filters the default
+# test run: execute the corruption/truncation suites explicitly.
+echo "== checkpoint corruption tests"
+cargo test -q -p ct-tensor checkpoint
+cargo test -q -p ct-cli bundle
+
+# Library crates must report through the trace subsystem
+# (ct_models::trace), never by writing to stderr directly. Binaries
+# (ct-cli, ct-bench bins) may keep eprintln for user-facing messages.
+echo "== no eprintln! in library crates"
+lib_paths=(
+  crates/tensor/src
+  crates/corpus/src
+  crates/models/src
+  crates/eval/src
+  crates/core/src
+  crates/bench/src/lib.rs
+)
+if grep -rn "eprintln!" "${lib_paths[@]}" | grep -v ':[0-9]*:[[:space:]]*//'; then
+  echo "error: eprintln! found in a library crate — route output through ct_models::trace" >&2
+  exit 1
+fi
+
 echo "== check.sh: all gates passed"
