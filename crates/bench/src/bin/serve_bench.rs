@@ -1,0 +1,179 @@
+//! Serving-path benchmark: micro-batched engine vs unbatched baseline.
+//!
+//! Writes `BENCH_serve.json` into the current directory: per-query p50/p99
+//! latency and throughput for the raw single-threaded, unbatched forward
+//! pass, and for the `ct-serve` engine under 1, 4 and 8 concurrent client
+//! threads. The response cache is disabled so every query pays for real
+//! inference — the point is to measure what micro-batching buys, not what
+//! memoization hides. The headline number is `speedup_4t`, the batched
+//! 4-client throughput over the unbatched baseline (the acceptance gate
+//! is ≥ 2×).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ct_corpus::train_embeddings;
+use ct_corpus::{generate, DatasetPreset, Scale};
+use ct_models::{fit_etm, TrainConfig};
+use ct_serve::{ModelSnapshot, ServeConfig, ServeEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Queries per client thread in each engine run.
+const QUERIES_PER_CLIENT: usize = 400;
+/// Queries in the unbatched baseline run.
+const BASELINE_QUERIES: usize = 400;
+
+struct RunResult {
+    name: String,
+    clients: usize,
+    queries: usize,
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+}
+
+fn percentile_us(latencies_ns: &mut [u64], p: f64) -> f64 {
+    latencies_ns.sort_unstable();
+    let idx = ((latencies_ns.len() as f64 - 1.0) * p).round() as usize;
+    latencies_ns[idx] as f64 / 1_000.0
+}
+
+fn main() {
+    // A production-shaped model (quick-scale 20NG corpus, paper-sized
+    // encoder): single-document inference streams the full ~8 MB first
+    // layer from memory, which is exactly the cost micro-batching
+    // amortizes across concurrent clients.
+    let spec = DatasetPreset::Ng20Like.spec(Scale::Quick);
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus = generate(&spec, &mut rng).corpus;
+    let embeddings = train_embeddings(&corpus, 300.min(corpus.vocab_size()), &mut rng);
+    let config = TrainConfig {
+        num_topics: 50,
+        hidden: 800,
+        embed_dim: 300,
+        epochs: 1,
+        batch_size: 256,
+        seed: 3,
+        ..TrainConfig::default()
+    };
+    eprintln!(
+        "training fixture model: {} docs, vocab {}",
+        corpus.num_docs(),
+        corpus.vocab_size()
+    );
+    let model = fit_etm(&corpus, embeddings, &config);
+    let snapshot = ModelSnapshot::from_model(&model, corpus.vocab.clone(), 10).expect("snapshot");
+    let docs: Arc<Vec<ct_corpus::SparseDoc>> = Arc::new(corpus.docs.clone());
+
+    let mut results = Vec::new();
+
+    // Unbatched baseline: one thread, one document per forward pass,
+    // straight into the snapshot with no queueing.
+    {
+        let mut latencies = Vec::with_capacity(BASELINE_QUERIES);
+        let t0 = Instant::now();
+        for q in 0..BASELINE_QUERIES {
+            let doc = &docs[q % docs.len()];
+            let qt = Instant::now();
+            let x = snapshot.dense_batch(&[doc]);
+            let theta = snapshot.infer_theta(&x);
+            assert_eq!(theta.rows(), 1);
+            latencies.push(qt.elapsed().as_nanos() as u64);
+        }
+        let wall = t0.elapsed();
+        results.push(RunResult {
+            name: "unbatched_1t".into(),
+            clients: 1,
+            queries: BASELINE_QUERIES,
+            p50_us: percentile_us(&mut latencies, 0.50),
+            p99_us: percentile_us(&mut latencies, 0.99),
+            qps: BASELINE_QUERIES as f64 / wall.as_secs_f64(),
+        });
+    }
+
+    // Engine runs: N client threads hammering one engine. Cache off so
+    // every query is a real forward pass.
+    for clients in [1usize, 4, 8] {
+        let snapshot =
+            ModelSnapshot::from_model(&model, corpus.vocab.clone(), 10).expect("snapshot");
+        let engine = ServeEngine::start(
+            snapshot,
+            ServeConfig {
+                max_batch: 64,
+                max_wait: Duration::from_micros(500),
+                queue_capacity: 1024,
+                cache_capacity: 0,
+                infer_threads: None,
+                top_n: 5,
+            },
+        );
+        let t0 = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = engine.handle();
+                let docs = Arc::clone(&docs);
+                std::thread::spawn(move || {
+                    let mut latencies = Vec::with_capacity(QUERIES_PER_CLIENT);
+                    for q in 0..QUERIES_PER_CLIENT {
+                        let doc = &docs[(c + q * clients) % docs.len()];
+                        let qt = Instant::now();
+                        handle.query(doc).expect("query");
+                        latencies.push(qt.elapsed().as_nanos() as u64);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies: Vec<u64> = Vec::new();
+        for w in workers {
+            latencies.extend(w.join().expect("client thread"));
+        }
+        let wall = t0.elapsed();
+        let stats = engine.stats();
+        eprintln!(
+            "engine {clients}t: {} served in {} batches (max batch {})",
+            stats.served, stats.batches, stats.max_batch_size
+        );
+        engine.shutdown();
+        let queries = clients * QUERIES_PER_CLIENT;
+        results.push(RunResult {
+            name: format!("engine_{clients}t"),
+            clients,
+            queries,
+            p50_us: percentile_us(&mut latencies, 0.50),
+            p99_us: percentile_us(&mut latencies, 0.99),
+            qps: queries as f64 / wall.as_secs_f64(),
+        });
+    }
+
+    let baseline_qps = results[0].qps;
+    let engine_4t_qps = results
+        .iter()
+        .find(|r| r.name == "engine_4t")
+        .map(|r| r.qps)
+        .unwrap_or(0.0);
+    let speedup_4t = engine_4t_qps / baseline_qps;
+
+    let mut json = String::new();
+    json.push_str("{\n  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"clients\": {}, \"queries\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"qps\": {:.1}}}",
+            r.name, r.clients, r.queries, r.p50_us, r.p99_us, r.qps
+        );
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"speedup_4t_vs_unbatched\": {speedup_4t:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_serve.json (speedup_4t = {speedup_4t:.2}x)");
+}

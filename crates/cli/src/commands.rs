@@ -9,12 +9,11 @@ use ct_corpus::{
     DatasetPreset, NpmiMatrix, Pipeline, PipelineConfig, Scale,
 };
 use ct_eval::{describe_topic, diversity_at, perplexity, top_topics, TopicScores, K_TC, K_TD};
-use ct_models::{parse_divergence_policy, Backbone, JsonlSink, TrainConfig};
+use ct_models::{parse_divergence_policy, Backbone, JsonlSink, ModelBundle, TrainConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::args::Args;
-use crate::bundle::ModelBundle;
 
 fn parse_preset(s: &str) -> Result<DatasetPreset, String> {
     match s.to_ascii_lowercase().as_str() {
@@ -259,6 +258,136 @@ pub fn eval(args: &Args) -> Result<(), String> {
         perplexity(&theta, &beta, &corpus)
     );
     Ok(())
+}
+
+/// Rebuild NPMI statistics for `path` over the *model's* vocabulary by
+/// encoding each line against it, so the matrix aligns with the served
+/// snapshot even when corpus-side pipeline filtering would have produced
+/// a different vocabulary.
+#[cfg(unix)]
+fn npmi_over_model_vocab(path: &str, vocab: &ct_corpus::Vocab) -> Result<NpmiMatrix, String> {
+    let encoder = ct_serve::DocEncoder::new(vocab.clone());
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut corpus = BowCorpus::new(vocab.clone());
+    for line in text.lines() {
+        if let Ok(doc) = encoder.encode(line) {
+            corpus.docs.push(doc);
+        }
+    }
+    if corpus.num_docs() == 0 {
+        return Err(format!("{path}: no document overlaps the model vocabulary"));
+    }
+    Ok(NpmiMatrix::from_corpus(&corpus))
+}
+
+/// `contratopic serve`: load a bundle and answer doc→topic queries over a
+/// Unix socket through the batched `ct-serve` engine.
+#[cfg(unix)]
+pub fn serve(args: &Args) -> Result<(), String> {
+    use ct_serve::{DocEncoder, ModelSnapshot, ServeConfig, ServeEngine, SharedSink, UnixServer};
+    use std::io::LineWriter;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    if let Some(f) = args
+        .unknown_flags(&[
+            "model",
+            "socket",
+            "corpus",
+            "top",
+            "max-batch",
+            "max-wait-ms",
+            "queue",
+            "cache",
+            "threads",
+            "trace",
+        ])
+        .into_iter()
+        .next()
+    {
+        return Err(format!("unknown flag --{f} for serve"));
+    }
+    let prefix = args.require("model")?;
+    let socket = args.require("socket")?;
+    let top: usize = args.get_or("top", 10)?;
+    let max_batch: usize = args.get_or("max-batch", 32)?;
+    let max_wait_ms: u64 = args.get_or("max-wait-ms", 2)?;
+    let queue: usize = args.get_or("queue", 256)?;
+    let cache: usize = args.get_or("cache", 1024)?;
+    let threads: usize = args.get_or("threads", 0)?;
+
+    let mut snapshot = ModelSnapshot::load(prefix, top).map_err(|e| format!("{prefix}: {e}"))?;
+    if let Some(cpath) = args.get("corpus") {
+        let npmi = npmi_over_model_vocab(cpath, snapshot.vocab())?;
+        snapshot = snapshot.with_npmi(&npmi).map_err(|e| e.to_string())?;
+        eprintln!("nearest-topic annotations computed from {cpath}");
+    }
+    let encoder = DocEncoder::new(snapshot.vocab().clone());
+
+    let trace: Option<SharedSink> = match args.get("trace") {
+        None => None,
+        Some(path) => {
+            let file = fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("writing serve trace to {path}");
+            Some(Arc::new(Mutex::new(JsonlSink::new(LineWriter::new(file)))))
+        }
+    };
+    let config = ServeConfig {
+        max_batch,
+        max_wait: Duration::from_millis(max_wait_ms),
+        queue_capacity: queue,
+        cache_capacity: cache,
+        infer_threads: (threads > 0).then_some(threads),
+        top_n: top,
+    };
+    let engine = ServeEngine::start_traced(snapshot, config, trace);
+    let server =
+        UnixServer::bind(socket, engine.handle(), encoder).map_err(|e| format!("{socket}: {e}"))?;
+    eprintln!(
+        "serving {} topics on {socket} (max batch {max_batch}, max wait {max_wait_ms}ms)",
+        engine.handle().num_topics()
+    );
+    server.join();
+    Ok(())
+}
+
+/// `contratopic query`: send documents to a running `serve` instance and
+/// print one JSON response per document.
+#[cfg(unix)]
+pub fn query(args: &Args) -> Result<(), String> {
+    if let Some(f) = args
+        .unknown_flags(&["socket", "text", "file"])
+        .into_iter()
+        .next()
+    {
+        return Err(format!("unknown flag --{f} for query"));
+    }
+    let socket = args.require("socket")?;
+    let texts: Vec<String> = match (args.get("text"), args.get("file")) {
+        (Some(t), None) => vec![t.to_string()],
+        (None, Some(path)) => fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .lines()
+            .map(str::to_string)
+            .collect(),
+        _ => return Err("query needs exactly one of --text or --file".into()),
+    };
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let responses = ct_serve::query_unix(socket, &refs).map_err(|e| format!("{socket}: {e}"))?;
+    for line in responses {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+pub fn serve(_args: &Args) -> Result<(), String> {
+    Err("serve requires Unix domain sockets (unix targets only)".into())
+}
+
+#[cfg(not(unix))]
+pub fn query(_args: &Args) -> Result<(), String> {
+    Err("query requires Unix domain sockets (unix targets only)".into())
 }
 
 #[cfg(test)]

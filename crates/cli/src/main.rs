@@ -9,7 +9,6 @@
 //! ```
 
 mod args;
-mod bundle;
 mod commands;
 
 use args::Args;
@@ -35,6 +34,14 @@ COMMANDS:
              --model model-prefix  [--corpus corpus.txt]  [--top N]
   eval       Score a trained model on a corpus (coherence/diversity/perplexity)
              --model model-prefix  --corpus corpus.txt
+  serve      Serve doc→topic queries from a trained model over a Unix socket
+             --model model-prefix  --socket /path/ct.sock
+             [--corpus corpus.txt]     nearest-topic-by-NPMI annotations
+             [--top N] [--max-batch N] [--max-wait-ms N]
+             [--queue N] [--cache N] [--threads N]
+             [--trace trace.jsonl]     per-batch serve telemetry as JSONL
+  query      Send documents to a running serve instance, print JSON per doc
+             --socket /path/ct.sock  (--text \"...\" | --file docs.txt)
   help       Show this message
 ";
 
@@ -59,6 +66,8 @@ fn main() {
         "train" => commands::train(&args),
         "topics" => commands::topics(&args),
         "eval" => commands::eval(&args),
+        "serve" => commands::serve(&args),
+        "query" => commands::query(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

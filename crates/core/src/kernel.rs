@@ -68,10 +68,12 @@ impl SimilarityKernel {
         &self.matrix
     }
 
+    /// Side length `V` of the similarity matrix.
     pub fn vocab_size(&self) -> usize {
         self.matrix.rows()
     }
 
+    /// Short kernel label (`"npmi"` or `"inner"`), used in telemetry.
     pub fn name(&self) -> &'static str {
         self.name
     }

@@ -30,6 +30,8 @@
 //! let beta = model.beta(); // (K, V) topic-word distributions
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod gumbel;
 pub mod kernel;
 pub mod model;

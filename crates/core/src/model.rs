@@ -39,16 +39,19 @@ impl Default for ContraTopicConfig {
 }
 
 impl ContraTopicConfig {
+    /// Set the regularizer weight λ (the paper's Eq. 11).
     pub fn with_lambda(mut self, lambda: f32) -> Self {
         self.lambda = lambda;
         self
     }
 
+    /// Set the contrastive subset size `v` (words sampled per topic).
     pub fn with_v(mut self, v: usize) -> Self {
         self.sampler.v = v;
         self
     }
 
+    /// Select an ablation variant (Table VI).
     pub fn with_variant(mut self, variant: AblationVariant) -> Self {
         self.variant = variant;
         self
@@ -70,7 +73,9 @@ pub fn build_kernel(
 
 /// A fitted ContraTopic model over any backbone.
 pub struct ContraTopic<B: Backbone> {
+    /// The fitted backbone plus its learned parameters.
     pub inner: Fitted<B>,
+    /// Which ablation variant was trained.
     pub variant: AblationVariant,
     name: &'static str,
 }
@@ -169,6 +174,29 @@ pub fn fit_with_backbone_traced<B: Backbone>(
 /// Fit the paper's default model: ETM backbone + contrastive regularizer.
 /// `npmi` must come from the *training* corpus (the test corpus stays
 /// held out for evaluation).
+///
+/// ```
+/// use contratopic::{fit_contratopic, ContraTopicConfig};
+/// use ct_corpus::NpmiMatrix;
+/// use ct_models::testutil::{cluster_corpus, cluster_embeddings};
+/// use ct_models::{TopicModel, TrainConfig};
+///
+/// let corpus = cluster_corpus(3, 5, 12); // 3 word clusters, 36 tiny docs
+/// let npmi = NpmiMatrix::from_corpus(&corpus);
+/// let embeddings = cluster_embeddings(&corpus);
+/// let base = TrainConfig {
+///     num_topics: 3,
+///     hidden: 16,
+///     embed_dim: 8,
+///     epochs: 2,
+///     batch_size: 12,
+///     ..TrainConfig::default()
+/// };
+/// let config = ContraTopicConfig::default().with_lambda(10.0).with_v(3);
+/// let model = fit_contratopic(&corpus, embeddings, &npmi, &base, &config);
+/// let beta = model.beta(); // (K, V) topic-word distributions
+/// assert_eq!(beta.shape(), (3, corpus.vocab_size()));
+/// ```
 pub fn fit_contratopic(
     corpus: &BowCorpus,
     embeddings: Tensor,

@@ -38,6 +38,7 @@ pub enum AblationVariant {
 }
 
 impl AblationVariant {
+    /// Every variant, in the paper's Table VI order.
     pub const ALL: [AblationVariant; 5] = [
         AblationVariant::Full,
         AblationVariant::PositiveOnly,
@@ -46,6 +47,7 @@ impl AblationVariant {
         AblationVariant::NoSampling,
     ];
 
+    /// The paper's name for the variant (e.g. `"ContraTopic-P"`).
     pub fn label(self) -> &'static str {
         match self {
             AblationVariant::Full => "ContraTopic",
@@ -109,8 +111,11 @@ fn build_masks(k: usize, v: usize) -> PairMasks {
 
 /// The topic-wise contrastive regularizer.
 pub struct ContrastiveRegularizer {
+    /// Word-word similarity used for the positive/negative scores.
     pub kernel: SimilarityKernel,
+    /// Gumbel subset-sampler settings (`v`, temperature).
     pub sampler: SubsetSamplerConfig,
+    /// Which terms of the contrastive objective are active.
     pub variant: AblationVariant,
     /// Pair masks memoized by `(k, v)`. The masks depend only on those two
     /// integers, and `loss` is called once per training step with the same
@@ -124,6 +129,7 @@ pub struct ContrastiveRegularizer {
 }
 
 impl ContrastiveRegularizer {
+    /// Build a regularizer from its three knobs; buffers start empty.
     pub fn new(
         kernel: SimilarityKernel,
         sampler: SubsetSamplerConfig,

@@ -18,8 +18,11 @@ use crate::model::{fit_contratopic, ContraTopicConfig};
 /// The grid to search over.
 #[derive(Clone, Debug)]
 pub struct GridSearchSpace {
+    /// Candidate regularizer weights λ.
     pub lambdas: Vec<f32>,
+    /// Candidate contrastive subset sizes `v`.
     pub vs: Vec<usize>,
+    /// Candidate Gumbel temperatures τ_G.
     pub tau_gs: Vec<f32>,
 }
 
@@ -36,6 +39,7 @@ impl Default for GridSearchSpace {
 /// One evaluated grid point.
 #[derive(Clone, Debug)]
 pub struct GridPoint {
+    /// The configuration this point was trained with.
     pub config: ContraTopicConfig,
     /// Mean NPMI coherence over all topics on the validation split.
     pub coherence: f64,
@@ -48,7 +52,9 @@ pub struct GridPoint {
 /// Result of a grid search: the winner plus the full trace.
 #[derive(Debug)]
 pub struct GridSearchResult {
+    /// The grid point with the highest selection objective.
     pub best: GridPoint,
+    /// Every evaluated point, in evaluation order.
     pub trace: Vec<GridPoint>,
 }
 

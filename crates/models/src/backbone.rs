@@ -76,11 +76,25 @@ pub trait Backbone {
 }
 
 /// A fitted backbone: the backbone plus its trained parameters.
+///
+/// This is the deployable artifact of a training run. It can be persisted
+/// with [`Fitted::save`] / restored with [`Fitted::restore`] (or packed
+/// into an on-disk bundle via [`crate::bundle::ModelBundle`]), evaluated
+/// through the [`TopicModel`] view, and — for serving — its encoder can be
+/// exported into an immutable, thread-safe snapshot (see
+/// [`crate::encoder::Encoder::export_weights`] and the `ct-serve` crate).
 pub struct Fitted<B: Backbone> {
+    /// The model architecture (layer handles, hyper-parameters).
     pub backbone: B,
+    /// The trained parameter registry the backbone's handles point into.
     pub params: Params,
+    /// Telemetry of the training run that produced these parameters.
     pub stats: TrainStats,
 }
+
+/// A trained model ready for evaluation, persistence, or serving — alias
+/// for [`Fitted`], the name used throughout the serving documentation.
+pub type TrainedModel<B> = Fitted<B>;
 
 impl<B: Backbone> Fitted<B> {
     pub fn new(backbone: B, params: Params, stats: TrainStats) -> Self {

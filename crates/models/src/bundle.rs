@@ -2,17 +2,21 @@
 //! the architecture hyper-parameters and vocabulary, plus a binary
 //! checkpoint (`<prefix>.ckpt`) with the trained parameters (format in
 //! `ct_tensor::checkpoint`). Together they are enough to reconstruct the
-//! model for inference on new documents.
+//! model for inference on new documents — the CLI's `train` command writes
+//! one, and both the one-shot commands (`topics`, `eval`) and the serving
+//! engine (`ct-serve`) load it back.
 
 use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use ct_corpus::Vocab;
-use ct_models::{EtmBackbone, TrainConfig};
 use ct_tensor::{Params, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use crate::common::TrainConfig;
+use crate::etm::EtmBackbone;
 
 const META_MAGIC: &str = "CTMODEL01";
 
@@ -154,7 +158,7 @@ impl ModelBundle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ct_models::Backbone;
+    use crate::Backbone;
 
     #[test]
     fn bundle_roundtrip_restores_beta() {

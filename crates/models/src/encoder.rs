@@ -151,6 +151,98 @@ impl Encoder {
     pub fn num_topics(&self) -> usize {
         self.num_topics
     }
+
+    /// Export the encoder into an immutable, thread-safe weight snapshot
+    /// for serving (see [`EncoderWeights`]). The returned value owns plain
+    /// tensors only — no `RefCell`, no parameter registry — so it is
+    /// `Send + Sync` and can back concurrent inference.
+    pub fn export_weights(&self, params: &Params) -> EncoderWeights {
+        let (bn_mean, bn_var) = self.bn.running_stats();
+        EncoderWeights {
+            layers: self
+                .mlp
+                .layers
+                .iter()
+                .map(|l| (params.value(l.w).clone(), params.value(l.b).clone()))
+                .collect(),
+            activation: self.mlp.activation,
+            bn_gamma: params.value(self.bn.gamma).clone(),
+            bn_beta: params.value(self.bn.beta).clone(),
+            bn_mean,
+            bn_var,
+            bn_eps: self.bn.eps,
+            mu_w: params.value(self.mu.w).clone(),
+            mu_b: params.value(self.mu.b).clone(),
+            num_topics: self.num_topics,
+            vocab_size: self.mlp.layers.first().map(|l| l.in_dim).unwrap_or(0),
+        }
+    }
+}
+
+/// Immutable snapshot of a trained encoder's weights, detached from the
+/// [`Params`] registry: the MLP layers, eval-mode batch-norm statistics and
+/// the `mu` head, all as owned tensors.
+///
+/// [`EncoderWeights::infer_theta`] runs the eval-mode forward pass without
+/// a tape via [`ct_tensor::infer`], producing **bitwise identical** θ to
+/// [`crate::Backbone::infer_theta_batch`] on the same weights (pinned by
+/// the serving determinism suite). Because the snapshot is `Send + Sync`,
+/// a server can share one instance across worker threads.
+#[derive(Clone, Debug)]
+pub struct EncoderWeights {
+    layers: Vec<(Tensor, Tensor)>,
+    activation: Activation,
+    bn_gamma: Tensor,
+    bn_beta: Tensor,
+    bn_mean: Tensor,
+    bn_var: Tensor,
+    bn_eps: f32,
+    mu_w: Tensor,
+    mu_b: Tensor,
+    num_topics: usize,
+    vocab_size: usize,
+}
+
+impl EncoderWeights {
+    /// Eval-mode amortized θ for a dense `(n, V)` batch of raw counts:
+    /// L1-normalize rows, MLP, batch-norm (running stats), `mu` head,
+    /// row softmax. No tape, no RNG, no dropout — deterministic.
+    pub fn infer_theta(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.cols(),
+            self.vocab_size,
+            "infer_theta: batch vocabulary ({}) != encoder vocabulary ({})",
+            x.cols(),
+            self.vocab_size
+        );
+        let mut h = x.clone();
+        h.normalize_rows_l1();
+        for (w, b) in &self.layers {
+            h = self
+                .activation
+                .apply_tensor(&ct_tensor::infer::linear(&h, w, b));
+        }
+        let h = ct_tensor::infer::batchnorm_eval(
+            &h,
+            &self.bn_gamma,
+            &self.bn_beta,
+            &self.bn_mean,
+            &self.bn_var,
+            self.bn_eps,
+        );
+        let mu = ct_tensor::infer::linear(&h, &self.mu_w, &self.mu_b);
+        mu.softmax_rows(1.0)
+    }
+
+    /// Number of topics `K` (θ columns).
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Vocabulary size `V` the encoder was trained on (input columns).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +321,21 @@ mod tests {
         }
         // Every layer (mlp x depth, bn, mu, logvar) should receive gradient.
         assert!(nonzero >= 8, "only {nonzero} params got gradient");
+    }
+
+    #[test]
+    fn exported_weights_match_tape_inference_bitwise() {
+        let (params, enc, _) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::rand_uniform(7, 12, 0.0, 4.0, &mut rng);
+        let tape_theta = enc.infer_theta(&params, &x, &mut rng);
+        let snapshot = enc.export_weights(&params);
+        assert_eq!(snapshot.num_topics(), 8);
+        assert_eq!(snapshot.vocab_size(), 12);
+        assert_eq!(
+            tape_theta,
+            snapshot.infer_theta(&x),
+            "no-tape θ must be bitwise equal"
+        );
     }
 }

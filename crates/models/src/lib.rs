@@ -7,6 +7,7 @@
 //! into.
 
 pub mod backbone;
+pub mod bundle;
 pub mod clntm;
 pub mod common;
 pub mod decoder;
@@ -25,8 +26,9 @@ pub mod wlda;
 
 pub use backbone::{
     fit_backbone, fit_backbone_traced, fit_backbone_with_regularizer,
-    fit_backbone_with_regularizer_traced, Backbone, BackboneOut, Fitted,
+    fit_backbone_with_regularizer_traced, Backbone, BackboneOut, Fitted, TrainedModel,
 };
+pub use bundle::ModelBundle;
 pub use clntm::{fit_clntm, Clntm, ClntmBackbone};
 pub use common::{
     train_loop, train_loop_traced, BatchLoss, DivergencePolicy, TopicModel, TrainConfig,
@@ -34,7 +36,7 @@ pub use common::{
 };
 pub use decoder::{EtmDecoder, FreeDecoder};
 pub use ecrtm::{fit_ecrtm, Ecrtm, EcrtmBackbone};
-pub use encoder::Encoder;
+pub use encoder::{Encoder, EncoderWeights};
 pub use etm::{fit_etm, Etm, EtmBackbone};
 pub use lda::{Lda, LdaConfig};
 pub use nstm::{fit_nstm, Nstm, NstmBackbone};

@@ -101,6 +101,17 @@ pub enum TraceEvent {
         skipped_batches: usize,
         wall_ns: u64,
     },
+    /// One micro-batch served by the inference engine (`ct-serve`):
+    /// how many queued queries were coalesced, how long the oldest of
+    /// them waited in the queue, and the batched forward-pass time.
+    ServeBatch {
+        /// Number of queries coalesced into this forward pass.
+        size: usize,
+        /// Queue wait of the oldest request in the batch, nanoseconds.
+        queue_ns: u64,
+        /// Wall time of the batched encoder forward pass, nanoseconds.
+        infer_ns: u64,
+    },
 }
 
 use crate::common::DivergencePolicy;
@@ -261,6 +272,14 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         } => format!(
             "{{\"event\":\"train_end\",\"epochs_run\":{epochs_run},\
              \"skipped_batches\":{skipped_batches},\"wall_ns\":{wall_ns}}}"
+        ),
+        TraceEvent::ServeBatch {
+            size,
+            queue_ns,
+            infer_ns,
+        } => format!(
+            "{{\"event\":\"serve_batch\",\"size\":{size},\"queue_ns\":{queue_ns},\
+             \"infer_ns\":{infer_ns}}}"
         ),
     }
 }

@@ -1,0 +1,78 @@
+//! Text → bag-of-words encoding against a fixed serving vocabulary.
+
+use ct_corpus::{Pipeline, PipelineConfig, SparseDoc, Vocab};
+
+use crate::error::ServeError;
+
+/// Turns raw query text into a [`SparseDoc`] over the model's vocabulary.
+///
+/// Uses the same tokenizer as the training pipeline (lowercasing,
+/// numeric/short-token filtering, stopword removal) and then keeps only
+/// in-vocabulary tokens — the vocabulary itself already encodes the
+/// corpus-level frequency filtering that happened at training time.
+pub struct DocEncoder {
+    pipeline: Pipeline,
+    vocab: Vocab,
+}
+
+impl DocEncoder {
+    /// Encoder over `vocab` with the default tokenizer configuration.
+    pub fn new(vocab: Vocab) -> Self {
+        Self::with_config(vocab, PipelineConfig::default())
+    }
+
+    /// Encoder over `vocab` with explicit tokenizer settings.
+    pub fn with_config(vocab: Vocab, config: PipelineConfig) -> Self {
+        Self {
+            pipeline: Pipeline::new(config),
+            vocab,
+        }
+    }
+
+    /// The vocabulary documents are encoded against.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encode one document. Out-of-vocabulary tokens are dropped; a
+    /// document with no in-vocabulary tokens is rejected with
+    /// [`ServeError::EmptyDocument`].
+    pub fn encode(&self, text: &str) -> Result<SparseDoc, ServeError> {
+        let ids: Vec<u32> = self
+            .pipeline
+            .tokenize(text)
+            .into_iter()
+            .filter_map(|tok| self.vocab.id(&tok))
+            .collect();
+        if ids.is_empty() {
+            return Err(ServeError::EmptyDocument);
+        }
+        Ok(SparseDoc::from_tokens(&ids))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_counts_and_drops_oov() {
+        let vocab = Vocab::from_words(["ship", "sea", "harbor"]);
+        let enc = DocEncoder::new(vocab);
+        let doc = enc.encode("The ship sailed the sea; ship ahoy!").unwrap();
+        let ship = enc.vocab.id("ship").unwrap();
+        let sea = enc.vocab.id("sea").unwrap();
+        assert_eq!(doc.ids(), &[ship.min(sea), ship.max(sea)]);
+        let pairs: Vec<(u32, f32)> = doc.iter().collect();
+        assert!(pairs.contains(&(ship, 2.0)), "{pairs:?}");
+        assert!(pairs.contains(&(sea, 1.0)), "{pairs:?}");
+    }
+
+    #[test]
+    fn encode_rejects_all_oov_text() {
+        let vocab = Vocab::from_words(["ship"]);
+        let enc = DocEncoder::new(vocab);
+        assert_eq!(enc.encode("xyzzy plugh"), Err(ServeError::EmptyDocument));
+        assert_eq!(enc.encode(""), Err(ServeError::EmptyDocument));
+    }
+}

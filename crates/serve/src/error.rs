@@ -1,0 +1,75 @@
+//! Typed errors for the serving path.
+//!
+//! Every failure mode a caller can hit is a distinct variant, so clients
+//! can distinguish *retry later* ([`ServeError::Backpressure`]) from
+//! *fix your request* ([`ServeError::EmptyDocument`],
+//! [`ServeError::VocabMismatch`]) from *operator error*
+//! ([`ServeError::InvalidSnapshot`]).
+
+use std::fmt;
+
+/// Error returned by the serving engine and its front-ends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full. The request was **not**
+    /// enqueued; the client should back off and retry. Carries the queue
+    /// capacity so operators can see the configured bound in logs.
+    Backpressure {
+        /// Configured capacity of the request queue that rejected us.
+        capacity: usize,
+    },
+    /// The engine has shut down; no further requests will be served.
+    Closed,
+    /// The document references a word id outside the model's vocabulary.
+    VocabMismatch {
+        /// Offending word id.
+        word_id: u32,
+        /// Vocabulary size of the serving snapshot.
+        vocab_size: usize,
+    },
+    /// The document has no in-vocabulary tokens — there is nothing to
+    /// infer a topic mixture from.
+    EmptyDocument,
+    /// A snapshot offered to [`crate::ServeEngine::swap_snapshot`] failed
+    /// validation and was rejected; the engine keeps serving the previous
+    /// snapshot. Carries the validator's reason.
+    InvalidSnapshot(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure { capacity } => {
+                write!(f, "request queue full (capacity {capacity}); retry later")
+            }
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::VocabMismatch {
+                word_id,
+                vocab_size,
+            } => write!(
+                f,
+                "word id {word_id} out of range for vocabulary of {vocab_size}"
+            ),
+            ServeError::EmptyDocument => write!(f, "document has no in-vocabulary tokens"),
+            ServeError::InvalidSnapshot(reason) => {
+                write!(f, "rejected snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Short machine-readable kind tag, used in the wire protocol's error
+    /// responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Backpressure { .. } => "backpressure",
+            ServeError::Closed => "closed",
+            ServeError::VocabMismatch { .. } => "vocab_mismatch",
+            ServeError::EmptyDocument => "empty_document",
+            ServeError::InvalidSnapshot(_) => "invalid_snapshot",
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Unix-domain-socket front-end (and matching client) for the engine.
+//!
+//! Wire protocol, line-oriented in both directions:
+//!
+//! - **request**: one line of raw document text;
+//! - **response**: one line of JSON — either a
+//!   [`QueryResponse`](crate::QueryResponse) object or
+//!   `{"error":"<kind>","message":"..."}` with the
+//!   [`ServeError::kind`](crate::ServeError::kind) tag.
+//!
+//! A connection serves any number of request/response pairs; each
+//! accepted connection gets its own thread holding a cloned
+//! [`ServeHandle`], so concurrent connections naturally feed the
+//! engine's micro-batcher.
+
+#![cfg(unix)]
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::thread::JoinHandle;
+
+use crate::encode::DocEncoder;
+use crate::engine::{InferenceModel, ServeHandle};
+use crate::error::ServeError;
+
+/// A listening Unix-socket server bound to a path.
+pub struct UnixServer {
+    accept_thread: JoinHandle<()>,
+}
+
+impl UnixServer {
+    /// Bind `path` (removing a stale socket file first) and start
+    /// accepting connections, answering queries through `handle` with
+    /// text encoded by `encoder`. Returns once the socket is bound and
+    /// listening; accepted connections are handled on background
+    /// threads.
+    pub fn bind<M: InferenceModel>(
+        path: impl AsRef<Path>,
+        handle: ServeHandle<M>,
+        encoder: DocEncoder,
+    ) -> io::Result<Self> {
+        let path = path.as_ref();
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        let encoder = std::sync::Arc::new(encoder);
+        let accept_thread = std::thread::Builder::new()
+            .name("ct-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    let conn_handle = handle.clone();
+                    let conn_encoder = std::sync::Arc::clone(&encoder);
+                    let _ = std::thread::Builder::new()
+                        .name("ct-serve-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &conn_handle, &conn_encoder);
+                        });
+                }
+            })?;
+        Ok(Self { accept_thread })
+    }
+
+    /// Block the calling thread for the lifetime of the server (the
+    /// `contratopic serve` foreground mode).
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn serve_connection<M: InferenceModel>(
+    stream: UnixStream,
+    handle: &ServeHandle<M>,
+    encoder: &DocEncoder,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let reply = match answer(&line, handle, encoder) {
+            Ok(json) => json,
+            Err(e) => error_json(&e),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn answer<M: InferenceModel>(
+    text: &str,
+    handle: &ServeHandle<M>,
+    encoder: &DocEncoder,
+) -> Result<String, ServeError> {
+    let doc = encoder.encode(text)?;
+    let outcome = handle.query(&doc)?;
+    Ok(outcome.response.to_json())
+}
+
+fn error_json(e: &ServeError) -> String {
+    let msg: String = e
+        .to_string()
+        .chars()
+        .map(|c| match c {
+            '"' => '\'',
+            c if (c as u32) < 0x20 => ' ',
+            c => c,
+        })
+        .collect();
+    format!("{{\"error\":\"{}\",\"message\":\"{msg}\"}}", e.kind())
+}
+
+/// Client side of the wire protocol: connect to `path`, send each
+/// document of `texts` as one line, and collect one JSON response line
+/// per document.
+pub fn query_unix(path: impl AsRef<Path>, texts: &[&str]) -> io::Result<Vec<String>> {
+    let stream = UnixStream::connect(path)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(texts.len());
+    for text in texts {
+        let one_line = text.replace('\n', " ");
+        writer.write_all(one_line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        responses.push(line.trim_end().to_string());
+    }
+    Ok(responses)
+}

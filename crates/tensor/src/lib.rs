@@ -26,7 +26,10 @@
 //! assert!((params.value(x).data()[0] - 3.0).abs() < 1e-2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
+pub mod infer;
 pub mod nn;
 pub mod ops;
 pub mod optim;

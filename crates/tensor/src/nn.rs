@@ -14,17 +14,22 @@ use crate::tensor::Tensor;
 /// Activation functions used by the models in this workspace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Activation {
+    /// Rectified linear unit `max(0, x)`.
     Relu,
     /// The paper's encoder activation.
     Selu,
+    /// Hyperbolic tangent.
     Tanh,
+    /// Logistic sigmoid.
     Sigmoid,
+    /// Smooth ReLU `ln(1 + e^x)`.
     Softplus,
     /// No-op.
     Identity,
 }
 
 impl Activation {
+    /// Apply on a tape variable (differentiable path).
     pub fn apply<'t>(self, x: Var<'t>) -> Var<'t> {
         match self {
             Activation::Relu => x.relu(),
@@ -35,17 +40,37 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// Apply on a plain tensor (no tape). Uses the same scalar expressions
+    /// as the tape ops, so the result is bitwise identical to
+    /// [`Activation::apply`] — the invariant the no-tape serving path
+    /// relies on (see [`crate::infer`]).
+    pub fn apply_tensor(self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Selu => crate::infer::selu(x),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+            Activation::Softplus => x.map(|v| v.max(0.0) + (1.0 + (-v.abs()).exp()).ln()),
+            Activation::Identity => x.clone(),
+        }
+    }
 }
 
 /// Fully-connected layer `y = x W + b` with `W: (in, out)`.
 pub struct Linear {
+    /// Weight matrix handle, shape `(in, out)`.
     pub w: ParamId,
+    /// Bias row handle, shape `(1, out)`.
     pub b: ParamId,
+    /// Input width.
     pub in_dim: usize,
+    /// Output width.
     pub out_dim: usize,
 }
 
 impl Linear {
+    /// Register a Xavier-initialized layer under `name` in `params`.
     pub fn new<R: Rng>(
         params: &mut Params,
         name: &str,
@@ -63,6 +88,7 @@ impl Linear {
         }
     }
 
+    /// Differentiable forward pass `x W + b`.
     pub fn forward<'t>(&self, tape: &'t Tape, params: &Params, x: Var<'t>) -> Var<'t> {
         let w = tape.param(params, self.w);
         let b = tape.param(params, self.b);
@@ -73,15 +99,20 @@ impl Linear {
 /// 1-D batch normalization with running statistics, matching the paper's
 /// encoder (`BatchNorm` after the MLP).
 pub struct BatchNorm1d {
+    /// Learnable scale handle, shape `(1, dim)`.
     pub gamma: ParamId,
+    /// Learnable shift handle, shape `(1, dim)`.
     pub beta: ParamId,
+    /// Variance floor added before the square root.
     pub eps: f32,
+    /// Exponential-moving-average coefficient for the running stats.
     pub momentum: f32,
     running_mean: RefCell<Tensor>,
     running_var: RefCell<Tensor>,
 }
 
 impl BatchNorm1d {
+    /// Register a batch-norm layer over `dim` features under `name`.
     pub fn new(params: &mut Params, name: &str, dim: usize) -> Self {
         let gamma = params.add(format!("{name}.gamma"), Tensor::ones(1, dim));
         let beta = params.add(format!("{name}.beta"), Tensor::zeros(1, dim));
@@ -93,6 +124,16 @@ impl BatchNorm1d {
             running_mean: RefCell::new(Tensor::zeros(1, dim)),
             running_var: RefCell::new(Tensor::ones(1, dim)),
         }
+    }
+
+    /// Snapshot of the running `(mean, variance)` statistics, for
+    /// exporting the layer into a no-tape inference path
+    /// (see [`crate::infer::batchnorm_eval`]).
+    pub fn running_stats(&self) -> (Tensor, Tensor) {
+        (
+            self.running_mean.borrow().clone(),
+            self.running_var.borrow().clone(),
+        )
     }
 
     /// Forward pass. In training mode, normalizes by batch statistics
@@ -140,11 +181,14 @@ impl BatchNorm1d {
 
 /// Multi-layer perceptron: `depth` hidden layers with the given activation.
 pub struct Mlp {
+    /// The hidden layers, input-side first.
     pub layers: Vec<Linear>,
+    /// Activation applied after every layer.
     pub activation: Activation,
 }
 
 impl Mlp {
+    /// Register `depth` hidden layers of width `hidden` under `name`.
     pub fn new<R: Rng>(
         params: &mut Params,
         name: &str,
@@ -164,6 +208,7 @@ impl Mlp {
         Self { layers, activation }
     }
 
+    /// Differentiable forward pass through every layer + activation.
     pub fn forward<'t>(&self, tape: &'t Tape, params: &Params, mut x: Var<'t>) -> Var<'t> {
         for layer in &self.layers {
             x = self.activation.apply(layer.forward(tape, params, x));
@@ -171,6 +216,7 @@ impl Mlp {
         x
     }
 
+    /// Width of the final layer (0 for an empty MLP).
     pub fn out_dim(&self) -> usize {
         self.layers.last().map(|l| l.out_dim).unwrap_or(0)
     }

@@ -21,6 +21,7 @@ use crate::tensor::Tensor;
 /// SELU activation constants (Klambauer et al. 2017), used by the paper's
 /// encoder MLP.
 pub const SELU_LAMBDA: f32 = 1.050_701;
+/// SELU negative-branch scale; see [`SELU_LAMBDA`].
 pub const SELU_ALPHA: f32 = 1.673_263_2;
 
 // ---------------------------------------------------------------------------
@@ -657,6 +658,7 @@ pub struct QuadScratch {
 }
 
 impl QuadScratch {
+    /// Empty scratch; the buffer is allocated lazily on first use.
     pub fn new() -> Self {
         Self::default()
     }

@@ -22,6 +22,7 @@ pub struct Sgd {
 }
 
 impl Sgd {
+    /// SGD with learning rate `lr` and classical momentum.
     pub fn new(lr: f32, momentum: f32) -> Self {
         Self {
             lr,
@@ -79,10 +80,13 @@ pub struct Adam {
 }
 
 impl Adam {
+    /// Adam with the standard defaults (β₁ 0.9, β₂ 0.999, ε 1e-8).
     pub fn new(lr: f32) -> Self {
         Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
     }
 
+    /// Adam with every hyperparameter spelled out, including decoupled
+    /// weight decay.
     pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
         Self {
             lr,

@@ -47,6 +47,7 @@ impl std::fmt::Debug for Params {
 }
 
 impl Params {
+    /// Empty parameter store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -71,18 +72,22 @@ impl Params {
         id
     }
 
+    /// Number of registered parameters.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether no parameters are registered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// Registration name of a parameter.
     pub fn name(&self, id: ParamId) -> &str {
         &self.entries[id.0].name
     }
 
+    /// Whether the optimizer should skip this parameter.
     pub fn is_frozen(&self, id: ParamId) -> bool {
         self.entries[id.0].frozen
     }

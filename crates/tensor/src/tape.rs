@@ -88,6 +88,7 @@ impl Grads {
 }
 
 impl Tape {
+    /// Fresh, empty tape.
     pub fn new() -> Self {
         Self::default()
     }
@@ -97,6 +98,7 @@ impl Tape {
         self.nodes.borrow().len()
     }
 
+    /// Whether no nodes have been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -103,11 +103,13 @@ impl Tensor {
         t
     }
 
+    /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols

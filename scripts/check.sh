@@ -17,7 +17,29 @@ cargo test -q --workspace
 # test run: execute the corruption/truncation suites explicitly.
 echo "== checkpoint corruption tests"
 cargo test -q -p ct-tensor checkpoint
-cargo test -q -p ct-cli bundle
+cargo test -q -p ct-models bundle
+
+# Serving-path invariants: served theta must stay bitwise identical to
+# offline inference, and a saturated queue must degrade to a typed
+# backpressure error rather than a panic or a silent drop.
+echo "== serve determinism + backpressure tests"
+cargo test -q -p ct-serve --test determinism
+cargo test -q -p ct-serve --test backpressure
+
+# The public API surface must stay documented: ct-tensor and ct-core
+# carry #![warn(missing_docs)], and rustdoc must build without warnings
+# for every library crate (ct-cli is excluded only because its bin is
+# also named `contratopic`, which collides with the core lib's docs).
+echo "== cargo doc --no-deps (warning-free)"
+doc_log=$(mktemp)
+cargo doc --no-deps -p ct-tensor -p ct-corpus -p ct-models -p contratopic \
+  -p ct-eval -p ct-serve -p ct-bench 2>&1 | tee "$doc_log"
+if grep -q "^warning" "$doc_log"; then
+  echo "error: cargo doc emitted warnings — document the public API" >&2
+  rm -f "$doc_log"
+  exit 1
+fi
+rm -f "$doc_log"
 
 # Library crates must report through the trace subsystem
 # (ct_models::trace), never by writing to stderr directly. Binaries
@@ -29,6 +51,7 @@ lib_paths=(
   crates/models/src
   crates/eval/src
   crates/core/src
+  crates/serve/src
   crates/bench/src/lib.rs
 )
 if grep -rn "eprintln!" "${lib_paths[@]}" | grep -v ':[0-9]*:[[:space:]]*//'; then
