@@ -5,12 +5,20 @@
 //! - `BENCH_sgemm.json` — median wall-time (and derived GFLOP/s) for the
 //!   three SGEMM layouts at training shapes, plus the square baseline.
 //! - `BENCH_train_epoch.json` — median wall-time of a one-epoch
-//!   `fit_contratopic` run on the shared train-epoch fixture.
+//!   `fit_contratopic` run on the shared train-epoch fixture, swept over
+//!   1/2/4 pool workers with the sharded data-parallel driver engaged
+//!   (`micro_batch` < `batch_size`). The sweep also asserts the trained
+//!   parameters are bitwise identical across worker counts.
+//!
+//! `--smoke` runs the same code paths on a tiny preset with minimal sample
+//! counts and writes nothing — a CI gate so the binary cannot rot.
 //!
 //! The JSON is assembled by hand (no serde in this workspace) and kept flat
 //! so CI or a human can diff successive snapshots: each entry is
-//! `{"name": ..., "median_ns": ..., ...}`. Medians are over `SAMPLES` runs
-//! after one warm-up, which also spins up the worker pool.
+//! `{"name": ..., "median_ns": ..., ...}`. Medians are over `SGEMM_SAMPLES`
+//! / `EPOCH_SAMPLES` runs after one warm-up, which also spins up the worker
+//! pool. Note the speedup of the worker sweep is bounded by the *physical*
+//! cores of the machine (the `cores` field), not by the worker count.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -18,13 +26,13 @@ use std::time::Instant;
 use contratopic::{fit_contratopic, fit_contratopic_traced};
 use ct_corpus::{generate, train_embeddings, NpmiMatrix, SynthSpec};
 use ct_models::{JsonlSink, TrainConfig};
-use ct_tensor::{pool, Tensor};
+use ct_tensor::{params_to_bytes, pool, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-const SGEMM_SAMPLES: usize = 15;
-const EPOCH_SAMPLES: usize = 5;
+/// Worker counts swept for `BENCH_train_epoch.json`.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
 
 fn median_ns(samples: &mut [u128]) -> u128 {
     samples.sort_unstable();
@@ -50,7 +58,7 @@ struct SgemmCase {
     median_ns: u128,
 }
 
-fn sgemm_cases() -> Vec<SgemmCase> {
+fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
     let mut rng = StdRng::seed_from_u64(1);
     let a = Tensor::randn(256, 256, 1.0, &mut rng);
     let b = Tensor::randn(256, 256, 1.0, &mut rng);
@@ -64,7 +72,7 @@ fn sgemm_cases() -> Vec<SgemmCase> {
             m: 256,
             k: 256,
             n: 256,
-            median_ns: time_median(SGEMM_SAMPLES, || {
+            median_ns: time_median(samples, || {
                 black_box(a.matmul(&b));
             }),
         },
@@ -73,7 +81,7 @@ fn sgemm_cases() -> Vec<SgemmCase> {
             m: 256,
             k: 256,
             n: 256,
-            median_ns: time_median(SGEMM_SAMPLES, || {
+            median_ns: time_median(samples, || {
                 black_box(a.matmul_nt(&b));
             }),
         },
@@ -82,7 +90,7 @@ fn sgemm_cases() -> Vec<SgemmCase> {
             m: 256,
             k: 128,
             n: 600,
-            median_ns: time_median(SGEMM_SAMPLES, || {
+            median_ns: time_median(samples, || {
                 black_box(x.matmul(&w));
             }),
         },
@@ -91,7 +99,7 @@ fn sgemm_cases() -> Vec<SgemmCase> {
             m: 256,
             k: 600,
             n: 128,
-            median_ns: time_median(SGEMM_SAMPLES, || {
+            median_ns: time_median(samples, || {
                 black_box(g.matmul_nt(&w));
             }),
         },
@@ -100,7 +108,7 @@ fn sgemm_cases() -> Vec<SgemmCase> {
             m: 128,
             k: 256,
             n: 600,
-            median_ns: time_median(SGEMM_SAMPLES, || {
+            median_ns: time_median(samples, || {
                 black_box(x.matmul_tn(&g));
             }),
         },
@@ -129,47 +137,123 @@ fn write_sgemm_json(cases: &[SgemmCase]) -> std::io::Result<()> {
     std::fs::write("BENCH_sgemm.json", out)
 }
 
-fn train_epoch_median_ns() -> u128 {
-    // Mirrors the `train_epoch` criterion fixture so numbers are comparable.
-    let spec = SynthSpec {
-        vocab_size: 600,
-        num_topics: 10,
-        num_docs: 400,
-        avg_doc_len: 40.0,
-        ..Default::default()
+/// One-epoch fixture: the full-size preset mirrors the `train_epoch`
+/// criterion fixture so numbers stay comparable; the smoke preset keeps the
+/// same shape at a fraction of the cost.
+struct EpochFixture {
+    corpus: ct_corpus::BowCorpus,
+    emb: Tensor,
+    npmi: NpmiMatrix,
+    config: TrainConfig,
+}
+
+fn epoch_fixture(smoke: bool) -> EpochFixture {
+    let spec = if smoke {
+        SynthSpec {
+            vocab_size: 120,
+            num_topics: 4,
+            num_docs: 60,
+            avg_doc_len: 20.0,
+            ..Default::default()
+        }
+    } else {
+        SynthSpec {
+            vocab_size: 600,
+            num_topics: 10,
+            num_docs: 400,
+            avg_doc_len: 40.0,
+            ..Default::default()
+        }
     };
     let mut rng = StdRng::seed_from_u64(1);
     let corpus = generate(&spec, &mut rng).corpus;
-    let emb = train_embeddings(&corpus, 32, &mut rng);
+    let emb = train_embeddings(&corpus, if smoke { 16 } else { 32 }, &mut rng);
     let npmi = NpmiMatrix::from_corpus(&corpus);
-    let config = TrainConfig {
-        num_topics: 16,
-        hidden: 64,
-        epochs: 1,
-        batch_size: 200,
-        embed_dim: 32,
-        ..TrainConfig::default()
+    // micro_batch < batch_size so every batch fans out across the pool.
+    let config = if smoke {
+        TrainConfig {
+            num_topics: 4,
+            hidden: 32,
+            epochs: 1,
+            batch_size: 40,
+            embed_dim: 16,
+            ..TrainConfig::default()
+        }
+        .with_micro_batch(10)
+    } else {
+        TrainConfig {
+            num_topics: 16,
+            hidden: 64,
+            epochs: 1,
+            batch_size: 200,
+            embed_dim: 32,
+            ..TrainConfig::default()
+        }
+        .with_micro_batch(50)
     };
-    let median = time_median(EPOCH_SAMPLES, || {
-        black_box(fit_contratopic(
-            &corpus,
-            emb.clone(),
-            &npmi,
-            &config,
-            &Default::default(),
-        ));
-    });
-    // Optional: one extra traced run, outside the timing loop, so the
-    // telemetry of the exact benchmark workload can be inspected.
+    EpochFixture {
+        corpus,
+        emb,
+        npmi,
+        config,
+    }
+}
+
+struct SweepPoint {
+    workers: usize,
+    median_ns: u128,
+}
+
+/// Time one epoch at each worker count and check the trained parameters
+/// are bitwise identical across counts (the sharded driver's contract).
+fn train_epoch_sweep(fix: &EpochFixture, samples: usize) -> (Vec<SweepPoint>, bool) {
+    let mut points = Vec::new();
+    let mut reference: Option<Vec<u8>> = None;
+    let mut bitwise_equal = true;
+    for &workers in &WORKER_SWEEP {
+        pool::with_threads(workers, || {
+            let median = time_median(samples, || {
+                black_box(fit_contratopic(
+                    &fix.corpus,
+                    fix.emb.clone(),
+                    &fix.npmi,
+                    &fix.config,
+                    &Default::default(),
+                ));
+            });
+            let model = fit_contratopic(
+                &fix.corpus,
+                fix.emb.clone(),
+                &fix.npmi,
+                &fix.config,
+                &Default::default(),
+            );
+            let bytes = params_to_bytes(&model.inner.params);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => bitwise_equal &= *r == bytes,
+            }
+            points.push(SweepPoint {
+                workers,
+                median_ns: median,
+            });
+        });
+    }
+    (points, bitwise_equal)
+}
+
+/// Optional extra traced run, outside the timing loop, so the telemetry of
+/// the exact benchmark workload can be inspected.
+fn maybe_trace(fix: &EpochFixture) {
     if let Ok(path) = std::env::var("CT_TRACE") {
         match std::fs::File::create(&path) {
             Ok(file) => {
                 let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
                 black_box(fit_contratopic_traced(
-                    &corpus,
-                    emb.clone(),
-                    &npmi,
-                    &config,
+                    &fix.corpus,
+                    fix.emb.clone(),
+                    &fix.npmi,
+                    &fix.config,
                     &Default::default(),
                     &mut sink,
                 ));
@@ -181,25 +265,41 @@ fn train_epoch_median_ns() -> u128 {
             Err(e) => eprintln!("warning: trace {path}: {e}"),
         }
     }
-    median
 }
 
-fn write_train_json(median_ns: u128) -> std::io::Result<()> {
+fn write_train_json(
+    fix: &EpochFixture,
+    points: &[SweepPoint],
+    bitwise_equal: bool,
+) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     let _ = write!(
         out,
-        "  \"threads\": {},\n  \"model\": \"ContraTopic\",\n  \"epochs\": 1,\n  \"median_ns\": {},\n  \"median_ms\": {:.3}\n",
-        pool::configured_threads(),
-        median_ns,
-        median_ns as f64 / 1e6
+        "  \"model\": \"ContraTopic\",\n  \"epochs\": 1,\n  \"cores\": {},\n  \"batch_size\": {},\n  \"micro_batch\": {},\n  \"bitwise_equal_across_workers\": {},\n  \"sweep\": [\n",
+        cores, fix.config.batch_size, fix.config.micro_batch, bitwise_equal
     );
-    out.push_str("}\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {}, \"median_ns\": {}, \"median_ms\": {:.3}}}{}",
+            p.workers,
+            p.median_ns,
+            p.median_ns as f64 / 1e6,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
     std::fs::write("BENCH_train_epoch.json", out)
 }
 
 fn main() -> std::io::Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sgemm_samples = if smoke { 3 } else { 15 };
+    let epoch_samples = if smoke { 1 } else { 5 };
+
     println!("threads: {}", pool::configured_threads());
-    let cases = sgemm_cases();
+    let cases = sgemm_cases(sgemm_samples);
     for c in &cases {
         println!(
             "sgemm {:<16} {:>4}x{:<4}x{:<4} median {:>10.3} ms",
@@ -210,15 +310,30 @@ fn main() -> std::io::Result<()> {
             c.median_ns as f64 / 1e6
         );
     }
+
+    let fix = epoch_fixture(smoke);
+    let (points, bitwise_equal) = train_epoch_sweep(&fix, epoch_samples);
+    for p in &points {
+        println!(
+            "train_one_epoch ContraTopic workers={} median {:>10.3} ms",
+            p.workers,
+            p.median_ns as f64 / 1e6
+        );
+    }
+    println!("bitwise_equal_across_workers: {bitwise_equal}");
+    if !bitwise_equal {
+        eprintln!("error: trained parameters differ across worker counts");
+        std::process::exit(1);
+    }
+    maybe_trace(&fix);
+
+    if smoke {
+        println!("--smoke: skipping JSON artifacts");
+        return Ok(());
+    }
     write_sgemm_json(&cases)?;
     println!("wrote BENCH_sgemm.json");
-
-    let epoch_ns = train_epoch_median_ns();
-    println!(
-        "train_one_epoch ContraTopic median {:>10.3} ms",
-        epoch_ns as f64 / 1e6
-    );
-    write_train_json(epoch_ns)?;
+    write_train_json(&fix, &points, bitwise_equal)?;
     println!("wrote BENCH_train_epoch.json");
     Ok(())
 }

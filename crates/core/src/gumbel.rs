@@ -67,7 +67,7 @@ pub fn relaxed_subset<'t, R: Rng>(
         "cannot sample {} words from a {vocab}-word vocabulary",
         config.v
     );
-    let g = std::rc::Rc::new(gumbel_noise(k, vocab, rng));
+    let g = std::sync::Arc::new(gumbel_noise(k, vocab, rng));
     let mut r = beta.ln_clamped(1e-20).add_const(&g);
     let mut draws = Vec::with_capacity(config.v);
     for j in 0..config.v {

@@ -5,7 +5,7 @@
 //! `ContraTopic-I` ablation replaces it with word-embedding inner products
 //! (the NTM-R-style kernel), which the paper shows is weaker.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ct_corpus::NpmiMatrix;
 use ct_tensor::Tensor;
@@ -13,7 +13,7 @@ use ct_tensor::Tensor;
 /// A fixed (non-trainable) word-pair similarity matrix `(V, V)`.
 #[derive(Clone)]
 pub struct SimilarityKernel {
-    matrix: Rc<Tensor>,
+    matrix: Arc<Tensor>,
     name: &'static str,
 }
 
@@ -21,7 +21,7 @@ impl SimilarityKernel {
     /// The paper's kernel: precomputed NPMI on the *training* corpus.
     pub fn npmi(npmi: &NpmiMatrix) -> Self {
         Self {
-            matrix: Rc::new(npmi.matrix().clone()),
+            matrix: Arc::new(npmi.matrix().clone()),
             name: "npmi",
         }
     }
@@ -29,7 +29,7 @@ impl SimilarityKernel {
     /// Take ownership of an NPMI matrix without copying.
     pub fn from_npmi_owned(npmi: NpmiMatrix) -> Self {
         Self {
-            matrix: Rc::new(npmi.into_matrix()),
+            matrix: Arc::new(npmi.into_matrix()),
             name: "npmi",
         }
     }
@@ -49,7 +49,7 @@ impl SimilarityKernel {
         }
         let gram = e.matmul_nt(&e);
         Self {
-            matrix: Rc::new(gram),
+            matrix: Arc::new(gram),
             name: "embedding-inner",
         }
     }
@@ -58,13 +58,13 @@ impl SimilarityKernel {
     pub fn custom(matrix: Tensor, name: &'static str) -> Self {
         assert_eq!(matrix.rows(), matrix.cols(), "kernel must be square");
         Self {
-            matrix: Rc::new(matrix),
+            matrix: Arc::new(matrix),
             name,
         }
     }
 
     /// The `(V, V)` similarity matrix (shared; never receives gradients).
-    pub fn matrix(&self) -> &Rc<Tensor> {
+    pub fn matrix(&self) -> &Arc<Tensor> {
         &self.matrix
     }
 

@@ -7,7 +7,7 @@ use ct_corpus::npmi::CoocAccumulator;
 use ct_corpus::BowCorpus;
 use ct_models::trace::{NoopSink, TraceEvent, TraceSink};
 use ct_models::{
-    train_loop_traced, Backbone, BatchLoss, EtmBackbone, TopicModel, TrainConfig, TrainStats,
+    train_backbone_regularized_traced, Backbone, EtmBackbone, TopicModel, TrainConfig, TrainStats,
 };
 use ct_tensor::{Params, Tensor};
 use rand::rngs::StdRng;
@@ -77,19 +77,13 @@ impl OnlineContraTopic {
                 value: self.slices_seen.to_string(),
             });
         }
-        let stats = train_loop_traced(
+        let stats = train_backbone_regularized_traced(
+            backbone,
+            &mut self.params,
             slice,
             &cfg,
-            &mut self.params,
-            |tape, params, x, idx, rng| {
-                let out = backbone.batch_loss(tape, params, x, idx, true, rng);
-                let r = reg.loss(tape, out.beta, rng);
-                let components = out.components(Some(lambda * r.scalar_value()));
-                BatchLoss {
-                    loss: out.loss.add(r.scale(lambda)),
-                    components,
-                }
-            },
+            lambda,
+            |tape, beta, rng| reg.loss(tape, beta, rng),
             trace,
         );
         if trace.enabled() {

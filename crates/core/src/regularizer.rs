@@ -11,6 +11,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ct_tensor::ops::{concat_rows, QuadScratch};
 use ct_tensor::{Tape, Tensor, Var};
@@ -63,12 +64,12 @@ impl AblationVariant {
 /// `i % k` (draws are stacked draw-major).
 struct PairMasks {
     /// `0` on allowed entries, `-1e9` elsewhere — added before logsumexp.
-    positives: Rc<Tensor>,
-    all_but_self: Rc<Tensor>,
+    positives: Arc<Tensor>,
+    all_but_self: Arc<Tensor>,
     /// `1` on positive (same-topic, non-self) pairs.
-    pos_indicator: Rc<Tensor>,
+    pos_indicator: Arc<Tensor>,
     /// `1` on negative (cross-topic) pairs.
-    neg_indicator: Rc<Tensor>,
+    neg_indicator: Arc<Tensor>,
     num_pos: f32,
     num_neg: f32,
 }
@@ -100,10 +101,10 @@ fn build_masks(k: usize, v: usize) -> PairMasks {
         }
     }
     PairMasks {
-        positives: Rc::new(positives),
-        all_but_self: Rc::new(all_but_self),
-        pos_indicator: Rc::new(pos_ind),
-        neg_indicator: Rc::new(neg_ind),
+        positives: Arc::new(positives),
+        all_but_self: Arc::new(all_but_self),
+        pos_indicator: Arc::new(pos_ind),
+        neg_indicator: Arc::new(neg_ind),
         num_pos,
         num_neg,
     }
@@ -120,7 +121,7 @@ pub struct ContrastiveRegularizer {
     /// Pair masks memoized by `(k, v)`. The masks depend only on those two
     /// integers, and `loss` is called once per training step with the same
     /// shape — rebuilding four `M x M` tensors each step was pure waste.
-    masks: RefCell<HashMap<(usize, usize), Rc<PairMasks>>>,
+    masks: RefCell<HashMap<(usize, usize), Arc<PairMasks>>>,
     /// How many times mask construction actually ran (test hook).
     masks_built: Cell<usize>,
     /// Reused buffer for the kernel product `T = A·N` inside the fused
@@ -145,13 +146,13 @@ impl ContrastiveRegularizer {
         }
     }
 
-    fn masks(&self, k: usize, v: usize) -> Rc<PairMasks> {
+    fn masks(&self, k: usize, v: usize) -> Arc<PairMasks> {
         if let Some(m) = self.masks.borrow().get(&(k, v)) {
-            return Rc::clone(m);
+            return Arc::clone(m);
         }
-        let built = Rc::new(build_masks(k, v));
+        let built = Arc::new(build_masks(k, v));
         self.masks_built.set(self.masks_built.get() + 1);
-        self.masks.borrow_mut().insert((k, v), Rc::clone(&built));
+        self.masks.borrow_mut().insert((k, v), Arc::clone(&built));
         built
     }
 
@@ -217,7 +218,7 @@ impl ContrastiveRegularizer {
     /// `S = beta N beta^T (K, K)`; the diagonal entries are the positives.
     fn loss_no_sampling<'t>(&self, beta: Var<'t>, k: usize) -> Var<'t> {
         let s = beta.sym_quadratic_const(self.kernel.matrix(), &self.quad_scratch); // (K, K)
-        let diag = Rc::new(Tensor::eye(k));
+        let diag = Arc::new(Tensor::eye(k));
         let numer = s.mul_const(&diag).sum_axis1(); // (K, 1) = diagonal
         let denom = s.logsumexp_rows(); // (K, 1)
         denom.sub(numer).sum_all().scale(1.0 / k as f32)

@@ -3,13 +3,16 @@
 //! topic-wise contrastive regularizer can be attached to any of them
 //! (the paper's §V-I substitutes ETM → WLDA → WeTe).
 
+use std::sync::Mutex;
+use std::time::Instant;
+
 use ct_corpus::BowCorpus;
-use ct_tensor::{Params, Tape, Tensor, Var};
+use ct_tensor::{pool, ParamId, Params, Tape, Tensor, Var};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::common::{
-    infer_theta_blocked, train_loop_traced, BatchLoss, TopicModel, TrainConfig, TrainStats,
+    infer_theta_blocked, train_loop_core, BatchOutcome, TopicModel, TrainConfig, TrainStats,
 };
 use crate::trace::{LossComponents, NoopSink, TraceSink};
 
@@ -50,7 +53,13 @@ impl<'t> BackboneOut<'t> {
 }
 
 /// A VAE-style neural topic model viewed as a pluggable backbone.
-pub trait Backbone {
+///
+/// `Sync` is a supertrait because the data-parallel training driver runs
+/// `batch_loss` for different micro-batches concurrently on the worker
+/// pool. Mutable per-batch state (batch-norm running statistics, RL
+/// reward baselines) must therefore live behind locks and commit
+/// deterministically via [`Backbone::commit_batch_stats`].
+pub trait Backbone: Sync {
     /// Model name for reports.
     fn name(&self) -> &'static str;
 
@@ -65,6 +74,22 @@ pub trait Backbone {
         training: bool,
         rng: &mut StdRng,
     ) -> BackboneOut<'t>;
+
+    /// Differentiable topic-word distribution `(K, V)` on `tape` — the
+    /// same quantity `batch_loss` exposes as [`BackboneOut::beta`], but
+    /// without running a document forward pass. Batch-level regularizers
+    /// (ContraTopic's contrastive term is a function of `beta` alone) are
+    /// built from this handle on their own tape under data-parallel
+    /// sharding, so they are computed once per mini-batch rather than
+    /// once per micro-batch.
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t>;
+
+    /// Replay side effects queued during sharded forward passes
+    /// (batch-norm running statistics, reward baselines) in micro-batch
+    /// order. The training driver calls this once per mini-batch, after
+    /// the fan-out and before the optimizer step; outside sharded
+    /// training the queues are empty and this is a no-op.
+    fn commit_batch_stats(&self) {}
 
     /// Amortized θ for one dense batch (eval mode).
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor;
@@ -156,20 +181,261 @@ pub fn fit_backbone_traced<B: Backbone>(
     config: &TrainConfig,
     trace: &mut dyn TraceSink,
 ) -> Fitted<B> {
-    let stats = train_loop_traced(
+    let stats = train_backbone_traced(&backbone, &mut params, corpus, config, trace);
+    Fitted::new(backbone, params, stats)
+}
+
+/// Borrowing form of [`fit_backbone_traced`]: trains `backbone`'s
+/// parameters in place and returns the run's stats. Used by callers that
+/// keep the backbone across training runs (the online/streaming variant
+/// warm-starts each slice from the previous one).
+pub fn train_backbone_traced<B: Backbone>(
+    backbone: &B,
+    params: &mut Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    trace: &mut dyn TraceSink,
+) -> TrainStats {
+    train_backbone_inner(backbone, params, corpus, config, None, trace)
+}
+
+/// Borrowing form of [`fit_backbone_with_regularizer_traced`]; see
+/// [`train_backbone_traced`].
+pub fn train_backbone_regularized_traced<B, F>(
+    backbone: &B,
+    params: &mut Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    lambda: f32,
+    mut reg: F,
+    trace: &mut dyn TraceSink,
+) -> TrainStats
+where
+    B: Backbone,
+    F: for<'t> FnMut(&'t Tape, Var<'t>, &mut StdRng) -> Var<'t>,
+{
+    train_backbone_inner(
+        backbone,
+        params,
         corpus,
         config,
-        &mut params,
-        |tape, params, x, idx, rng| {
-            let out = backbone.batch_loss(tape, params, x, idx, true, rng);
-            BatchLoss {
-                components: out.components(None),
-                loss: out.loss,
-            }
-        },
+        Some((lambda, &mut reg)),
         trace,
-    );
-    Fitted::new(backbone, params, stats)
+    )
+}
+
+/// A batch-level regularizer: builds a scalar penalty from the
+/// differentiable `beta` on the given tape.
+type RegClosure<'r> = &'r mut dyn for<'t> FnMut(&'t Tape, Var<'t>, &mut StdRng) -> Var<'t>;
+
+/// One micro-batch's contribution, produced on a pool worker and reduced
+/// by the driver in micro-batch order.
+struct MicroOut {
+    loss: f32,
+    kl: Option<f32>,
+    grads: Vec<(ParamId, Tensor)>,
+}
+
+/// The deterministic data-parallel backbone driver.
+///
+/// Every mini-batch is split into fixed contiguous micro-batches of
+/// [`TrainConfig::micro_batch`] documents. Each micro-batch draws a seed
+/// from the driver RNG (in micro order, before dispatch), then runs
+/// forward + backward on a private tape — single-threaded, so its math has
+/// a fixed reduction order — on whichever pool worker picks it up. The
+/// driver then sums the per-micro gradients weighted by document share, in
+/// micro-batch order. Nothing about the gradient math depends on the
+/// worker count or schedule, so trained parameters are bitwise identical
+/// for any `CT_NUM_THREADS` and any [`TrainConfig::shards`] value.
+///
+/// A batch that fits inside one micro-batch takes a legacy single-tape
+/// path instead, which reproduces the historical driver bit-for-bit
+/// (same op order, same RNG stream, regularizer on the same tape).
+fn train_backbone_inner<B: Backbone>(
+    backbone: &B,
+    params: &mut Params,
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    mut reg: Option<(f32, RegClosure<'_>)>,
+    trace: &mut dyn TraceSink,
+) -> TrainStats {
+    let micro = config.micro_batch.max(1);
+    let tape = Tape::new();
+    let mut exec = |params: &mut Params,
+                    batch: &[usize],
+                    rng: &mut StdRng,
+                    timing: bool|
+     -> Result<BatchOutcome, f32> {
+        let n_micros = batch.len().div_ceil(micro).max(1);
+        if n_micros <= 1 {
+            return single_tape_batch(
+                backbone, &tape, params, corpus, batch, &mut reg, rng, timing,
+            );
+        }
+
+        // --- Sharded path ---------------------------------------------
+        // Fixed partition: contiguous chunks of `micro` documents. The
+        // partition depends only on the batch and `micro_batch`, never on
+        // the worker count.
+        let micros: Vec<&[usize]> = batch.chunks(micro).collect();
+        let total = batch.len() as f32;
+        // One RNG seed per micro-batch, drawn from the driver stream in
+        // micro order *before* dispatch so the stream is schedule-free.
+        let seeds: Vec<u64> = micros.iter().map(|_| rng.gen::<u64>()).collect();
+        let fwd_t0 = timing.then(Instant::now);
+        let slots: Vec<Mutex<Option<Result<MicroOut, f32>>>> =
+            micros.iter().map(|_| Mutex::new(None)).collect();
+        {
+            let params: &Params = params;
+            let shards_req = if config.shards == 0 {
+                n_micros
+            } else {
+                config.shards
+            };
+            let min_items = n_micros.div_ceil(shards_req.max(1)).max(1);
+            pool::run_partitioned(n_micros, min_items, |range| {
+                for m in range {
+                    let result = pool::with_micro_seq(m as u64, || {
+                        // Force single-threaded math inside the micro so
+                        // its reduction order is fixed regardless of which
+                        // worker runs it (and to keep pool use non-nested).
+                        pool::with_threads(1, || {
+                            let mut mrng = StdRng::seed_from_u64(seeds[m]);
+                            let x = corpus.dense_batch(micros[m]);
+                            let mtape = Tape::new();
+                            let out =
+                                backbone.batch_loss(&mtape, params, &x, micros[m], true, &mut mrng);
+                            let loss_v = out.loss.scalar_value();
+                            if !loss_v.is_finite() {
+                                return Err(loss_v);
+                            }
+                            let kl = out.kl.map(|k| k.scalar_value());
+                            let grads = mtape.backward(out.loss).into_param_grads();
+                            mtape.reset();
+                            Ok(MicroOut {
+                                loss: loss_v,
+                                kl,
+                                grads,
+                            })
+                        })
+                    });
+                    *slots[m].lock().unwrap() = Some(result);
+                }
+            });
+        }
+        // Replay queued side effects (batch-norm stats, RL baselines) in
+        // micro order. Like the historical driver, forward side effects
+        // happen even when the batch is subsequently skipped as divergent.
+        backbone.commit_batch_stats();
+        let forward_ns = fwd_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        // Collect in micro order; the first non-finite micro skips the
+        // batch before anything touches the gradient sinks.
+        let mut outs = Vec::with_capacity(n_micros);
+        for slot in &slots {
+            match slot.lock().unwrap().take().expect("micro result missing") {
+                Err(l) => return Err(l),
+                Ok(o) => outs.push(o),
+            }
+        }
+        let bwd_t0 = timing.then(Instant::now);
+        // The batch-level regularizer is a function of beta alone, so it
+        // is built once per mini-batch on the driver thread, on its own
+        // tape; its gradient joins the reduction after the shard sum.
+        let mut reg_weighted = None;
+        let mut reg_grads = None;
+        if let Some((lambda, reg_fn)) = reg.as_mut() {
+            tape.reset();
+            let beta = backbone.beta_var(&tape, params);
+            let r = reg_fn(&tape, beta, rng);
+            let rv = r.scalar_value();
+            if !rv.is_finite() {
+                return Err(rv);
+            }
+            reg_weighted = Some(*lambda * rv);
+            reg_grads = Some(tape.backward(r.scale(*lambda)));
+        }
+        // Fixed-order weighted reduction: micro m contributes with weight
+        // n_m / N, so the total equals the full-batch per-document mean.
+        let mut loss_total = 0.0f32;
+        let mut kl_total: Option<f32> = None;
+        for (m, out) in outs.into_iter().enumerate() {
+            let w = micros[m].len() as f32 / total;
+            loss_total += w * out.loss;
+            if let Some(k) = out.kl {
+                *kl_total.get_or_insert(0.0) += w * k;
+            }
+            for (pid, g) in out.grads {
+                params.grad_mut(pid).axpy(w, &g);
+                ct_tensor::arena::recycle(g);
+            }
+        }
+        if let Some(g) = reg_grads {
+            g.accumulate_into(params);
+            g.recycle();
+        }
+        let backward_ns = bwd_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        Ok(BatchOutcome {
+            loss: loss_total + reg_weighted.unwrap_or(0.0),
+            components: LossComponents {
+                backbone: loss_total,
+                kl: kl_total,
+                regularizer: reg_weighted,
+            },
+            forward_ns,
+            backward_ns,
+            shards: n_micros,
+        })
+    };
+    train_loop_core(corpus, config, params, trace, &mut exec)
+}
+
+/// The legacy single-tape batch: identical op order, RNG stream and
+/// (same-tape) regularizer placement as the historical driver, so runs
+/// whose batches fit in one micro-batch stay bitwise reproducible against
+/// checkpoints from before the data-parallel driver existed.
+#[allow(clippy::too_many_arguments)]
+fn single_tape_batch<B: Backbone>(
+    backbone: &B,
+    tape: &Tape,
+    params: &mut Params,
+    corpus: &BowCorpus,
+    batch: &[usize],
+    reg: &mut Option<(f32, RegClosure<'_>)>,
+    rng: &mut StdRng,
+    timing: bool,
+) -> Result<BatchOutcome, f32> {
+    tape.reset();
+    let x = corpus.dense_batch(batch);
+    let fwd_t0 = timing.then(Instant::now);
+    let out = backbone.batch_loss(tape, params, &x, batch, true, rng);
+    let (loss, components) = match reg.as_mut() {
+        None => (out.loss, out.components(None)),
+        Some((lambda, reg_fn)) => {
+            let r = reg_fn(tape, out.beta, rng);
+            let weighted = *lambda * r.scalar_value();
+            (
+                out.loss.add(r.scale(*lambda)),
+                out.components(Some(weighted)),
+            )
+        }
+    };
+    let loss_v = loss.scalar_value();
+    let forward_ns = fwd_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+    if !loss_v.is_finite() {
+        return Err(loss_v);
+    }
+    let bwd_t0 = timing.then(Instant::now);
+    let grads = tape.backward(loss);
+    grads.accumulate_into(params);
+    let backward_ns = bwd_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+    grads.recycle();
+    Ok(BatchOutcome {
+        loss: loss_v,
+        components,
+        forward_ns,
+        backward_ns,
+        shards: 1,
+    })
 }
 
 /// Train a backbone with an additional differentiable regularizer term
@@ -206,26 +472,20 @@ pub fn fit_backbone_with_regularizer_traced<B, F>(
     corpus: &BowCorpus,
     config: &TrainConfig,
     lambda: f32,
-    mut reg: F,
+    reg: F,
     trace: &mut dyn TraceSink,
 ) -> Fitted<B>
 where
     B: Backbone,
     F: for<'t> FnMut(&'t Tape, Var<'t>, &mut StdRng) -> Var<'t>,
 {
-    let stats = train_loop_traced(
+    let stats = train_backbone_regularized_traced(
+        &backbone,
+        &mut params,
         corpus,
         config,
-        &mut params,
-        |tape, params, x, idx, rng| {
-            let out = backbone.batch_loss(tape, params, x, idx, true, rng);
-            let r = reg(tape, out.beta, rng);
-            let weighted = lambda * r.scalar_value();
-            BatchLoss {
-                components: out.components(Some(weighted)),
-                loss: out.loss.add(r.scale(lambda)),
-            }
-        },
+        lambda,
+        reg,
         trace,
     );
     Fitted::new(backbone, params, stats)

@@ -164,6 +164,14 @@ impl Backbone for ClntmBackbone {
         BackboneOut::new(loss, beta).with_kl(kl)
     }
 
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        self.inner.beta_var(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.inner.commit_batch_stats();
+    }
+
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {
         self.inner.infer_theta_batch(params, x)
     }

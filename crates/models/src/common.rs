@@ -55,6 +55,20 @@ pub struct TrainConfig {
     pub verbose: bool,
     /// What to do when a batch loss diverges (non-finite).
     pub divergence: DivergencePolicy,
+    /// Micro-batch size for data-parallel training. Every mini-batch is
+    /// split into fixed contiguous micro-batches of this many documents;
+    /// each micro-batch runs forward + backward on its own tape, and the
+    /// gradients are combined in micro-batch order. Because the partition
+    /// depends only on this value (never on the worker count), trained
+    /// parameters are bitwise identical for any `CT_NUM_THREADS`. A
+    /// mini-batch that fits in one micro-batch takes the single-tape path.
+    pub micro_batch: usize,
+    /// Dispatch width for the micro-batch fan-out: an upper bound on how
+    /// many pool workers the micro-batches are spread across. `0` (the
+    /// default) lets every micro-batch be its own work item. This knob
+    /// only changes scheduling granularity — results are bitwise
+    /// identical for any value.
+    pub shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -73,6 +87,8 @@ impl Default for TrainConfig {
             seed: 42,
             verbose: false,
             divergence: DivergencePolicy::SkipBatch,
+            micro_batch: 256,
+            shards: 0,
         }
     }
 }
@@ -108,6 +124,19 @@ impl TrainConfig {
 
     pub fn with_divergence(mut self, policy: DivergencePolicy) -> Self {
         self.divergence = policy;
+        self
+    }
+
+    /// Set the data-parallel micro-batch size (see
+    /// [`TrainConfig::micro_batch`]).
+    pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
+        self.micro_batch = micro_batch;
+        self
+    }
+
+    /// Set the micro-batch dispatch width (see [`TrainConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -280,11 +309,41 @@ impl ComponentAccum {
     }
 }
 
+/// What a batch executor reports back to [`train_loop_core`] for one
+/// successfully executed batch. The executor has already run forward and
+/// backward and accumulated (pre-clip) gradients into the parameter
+/// registry; the driver clips, steps the optimizer and records telemetry.
+pub(crate) struct BatchOutcome {
+    pub loss: f32,
+    pub components: LossComponents,
+    /// Forward wall time. On the data-parallel path this covers the whole
+    /// micro-batch fan-out (whose per-shard forward and backward are
+    /// fused), on the single-tape path just the forward pass.
+    pub forward_ns: u64,
+    /// Backward wall time. On the data-parallel path this is the
+    /// fixed-order gradient reduction (plus the batch-level regularizer).
+    pub backward_ns: u64,
+    /// Number of micro-batch shards the batch was split into (1 on the
+    /// single-tape path).
+    pub shards: usize,
+}
+
+/// A batch executor: runs forward + backward for the documents in
+/// `batch`, accumulates gradients into the params, and returns the batch
+/// telemetry — or `Err(loss)` for a non-finite loss, in which case it must
+/// leave the gradient sinks untouched so the driver can skip the batch.
+pub(crate) type BatchExec<'a> =
+    &'a mut dyn FnMut(&mut Params, &[usize], &mut StdRng, bool) -> Result<BatchOutcome, f32>;
+
 /// [`train_loop`] with telemetry: every batch and epoch is reported to
 /// `trace`, divergence is surfaced according to
 /// [`TrainConfig::divergence`], and the loss closure returns a
 /// [`BatchLoss`] carrying the component breakdown. With a disabled sink
 /// (the [`NoopSink`] default) no events are built and no clocks are read.
+///
+/// One tape is reused across all batches: [`Tape::reset`] returns every
+/// op-output buffer to the thread-local arena, so steady-state training
+/// allocates almost nothing.
 pub fn train_loop_traced<F>(
     corpus: &BowCorpus,
     config: &TrainConfig,
@@ -295,6 +354,46 @@ pub fn train_loop_traced<F>(
 where
     F: for<'t> FnMut(&'t Tape, &Params, &Tensor, &[usize], &mut StdRng) -> BatchLoss<'t>,
 {
+    let tape = Tape::new();
+    let mut exec = |params: &mut Params, batch: &[usize], rng: &mut StdRng, timing: bool| {
+        tape.reset();
+        let x = corpus.dense_batch(batch);
+        let fwd_t0 = now_if(timing);
+        let BatchLoss { loss, components } = loss_fn(&tape, params, &x, batch, rng);
+        let loss_v = loss.scalar_value();
+        let forward_ns = ns_since(fwd_t0);
+        if !loss_v.is_finite() {
+            return Err(loss_v);
+        }
+        let bwd_t0 = now_if(timing);
+        let grads = tape.backward(loss);
+        grads.accumulate_into(params);
+        let backward_ns = ns_since(bwd_t0);
+        grads.recycle();
+        Ok(BatchOutcome {
+            loss: loss_v,
+            components,
+            forward_ns,
+            backward_ns,
+            shards: 1,
+        })
+    };
+    train_loop_core(corpus, config, params, trace, &mut exec)
+}
+
+/// The shared epoch/divergence/telemetry machinery behind both the
+/// closure-based [`train_loop_traced`] and the data-parallel backbone
+/// driver ([`crate::backbone::train_backbone_traced`]). Shuffled batching,
+/// gradient clipping, the Adam step, divergence policy and all trace
+/// events live here; how a batch turns into gradients is the executor's
+/// business.
+pub(crate) fn train_loop_core(
+    corpus: &BowCorpus,
+    config: &TrainConfig,
+    params: &mut Params,
+    trace: &mut dyn TraceSink,
+    exec: BatchExec<'_>,
+) -> TrainStats {
     let tracing = trace.enabled();
     // Verbose progress goes through a console sink on stderr, never via
     // direct printing from library code (scripts/check.sh enforces this).
@@ -319,54 +418,55 @@ where
         for (batch_idx, batch) in
             BatchIter::new(corpus.num_docs(), config.batch_size, &mut rng).enumerate()
         {
-            let x = corpus.dense_batch(&batch);
-            let tape = Tape::new();
-            let fwd_t0 = now_if(tracing);
-            let BatchLoss { loss, components } = loss_fn(&tape, params, &x, &batch, &mut rng);
-            let loss_v = loss.scalar_value();
-            let forward_ns = ns_since(fwd_t0);
-            if !loss_v.is_finite() {
-                // No backward has run since the optimizer step zeroed the
-                // gradients, so there is nothing to clear before skipping.
-                match config.divergence {
-                    DivergencePolicy::SkipBatch => {
-                        epoch_skipped += 1;
-                        stats.skipped_batches += 1;
-                        if tracing {
-                            trace.record(&TraceEvent::BatchSkipped {
+            let arena0 = if tracing {
+                ct_tensor::arena::counters()
+            } else {
+                (0, 0)
+            };
+            let outcome = exec(params, &batch, &mut rng, tracing);
+            let out = match outcome {
+                Ok(out) => out,
+                Err(loss_v) => {
+                    // The executor left the gradient sinks untouched (no
+                    // backward has run since the optimizer step zeroed
+                    // them), so there is nothing to clear before skipping.
+                    match config.divergence {
+                        DivergencePolicy::SkipBatch => {
+                            epoch_skipped += 1;
+                            stats.skipped_batches += 1;
+                            if tracing {
+                                trace.record(&TraceEvent::BatchSkipped {
+                                    epoch,
+                                    batch: batch_idx,
+                                    loss: loss_v,
+                                });
+                            }
+                            continue;
+                        }
+                        DivergencePolicy::Halt => {
+                            stats.outcome = TrainOutcome::HaltedOnDivergence {
                                 epoch,
                                 batch: batch_idx,
                                 loss: loss_v,
-                            });
+                            };
+                            let ev = TraceEvent::HaltedOnDivergence {
+                                epoch,
+                                batch: batch_idx,
+                                loss: loss_v,
+                            };
+                            if tracing {
+                                trace.record(&ev);
+                            }
+                            if let Some(c) = &mut console {
+                                c.record(&ev);
+                            }
+                            break 'train;
                         }
-                        continue;
-                    }
-                    DivergencePolicy::Halt => {
-                        stats.outcome = TrainOutcome::HaltedOnDivergence {
-                            epoch,
-                            batch: batch_idx,
-                            loss: loss_v,
-                        };
-                        let ev = TraceEvent::HaltedOnDivergence {
-                            epoch,
-                            batch: batch_idx,
-                            loss: loss_v,
-                        };
-                        if tracing {
-                            trace.record(&ev);
-                        }
-                        if let Some(c) = &mut console {
-                            c.record(&ev);
-                        }
-                        break 'train;
                     }
                 }
-            }
-            epoch_loss += loss_v as f64;
+            };
+            epoch_loss += out.loss as f64;
             batches += 1;
-            let bwd_t0 = now_if(tracing);
-            tape.backward(loss).accumulate_into(params);
-            let backward_ns = ns_since(bwd_t0);
             let step_t0 = now_if(tracing);
             let (grad_norm, clipped) = if config.grad_clip > 0.0 {
                 let report = params.clip_grad_norm_report(config.grad_clip);
@@ -378,19 +478,23 @@ where
             };
             opt.step(params);
             let step_ns = ns_since(step_t0);
-            accum.add(&components, grad_norm);
+            accum.add(&out.components, grad_norm);
             if tracing {
+                let arena1 = ct_tensor::arena::counters();
                 trace.record(&TraceEvent::BatchEnd {
                     epoch,
                     batch: batch_idx,
-                    loss: loss_v,
-                    components,
+                    loss: out.loss,
+                    components: out.components,
                     grad_norm,
                     clipped,
                     adam_step: opt.steps(),
-                    forward_ns,
-                    backward_ns,
+                    forward_ns: out.forward_ns,
+                    backward_ns: out.backward_ns,
                     step_ns,
+                    shards: out.shards,
+                    arena_reuse: arena1.0.saturating_sub(arena0.0),
+                    arena_miss: arena1.1.saturating_sub(arena0.1),
                 });
             }
         }

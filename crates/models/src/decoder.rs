@@ -71,7 +71,7 @@ impl EtmDecoder {
     /// Differentiable `beta (K, V)` on the tape.
     pub fn beta<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
         let t = tape.param(params, self.topics);
-        let rho = params.value_rc(self.rho);
+        let rho = params.value_shared(self.rho);
         t.matmul_nt_const(&rho).softmax_rows(self.tau_beta)
     }
 
@@ -85,7 +85,7 @@ impl EtmDecoder {
     /// Raw (pre-softmax) topic-word logits on the tape.
     pub fn logits<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
         let t = tape.param(params, self.topics);
-        let rho = params.value_rc(self.rho);
+        let rho = params.value_shared(self.rho);
         t.matmul_nt_const(&rho)
     }
 }

@@ -49,10 +49,10 @@ impl EcrtmBackbone {
     /// embedding and minimize the expected squared distance.
     pub fn ecr_loss<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
         let t = tape.param(params, self.inner.decoder.topics); // (K, e)
-        let rho = params.value_rc(self.inner.decoder.rho); // (V, e) const
+        let rho = params.value_shared(self.inner.decoder.rho); // (V, e) const
         let v = rho.rows() as f32;
         // Squared distances D (V, K) = |rho|^2 + |t|^2 - 2 rho t^T.
-        let rho_sq = std::rc::Rc::new(Tensor::col_vector(
+        let rho_sq = std::sync::Arc::new(Tensor::col_vector(
             (0..rho.rows())
                 .map(|r| rho.row(r).iter().map(|&x| x * x).sum::<f32>())
                 .collect(),
@@ -87,6 +87,14 @@ impl Backbone for EcrtmBackbone {
         let e = self.inner.elbo(tape, params, x, training, rng);
         let ecr = self.ecr_loss(tape, params);
         BackboneOut::new(e.loss.add(ecr.scale(self.ecr_weight)), e.beta).with_kl(e.kl)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        self.inner.beta_var(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.inner.commit_batch_stats();
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -91,7 +91,7 @@ impl Encoder {
     ) -> Var<'t> {
         if sample {
             let (r, c) = mu.shape();
-            let eps = std::rc::Rc::new(Tensor::randn(r, c, 1.0, rng));
+            let eps = std::sync::Arc::new(Tensor::randn(r, c, 1.0, rng));
             let sigma = logvar.scale(0.5).exp();
             mu.add(sigma.mul_const(&eps)).softmax_rows(1.0)
         } else {
@@ -150,6 +150,12 @@ impl Encoder {
 
     pub fn num_topics(&self) -> usize {
         self.num_topics
+    }
+
+    /// Replay batch-norm statistics queued during sharded training, in
+    /// micro-batch order (see [`ct_tensor::BatchNorm1d::commit_pending`]).
+    pub fn commit_batch_stats(&self) {
+        self.bn.commit_pending();
     }
 
     /// Export the encoder into an immutable, thread-safe weight snapshot

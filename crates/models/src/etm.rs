@@ -5,7 +5,7 @@
 //! `w ~ Cat(theta^T beta)`. Training maximizes the ELBO: reconstruction
 //! plus KL to the logistic-normal prior.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ct_corpus::BowCorpus;
 use ct_tensor::{Params, Tape, Tensor, Var};
@@ -62,7 +62,7 @@ impl EtmBackbone {
         let xn = tape.constant(xn);
         let (theta, kl) = self.encoder.encode(tape, params, xn, training, rng);
         let beta = self.decoder.beta(tape, params);
-        let x_rc = Rc::new(x.clone());
+        let x_rc = Arc::new(x.clone());
         let recon = theta
             .matmul(beta)
             .ln_clamped(1e-10)
@@ -104,6 +104,14 @@ impl Backbone for EtmBackbone {
     ) -> BackboneOut<'t> {
         let e = self.elbo(tape, params, x, training, rng);
         BackboneOut::new(e.loss, e.beta).with_kl(e.kl)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        self.decoder.beta(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.encoder.commit_batch_stats();
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -26,7 +26,8 @@ pub mod wlda;
 
 pub use backbone::{
     fit_backbone, fit_backbone_traced, fit_backbone_with_regularizer,
-    fit_backbone_with_regularizer_traced, Backbone, BackboneOut, Fitted, TrainedModel,
+    fit_backbone_with_regularizer_traced, train_backbone_regularized_traced, train_backbone_traced,
+    Backbone, BackboneOut, Fitted, TrainedModel,
 };
 pub use bundle::ModelBundle;
 pub use clntm::{fit_clntm, Clntm, ClntmBackbone};

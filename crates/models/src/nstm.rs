@@ -61,7 +61,7 @@ impl NstmBackbone {
         let t = tape.param(params, self.decoder.topics);
         let t_norm = t.square().sum_axis1().sqrt_eps(1e-6).clamp_min(1e-6);
         let t_hat = t.div(t_norm);
-        let rho = params.value_rc(self.decoder.rho);
+        let rho = params.value_shared(self.decoder.rho);
         // (K, V) cosine similarity, transposed to a (V, K) cost.
         t_hat
             .matmul_nt_const(&rho)
@@ -118,6 +118,14 @@ impl Backbone for NstmBackbone {
         let ot = self.sinkhorn_distance(xbar, theta, cost);
         let beta = self.decoder.beta(tape, params);
         BackboneOut::new(ot, beta)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        self.decoder.beta(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.encoder.commit_batch_stats();
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -58,7 +58,7 @@ impl Backbone for NtmRBackbone {
         // Coherence surrogate: topic centroid s_k = beta_k @ rho_hat;
         // reward = sum_k sum_w beta_kw * cos(rho_w, s_k). Maximizing pulls
         // each topic's mass onto words near its own centroid.
-        let rho = params.value_rc(self.inner.decoder.rho); // rows unit-norm
+        let rho = params.value_shared(self.inner.decoder.rho); // rows unit-norm
         let centroid = beta.matmul_const(&rho); // (K, e)
         let c_norm = centroid.square().sum_axis1().sqrt_eps(1e-6).clamp_min(1e-6);
         let c_hat = centroid.div(c_norm);
@@ -67,6 +67,14 @@ impl Backbone for NtmRBackbone {
         let coherence = beta.mul(sim).sum_all().scale(1.0 / k);
         let loss = elbo.sub(coherence.scale(self.coherence_weight));
         BackboneOut::new(loss, beta).with_kl(kl)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> ct_tensor::Var<'t> {
+        self.inner.beta_var(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.inner.commit_batch_stats();
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -2,7 +2,7 @@
 //! with a product-of-experts decoder — `p(w|theta) =
 //! softmax(theta @ beta_logits)` with unnormalized per-topic logits.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ct_corpus::BowCorpus;
 use ct_tensor::{Params, Tape, Tensor};
@@ -69,10 +69,19 @@ impl Backbone for ProdLdaBackbone {
             .decoder_bn
             .forward(tape, params, theta.matmul(logits), training);
         let log_p = mixed.log_softmax_rows(1.0);
-        let x_rc = Rc::new(x.clone());
+        let x_rc = Arc::new(x.clone());
         let recon = log_p.mul_const(&x_rc).sum_all().scale(-1.0 / n);
         let beta = self.decoder.beta(tape, params);
         BackboneOut::new(recon.add(kl), beta).with_kl(kl)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> ct_tensor::Var<'t> {
+        self.decoder.beta(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.encoder.commit_batch_stats();
+        self.decoder_bn.commit_pending();
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -64,9 +64,19 @@ pub enum TraceEvent {
         clipped: bool,
         /// Adam step count after this batch's update.
         adam_step: u64,
+        /// Forward wall time; on the data-parallel path this spans the
+        /// whole micro-batch fan-out (per-shard forward + backward fused).
         forward_ns: u64,
+        /// Backward wall time; on the data-parallel path this is the
+        /// fixed-order gradient reduction plus the batch regularizer.
         backward_ns: u64,
         step_ns: u64,
+        /// Micro-batch shards this batch was split into (1 = single tape).
+        shards: usize,
+        /// Tape-arena buffer reuses during this batch (all threads).
+        arena_reuse: u64,
+        /// Tape-arena allocation misses during this batch (all threads).
+        arena_miss: u64,
     },
     /// A diverged batch dropped under [`DivergencePolicy::SkipBatch`],
     /// with the offending (non-finite) loss value.
@@ -230,10 +240,14 @@ pub fn event_to_json(event: &TraceEvent) -> String {
             forward_ns,
             backward_ns,
             step_ns,
+            shards,
+            arena_reuse,
+            arena_miss,
         } => format!(
             "{{\"event\":\"batch\",\"epoch\":{epoch},\"batch\":{batch},\"loss\":{},{},\
              \"grad_norm\":{},\"clipped\":{clipped},\"adam_step\":{adam_step},\
-             \"forward_ns\":{forward_ns},\"backward_ns\":{backward_ns},\"step_ns\":{step_ns}}}",
+             \"forward_ns\":{forward_ns},\"backward_ns\":{backward_ns},\"step_ns\":{step_ns},\
+             \"shards\":{shards},\"arena_reuse\":{arena_reuse},\"arena_miss\":{arena_miss}}}",
             json_f32(*loss),
             components_json(components),
             json_f32(*grad_norm),
@@ -417,6 +431,9 @@ mod tests {
             forward_ns: 10,
             backward_ns: 20,
             step_ns: 5,
+            shards: 4,
+            arena_reuse: 100,
+            arena_miss: 3,
         });
         sink.record(&TraceEvent::BatchSkipped {
             epoch: 0,
@@ -431,6 +448,9 @@ mod tests {
         }
         assert!(lines[1].contains("\"kl\":0.25"));
         assert!(lines[1].contains("\"clipped\":true"));
+        assert!(lines[1].contains("\"shards\":4"));
+        assert!(lines[1].contains("\"arena_reuse\":100"));
+        assert!(lines[1].contains("\"arena_miss\":3"));
         // Non-finite floats must be quoted, or the line is invalid JSON.
         assert!(lines[2].contains("\"loss\":\"NaN\""));
     }

@@ -9,9 +9,7 @@
 //! property ContraTopic's relaxed subset sampler avoids — so gradient
 //! variance is high and convergence is touchy, as the paper notes.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use ct_corpus::{BowCorpus, NpmiMatrix};
 use ct_tensor::{Params, Tape, Tensor};
@@ -53,7 +51,10 @@ pub struct VtmrlBackbone {
     /// Weight of the RL term.
     pub rl_weight: f32,
     /// Running-mean reward baseline (variance reduction).
-    baseline: RefCell<f32>,
+    baseline: Mutex<f32>,
+    /// Rewards observed under sharded dispatch, keyed by micro sequence
+    /// number so the EMA replays in a fixed order at batch commit.
+    pending_rewards: Mutex<Vec<(u64, f32)>>,
 }
 
 impl VtmrlBackbone {
@@ -71,7 +72,8 @@ impl VtmrlBackbone {
             npmi,
             sample_words: 10,
             rl_weight: 10.0,
-            baseline: RefCell::new(0.0),
+            baseline: Mutex::new(0.0),
+            pending_rewards: Mutex::new(Vec::new()),
         }
     }
 }
@@ -100,7 +102,7 @@ impl Backbone for VtmrlBackbone {
         let mut mask = Tensor::zeros(k, v);
         let mut advantages = Tensor::zeros(k, 1);
         let mut mean_reward = 0.0f32;
-        let baseline = *self.baseline.borrow();
+        let baseline = *self.baseline.lock().unwrap();
         for t in 0..k {
             let sampled = gumbel_top_k(beta_val.row(t), self.sample_words, rng);
             let reward = self.npmi.mean_pairwise(&sampled) as f32;
@@ -110,14 +112,23 @@ impl Backbone for VtmrlBackbone {
                 mask.set(t, w, 1.0);
             }
         }
-        // Update the running baseline (no gradient).
-        {
-            let mut b = self.baseline.borrow_mut();
-            *b = 0.9 * *b + 0.1 * mean_reward;
+        // Update the running baseline (no gradient). Under sharded
+        // dispatch the update is queued and replayed in micro order at
+        // `commit_batch_stats` so the EMA trajectory is deterministic.
+        match ct_tensor::pool::current_micro_seq() {
+            Some(seq) => self
+                .pending_rewards
+                .lock()
+                .unwrap()
+                .push((seq, mean_reward)),
+            None => {
+                let mut b = self.baseline.lock().unwrap();
+                *b = 0.9 * *b + 0.1 * mean_reward;
+            }
         }
         // REINFORCE surrogate: -(adv_k) * sum_{w in S_k} log beta_kw.
-        let mask = Rc::new(mask);
-        let adv = Rc::new(advantages);
+        let mask = Arc::new(mask);
+        let adv = Arc::new(advantages);
         let rl = beta
             .ln_clamped(1e-10)
             .mul_const(&mask)
@@ -125,6 +136,23 @@ impl Backbone for VtmrlBackbone {
             .sum_all()
             .scale(-self.rl_weight / k as f32);
         BackboneOut::new(elbo.add(rl), beta).with_kl(kl)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> ct_tensor::Var<'t> {
+        self.inner.beta_var(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.inner.commit_batch_stats();
+        let mut pending = std::mem::take(&mut *self.pending_rewards.lock().unwrap());
+        if pending.is_empty() {
+            return;
+        }
+        pending.sort_by_key(|(seq, _)| *seq);
+        let mut b = self.baseline.lock().unwrap();
+        for (_, reward) in pending {
+            *b = 0.9 * *b + 0.1 * reward;
+        }
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -57,7 +57,7 @@ impl WeTeBackbone {
         let t = tape.param(params, self.decoder.topics);
         let t_norm = t.square().sum_axis1().sqrt_eps(1e-6).clamp_min(1e-6);
         let t_hat = t.div(t_norm);
-        let rho = params.value_rc(self.decoder.rho);
+        let rho = params.value_shared(self.decoder.rho);
         t_hat
             .matmul_nt_const(&rho)
             .transpose()
@@ -105,6 +105,14 @@ impl Backbone for WeTeBackbone {
         let beta = self.decoder.beta(tape, params);
         let loss = fwd.add(bwd).scale(self.ct_weight).add(kl);
         BackboneOut::new(loss, beta).with_kl(kl)
+    }
+
+    fn beta_var<'t>(&self, tape: &'t Tape, params: &Params) -> Var<'t> {
+        self.decoder.beta(tape, params)
+    }
+
+    fn commit_batch_stats(&self) {
+        self.encoder.commit_batch_stats();
     }
 
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor {

@@ -1,0 +1,146 @@
+//! Buffer recycling for tape-built tensors.
+//!
+//! Every autodiff op allocates a fresh output tensor, so a steady-state
+//! training step used to hit the system allocator hundreds of times per
+//! batch. This module keeps a small per-thread free list of `Vec<f32>`
+//! buffers keyed by capacity: [`Tape::reset`](crate::tape::Tape::reset)
+//! returns every op-output buffer whose tensor is no longer referenced,
+//! and [`Tensor`](crate::tensor::Tensor) constructors draw from the list
+//! before falling back to the allocator.
+//!
+//! The free lists are thread-local on purpose: the persistent pool workers
+//! (`ct_tensor::pool`) each run whole forward/backward tapes, so a buffer
+//! recycled by a worker is re-used by the same worker on its next
+//! micro-batch with no cross-thread synchronization. Two process-wide
+//! counters ([`counters`]) expose steady-state behaviour to the training
+//! trace: `reuse` counts allocations served from the free list, `miss`
+//! counts fallbacks to the allocator.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Keep at most this many spare buffers per distinct capacity.
+const MAX_PER_BUCKET: usize = 16;
+/// Never retain buffers larger than this many elements (16 MiB of f32).
+const MAX_RECYCLED_ELEMS: usize = 1 << 22;
+
+static REUSE: AtomicU64 = AtomicU64::new(0);
+static MISS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static FREE: RefCell<HashMap<usize, Vec<Vec<f32>>>> = RefCell::new(HashMap::new());
+}
+
+/// Take a zero-filled buffer of exactly `n` elements, reusing a recycled
+/// buffer of matching capacity when one is available.
+pub(crate) fn take_zeroed(n: usize) -> Vec<f32> {
+    if let Some(mut v) = take_raw(n) {
+        v.clear();
+        v.resize(n, 0.0);
+        return v;
+    }
+    vec![0.0; n]
+}
+
+/// Take a buffer holding a copy of `src`, reusing a recycled buffer of
+/// matching capacity when one is available.
+pub(crate) fn take_copied(src: &[f32]) -> Vec<f32> {
+    if let Some(mut v) = take_raw(src.len()) {
+        v.clear();
+        v.extend_from_slice(src);
+        return v;
+    }
+    src.to_vec()
+}
+
+fn take_raw(n: usize) -> Option<Vec<f32>> {
+    let hit = FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        let bucket = free.get_mut(&n)?;
+        let v = bucket.pop();
+        if bucket.is_empty() {
+            free.remove(&n);
+        }
+        v
+    });
+    match hit {
+        Some(v) => {
+            REUSE.fetch_add(1, Ordering::Relaxed);
+            Some(v)
+        }
+        None => {
+            MISS.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Return a buffer to the current thread's free list. Buffers above the
+/// retention cap (or buckets already full) are dropped to the allocator.
+pub(crate) fn put(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap == 0 || cap > MAX_RECYCLED_ELEMS {
+        return;
+    }
+    FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        let bucket = free.entry(cap).or_default();
+        if bucket.len() < MAX_PER_BUCKET {
+            bucket.push(v);
+        }
+    });
+}
+
+/// Return a tensor's backing buffer to the current thread's free list —
+/// the hook for callers outside this crate that hold reduced gradient
+/// tensors (the data-parallel training driver) to feed the recycler.
+pub fn recycle(t: crate::tensor::Tensor) {
+    put(t.into_vec());
+}
+
+/// Process-wide `(reuse, miss)` allocation counters, cumulative since
+/// start-up. The training driver diffs successive readings to report
+/// per-batch recycler behaviour in the trace.
+pub fn counters() -> (u64, u64) {
+    (REUSE.load(Ordering::Relaxed), MISS.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_matching_capacity() {
+        // Use an unusual size so other tests' buffers don't interfere.
+        let n = 12_345;
+        let v = take_zeroed(n);
+        let ptr = v.as_ptr();
+        put(v);
+        let v2 = take_zeroed(n);
+        assert_eq!(v2.as_ptr(), ptr, "buffer should be reused");
+        assert_eq!(v2.len(), n);
+        assert!(v2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let n = MAX_RECYCLED_ELEMS + 1;
+        let v = vec![0.0f32; n];
+        let ptr = v.as_ptr();
+        put(v);
+        let v2 = take_zeroed(n);
+        assert_ne!(v2.as_ptr(), ptr, "oversized buffer must not be cached");
+    }
+
+    #[test]
+    fn counters_move() {
+        let (r0, m0) = counters();
+        let n = 34_567;
+        put(take_zeroed(n)); // miss (nothing cached at this size yet)
+        let _v = take_zeroed(n); // reuse
+        let (r1, m1) = counters();
+        assert!(r1 > r0, "reuse counter did not advance");
+        assert!(m1 > m0, "miss counter did not advance");
+    }
+}

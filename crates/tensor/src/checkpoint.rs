@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::params::Params;
 use crate::tensor::Tensor;
@@ -191,9 +191,9 @@ pub fn params_from_bytes(bytes: &[u8]) -> io::Result<Params> {
     Params::load(&mut io::Cursor::new(bytes))
 }
 
-/// Keep `Rc` in scope for doc purposes (values are shared internally).
+/// Keep `Arc` in scope for doc purposes (values are shared internally).
 #[allow(dead_code)]
-type _Shared = Rc<Tensor>;
+type _Shared = Arc<Tensor>;
 
 #[cfg(test)]
 mod tests {

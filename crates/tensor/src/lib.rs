@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod checkpoint;
 pub mod infer;
 pub mod nn;

@@ -3,7 +3,7 @@
 //! Layers own [`ParamId`] handles; the actual tensors live in a shared
 //! [`Params`] registry so a single optimizer can update a whole model.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use rand::Rng;
 
@@ -96,8 +96,20 @@ impl Linear {
     }
 }
 
+/// A batch's `(micro sequence, mean, variance)` statistics awaiting an
+/// ordered replay into the running EMAs.
+type PendingStats = Vec<(u64, std::sync::Arc<Tensor>, std::sync::Arc<Tensor>)>;
+
 /// 1-D batch normalization with running statistics, matching the paper's
 /// encoder (`BatchNorm` after the MLP).
+///
+/// Running-statistics updates are the one *side effect* of a training
+/// forward pass, so they interact with data-parallel training: when the
+/// forward runs inside a micro-batch shard (detected via
+/// [`crate::pool::current_micro_seq`]), the batch statistics are queued
+/// instead of applied, and [`BatchNorm1d::commit_pending`] later replays
+/// them in micro-batch order. That keeps the exponential moving average
+/// independent of which worker thread ran which shard.
 pub struct BatchNorm1d {
     /// Learnable scale handle, shape `(1, dim)`.
     pub gamma: ParamId,
@@ -107,8 +119,11 @@ pub struct BatchNorm1d {
     pub eps: f32,
     /// Exponential-moving-average coefficient for the running stats.
     pub momentum: f32,
-    running_mean: RefCell<Tensor>,
-    running_var: RefCell<Tensor>,
+    running_mean: Mutex<Tensor>,
+    running_var: Mutex<Tensor>,
+    /// Batch statistics observed inside micro-batch shards, keyed by the
+    /// shard's sequence number; drained by [`BatchNorm1d::commit_pending`].
+    pending: Mutex<PendingStats>,
 }
 
 impl BatchNorm1d {
@@ -121,8 +136,9 @@ impl BatchNorm1d {
             beta,
             eps: 1e-5,
             momentum: 0.1,
-            running_mean: RefCell::new(Tensor::zeros(1, dim)),
-            running_var: RefCell::new(Tensor::ones(1, dim)),
+            running_mean: Mutex::new(Tensor::zeros(1, dim)),
+            running_var: Mutex::new(Tensor::ones(1, dim)),
+            pending: Mutex::new(Vec::new()),
         }
     }
 
@@ -131,9 +147,35 @@ impl BatchNorm1d {
     /// (see [`crate::infer::batchnorm_eval`]).
     pub fn running_stats(&self) -> (Tensor, Tensor) {
         (
-            self.running_mean.borrow().clone(),
-            self.running_var.borrow().clone(),
+            self.running_mean.lock().unwrap().clone(),
+            self.running_var.lock().unwrap().clone(),
         )
+    }
+
+    /// EMA-update the running statistics from one batch's `(mean, var)`.
+    fn apply_stats(&self, mu: &Tensor, var: &Tensor) {
+        let mut rm = self.running_mean.lock().unwrap();
+        let mut rv = self.running_var.lock().unwrap();
+        let m = self.momentum;
+        for i in 0..rm.numel() {
+            rm.data_mut()[i] = (1.0 - m) * rm.data()[i] + m * mu.data()[i];
+            rv.data_mut()[i] = (1.0 - m) * rv.data()[i] + m * var.data()[i];
+        }
+    }
+
+    /// Replay queued micro-batch statistics into the running EMA, in
+    /// micro-batch sequence order. The data-parallel training driver calls
+    /// this once per mini-batch; outside sharded training the queue is
+    /// always empty and this is a no-op.
+    pub fn commit_pending(&self) {
+        let mut pending = std::mem::take(&mut *self.pending.lock().unwrap());
+        if pending.is_empty() {
+            return;
+        }
+        pending.sort_by_key(|(seq, _, _)| *seq);
+        for (_, mu, var) in &pending {
+            self.apply_stats(mu, var);
+        }
     }
 
     /// Forward pass. In training mode, normalizes by batch statistics
@@ -153,24 +195,25 @@ impl BatchNorm1d {
             let centered = x.sub(mu);
             let var = centered.square().mean_axis0();
             let normed = centered.div(var.add_scalar(self.eps).sqrt_eps(1e-12));
-            // Update running stats from the concrete batch values (no grad).
-            {
-                let mut rm = self.running_mean.borrow_mut();
-                let mut rv = self.running_var.borrow_mut();
-                let mu_v = mu.value();
-                let var_v = var.value();
-                let m = self.momentum;
-                for i in 0..rm.numel() {
-                    rm.data_mut()[i] = (1.0 - m) * rm.data()[i] + m * mu_v.data()[i];
-                    rv.data_mut()[i] = (1.0 - m) * rv.data()[i] + m * var_v.data()[i];
+            // Update running stats from the concrete batch values (no
+            // grad). Inside a micro-batch shard the update is queued and
+            // replayed in shard order by `commit_pending`, so the EMA does
+            // not depend on worker scheduling.
+            match crate::pool::current_micro_seq() {
+                Some(seq) => {
+                    self.pending
+                        .lock()
+                        .unwrap()
+                        .push((seq, mu.value(), var.value()));
                 }
+                None => self.apply_stats(&mu.value(), &var.value()),
             }
             normed.mul(gamma).add(beta)
         } else {
-            let rm = std::rc::Rc::new(self.running_mean.borrow().clone());
-            let rv = self.running_var.borrow();
-            let inv_std = std::rc::Rc::new(rv.map(|v| 1.0 / (v + self.eps).sqrt()));
-            let neg_rm = std::rc::Rc::new(rm.map(|v| -v));
+            let rm = std::sync::Arc::new(self.running_mean.lock().unwrap().clone());
+            let rv = self.running_var.lock().unwrap();
+            let inv_std = std::sync::Arc::new(rv.map(|v| 1.0 / (v + self.eps).sqrt()));
+            let neg_rm = std::sync::Arc::new(rm.map(|v| -v));
             x.add_const(&neg_rm)
                 .mul_const(&inv_std)
                 .mul(gamma)
@@ -250,7 +293,7 @@ mod tests {
         let xs: Vec<f32> = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.5, 0.5, 0.2, 0.8];
         let ys: Vec<f32> = xs.chunks(2).map(|p| p[0] * p[1]).collect();
         let x = Tensor::from_vec(xs, 6, 2);
-        let y_neg = std::rc::Rc::new(Tensor::col_vector(ys.iter().map(|v| -v).collect()));
+        let y_neg = std::sync::Arc::new(Tensor::col_vector(ys.iter().map(|v| -v).collect()));
         let mut opt = Adam::new(0.01);
         let mut final_loss = f32::INFINITY;
         for _ in 0..300 {
@@ -317,6 +360,34 @@ mod tests {
         let loss = y.square().sum_all();
         let grads = tape.backward(loss);
         assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    fn batchnorm_pending_commits_in_micro_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = Params::new();
+        let bn_queued = BatchNorm1d::new(&mut params, "bnq", 2);
+        let bn_direct = BatchNorm1d::new(&mut params, "bnd", 2);
+        let batches: Vec<Tensor> = (0..3).map(|_| Tensor::randn(8, 2, 1.0, &mut rng)).collect();
+        // Queue out of order under explicit micro-batch sequence numbers.
+        for (seq, x) in [(2u64, &batches[2]), (0, &batches[0]), (1, &batches[1])] {
+            crate::pool::with_micro_seq(seq, || {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let _ = bn_queued.forward(&tape, &params, xv, true);
+            });
+        }
+        // Reference: direct EMA application in logical order.
+        for x in &batches {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let _ = bn_direct.forward(&tape, &params, xv, true);
+        }
+        bn_queued.commit_pending();
+        let (qm, qv) = bn_queued.running_stats();
+        let (dm, dv) = bn_direct.running_stats();
+        assert_eq!(qm, dm, "queued-and-committed mean must match direct EMA");
+        assert_eq!(qv, dv, "queued-and-committed var must match direct EMA");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Differentiable operations on [`Var`] handles.
 //!
 //! Every op follows the same pattern: compute the output tensor eagerly,
-//! capture the `Rc` values needed for the backward pass, and push a node
+//! capture the `Arc` values needed for the backward pass, and push a node
 //! whose backward closure scatters gradients to parents — skipping any
 //! parent that does not require grad (this matters: the NPMI similarity
 //! matrix is a `V x V` constant and must never receive a gradient buffer).
@@ -12,6 +12,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -109,11 +110,22 @@ fn sum_axis1_t(t: &Tensor) -> Tensor {
 
 impl<'t> Var<'t> {
     fn unary(self, out: Tensor, bw: impl Fn(&Tensor, &mut GradSink, usize) + 'static) -> Var<'t> {
+        self.unary_shared(Arc::new(out), bw)
+    }
+
+    /// Like [`Var::unary`], but the output is already behind an `Arc` — ops
+    /// whose backward closure reuses the forward activation share it with
+    /// the tape node instead of storing a deep copy.
+    fn unary_shared(
+        self,
+        out: Arc<Tensor>,
+        bw: impl Fn(&Tensor, &mut GradSink, usize) + 'static,
+    ) -> Var<'t> {
         let req = self.requires_grad();
         let id = self.id;
         let backward =
             req.then(|| Box::new(move |g: &Tensor, sink: &mut GradSink| bw(g, sink, id)) as _);
-        self.tape().push(out, req, backward)
+        self.tape().push_shared(out, req, backward)
     }
 
     /// Elementwise/broadcast addition.
@@ -285,9 +297,9 @@ impl<'t> Var<'t> {
 
     /// Elementwise exponential.
     pub fn exp(self) -> Var<'t> {
-        let out = Rc::new(self.value().map(f32::exp));
+        let out = Arc::new(self.value().map(f32::exp));
         let y = out.clone();
-        self.unary((*out).clone(), move |g, sink, id| {
+        self.unary_shared(out, move |g, sink, id| {
             sink.add(id, g.zip(&y, |g, y| g * y));
         })
     }
@@ -312,27 +324,27 @@ impl<'t> Var<'t> {
 
     /// Elementwise square root of `max(x, 0)`, with gradient clamped near 0.
     pub fn sqrt_eps(self, eps: f32) -> Var<'t> {
-        let out = Rc::new(self.value().map(|v| v.max(0.0).sqrt()));
+        let out = Arc::new(self.value().map(|v| v.max(0.0).sqrt()));
         let y = out.clone();
-        self.unary((*out).clone(), move |g, sink, id| {
+        self.unary_shared(out, move |g, sink, id| {
             sink.add(id, g.zip(&y, move |g, y| 0.5 * g / (y + eps)));
         })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(self) -> Var<'t> {
-        let out = Rc::new(self.value().map(|v| 1.0 / (1.0 + (-v).exp())));
+        let out = Arc::new(self.value().map(|v| 1.0 / (1.0 + (-v).exp())));
         let y = out.clone();
-        self.unary((*out).clone(), move |g, sink, id| {
+        self.unary_shared(out, move |g, sink, id| {
             sink.add(id, g.zip(&y, |g, y| g * y * (1.0 - y)));
         })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh_act(self) -> Var<'t> {
-        let out = Rc::new(self.value().map(f32::tanh));
+        let out = Arc::new(self.value().map(f32::tanh));
         let y = out.clone();
-        self.unary((*out).clone(), move |g, sink, id| {
+        self.unary_shared(out, move |g, sink, id| {
             sink.add(id, g.zip(&y, |g, y| g * (1.0 - y * y)));
         })
     }
@@ -349,21 +361,24 @@ impl<'t> Var<'t> {
     /// Scaled exponential linear unit — the paper's encoder activation.
     pub fn selu(self) -> Var<'t> {
         let x = self.value();
-        let out = x.map(|v| {
+        let out = Arc::new(x.map(|v| {
             if v > 0.0 {
                 SELU_LAMBDA * v
             } else {
                 SELU_LAMBDA * SELU_ALPHA * (v.exp() - 1.0)
             }
-        });
-        self.unary(out, move |g, sink, id| {
+        }));
+        let y = out.clone();
+        // Backward from the cached activation: for x <= 0,
+        // y = λα(e^x − 1), so λα e^x = y + λα — no second exp.
+        self.unary_shared(out, move |g, sink, id| {
             sink.add(
                 id,
-                g.zip(&x, |g, x| {
-                    if x > 0.0 {
+                g.zip(&y, |g, y| {
+                    if y > 0.0 {
                         g * SELU_LAMBDA
                     } else {
-                        g * SELU_LAMBDA * SELU_ALPHA * x.exp()
+                        g * (y + SELU_LAMBDA * SELU_ALPHA)
                     }
                 }),
             );
@@ -373,9 +388,12 @@ impl<'t> Var<'t> {
     /// Numerically-stable softplus `ln(1 + e^x)`.
     pub fn softplus(self) -> Var<'t> {
         let x = self.value();
+        // Cache the sigmoid (the exact backward factor) alongside the
+        // forward value instead of re-running exp in the backward pass.
+        let sig = x.map(|v| 1.0 / (1.0 + (-v).exp()));
         let out = x.map(|v| v.max(0.0) + (1.0 + (-v.abs()).exp()).ln());
         self.unary(out, move |g, sink, id| {
-            sink.add(id, g.zip(&x, |g, x| g / (1.0 + (-x).exp())));
+            sink.add(id, g.zip(&sig, |g, s| g * s));
         })
     }
 
@@ -390,7 +408,7 @@ impl<'t> Var<'t> {
 
     /// Row-wise softmax with temperature.
     pub fn softmax_rows(self, temperature: f32) -> Var<'t> {
-        let out = Rc::new(self.value().softmax_rows(temperature));
+        let out = Arc::new(self.value().softmax_rows(temperature));
         let y = out.clone();
         self.unary((*out).clone(), move |g, sink, id| {
             // dx = (y ⊙ (g - rowsum(g ⊙ y))) / T
@@ -412,7 +430,7 @@ impl<'t> Var<'t> {
     /// Row-wise log-softmax with temperature.
     pub fn log_softmax_rows(self, temperature: f32) -> Var<'t> {
         let x = self.value();
-        let soft = Rc::new(x.softmax_rows(temperature));
+        let soft = Arc::new(x.softmax_rows(temperature));
         let out = soft.map(|p| p.max(1e-30).ln());
         let s = soft.clone();
         self.unary(out, move |g, sink, id| {
@@ -535,7 +553,7 @@ impl<'t> Var<'t> {
                 }
             })
             .collect();
-        let mask = Rc::new(Tensor::from_vec(mask_data, x.rows(), x.cols()));
+        let mask = Arc::new(Tensor::from_vec(mask_data, x.rows(), x.cols()));
         let out = x.zip(&mask, |x, m| x * m);
         let m = mask.clone();
         self.unary(out, move |g, sink, id| {
@@ -545,7 +563,7 @@ impl<'t> Var<'t> {
 
     /// Elementwise multiply by a constant tensor (no gradient into the
     /// constant). Supports the same broadcasting as [`Var::mul`].
-    pub fn mul_const(self, c: &Rc<Tensor>) -> Var<'t> {
+    pub fn mul_const(self, c: &Arc<Tensor>) -> Var<'t> {
         let x = self.value();
         let out = broadcast_zip(&x, c, |a, b| a * b);
         let shape = x.shape();
@@ -557,7 +575,7 @@ impl<'t> Var<'t> {
     }
 
     /// Elementwise add a constant tensor (no gradient into the constant).
-    pub fn add_const(self, c: &Rc<Tensor>) -> Var<'t> {
+    pub fn add_const(self, c: &Arc<Tensor>) -> Var<'t> {
         let x = self.value();
         let out = broadcast_zip(&x, c, |a, b| a + b);
         let shape = x.shape();
@@ -567,7 +585,7 @@ impl<'t> Var<'t> {
     }
 
     /// Matrix product with a constant right-hand side: `self @ c`.
-    pub fn matmul_const(self, c: &Rc<Tensor>) -> Var<'t> {
+    pub fn matmul_const(self, c: &Arc<Tensor>) -> Var<'t> {
         let x = self.value();
         let out = x.matmul(c);
         let c = c.clone();
@@ -577,7 +595,7 @@ impl<'t> Var<'t> {
     }
 
     /// Matrix product with a constant transposed right-hand side: `self @ cᵀ`.
-    pub fn matmul_nt_const(self, c: &Rc<Tensor>) -> Var<'t> {
+    pub fn matmul_nt_const(self, c: &Arc<Tensor>) -> Var<'t> {
         let x = self.value();
         let out = x.matmul_nt(c);
         let c = c.clone();
@@ -603,7 +621,7 @@ impl<'t> Var<'t> {
     /// rather than silently using stale data.
     pub fn sym_quadratic_const(
         self,
-        n: &Rc<Tensor>,
+        n: &Arc<Tensor>,
         scratch: &Rc<RefCell<QuadScratch>>,
     ) -> Var<'t> {
         let xv = self.value();
@@ -683,7 +701,7 @@ fn tensor_is_symmetric(t: &Tensor, tol: f32) -> bool {
 pub fn concat_rows<'t>(vars: &[Var<'t>]) -> Var<'t> {
     assert!(!vars.is_empty(), "concat_rows needs at least one input");
     let tape = vars[0].tape();
-    let values: Vec<Rc<Tensor>> = vars.iter().map(|v| v.value()).collect();
+    let values: Vec<Arc<Tensor>> = vars.iter().map(|v| v.value()).collect();
     let cols = values[0].cols();
     let total_rows: usize = values.iter().map(|v| v.rows()).sum();
     let mut out = Tensor::zeros(total_rows, cols);
@@ -721,6 +739,7 @@ pub fn concat_rows<'t>(vars: &[Var<'t>]) -> Var<'t> {
 
 #[cfg(test)]
 mod tests {
+    use super::{SELU_ALPHA, SELU_LAMBDA};
     use crate::tape::Tape;
     use crate::tensor::Tensor;
     use rand::rngs::StdRng;
@@ -874,6 +893,39 @@ mod tests {
     }
 
     #[test]
+    fn grad_cached_activations_across_branches() {
+        // selu/softplus/sigmoid derive their backward from the cached
+        // forward activation instead of recomputing `exp`. Pin inputs on
+        // both sides of the selu kink (including ±0) and deep into the
+        // softplus/sigmoid saturation tails, where a wrong cache formula
+        // would diverge most.
+        // Keep the finite-difference probes further from the kink than the
+        // probe step h = 1e-3, or the two-sided difference straddles it.
+        let smooth = Tensor::row_vector(vec![-6.0, -1.5, -0.01, 0.01, 1.5, 6.0]);
+        grad_check(smooth.clone(), |_t, x| x.selu().sum_all(), 1e-2);
+        grad_check(smooth.clone(), |_t, x| x.softplus().sum_all(), 1e-2);
+        grad_check(smooth, |_t, x| x.sigmoid().square().sum_all(), 1e-2);
+        let spread = Tensor::row_vector(vec![-6.0, -1.5, -1e-3, 0.0, 1e-3, 1.5, 6.0]);
+        // The cached selu backward must equal the direct λ·α·e^x form.
+        let tape = Tape::new();
+        let x = tape.leaf(spread.clone());
+        let grads = tape.backward(x.selu().sum_all());
+        let analytic = grads.get(x).unwrap();
+        for (i, &xi) in spread.data().iter().enumerate() {
+            let direct = if xi > 0.0 {
+                SELU_LAMBDA
+            } else {
+                SELU_LAMBDA * SELU_ALPHA * xi.exp()
+            };
+            let got = analytic.data()[i];
+            assert!(
+                (got - direct).abs() <= 1e-6 * direct.abs().max(1.0),
+                "selu grad at x={xi}: cached {got} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
     fn grad_softmax_and_log_softmax() {
         grad_check(
             rand_t(3, 5, 23),
@@ -929,7 +981,7 @@ mod tests {
 
     #[test]
     fn grad_mul_const_and_matmul_const() {
-        let c = std::rc::Rc::new(rand_t(3, 4, 35));
+        let c = std::sync::Arc::new(rand_t(3, 4, 35));
         grad_check(
             rand_t(3, 4, 36),
             {
@@ -938,7 +990,7 @@ mod tests {
             },
             1e-2,
         );
-        let m = std::rc::Rc::new(rand_t(4, 2, 37));
+        let m = std::sync::Arc::new(rand_t(4, 2, 37));
         grad_check(
             rand_t(3, 4, 38),
             {
@@ -947,7 +999,7 @@ mod tests {
             },
             1e-2,
         );
-        let mt = std::rc::Rc::new(rand_t(2, 4, 39));
+        let mt = std::sync::Arc::new(rand_t(2, 4, 39));
         grad_check(
             rand_t(3, 4, 40),
             {
@@ -1038,8 +1090,9 @@ mod tests {
         use super::QuadScratch;
         use std::cell::RefCell;
         use std::rc::Rc;
+        use std::sync::Arc;
         let base = rand_t(6, 6, 44);
-        let n = Rc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
+        let n = Arc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
         let scratch = Rc::new(RefCell::new(QuadScratch::new()));
         let x_t = rand_t(4, 6, 45);
         let tape = Tape::new();
@@ -1058,8 +1111,9 @@ mod tests {
         use super::QuadScratch;
         use std::cell::RefCell;
         use std::rc::Rc;
+        use std::sync::Arc;
         let base = rand_t(5, 5, 46);
-        let n = Rc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
+        let n = Arc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
         let scratch = Rc::new(RefCell::new(QuadScratch::new()));
         grad_check(
             rand_t(3, 5, 47),
@@ -1076,8 +1130,9 @@ mod tests {
         use super::QuadScratch;
         use std::cell::RefCell;
         use std::rc::Rc;
+        use std::sync::Arc;
         let base = rand_t(4, 4, 48);
-        let n = Rc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
+        let n = Arc::new(base.zip(&base.transposed(), |a, b| 0.5 * (a + b)));
         let scratch = Rc::new(RefCell::new(QuadScratch::new()));
         let tape = Tape::new();
         let x = tape.leaf(rand_t(3, 4, 49));

@@ -161,12 +161,12 @@ mod tests {
     fn optimize(opt: &mut dyn Optimizer, iters: usize) -> f32 {
         let mut params = Params::new();
         let x = params.add("x", Tensor::full(1, 3, 5.0));
-        let target = std::rc::Rc::new(Tensor::from_vec(vec![1.0, -2.0, 0.5], 1, 3));
+        let target = std::sync::Arc::new(Tensor::from_vec(vec![1.0, -2.0, 0.5], 1, 3));
         let mut last = f32::INFINITY;
         for _ in 0..iters {
             let tape = Tape::new();
             let xv = tape.param(&params, x);
-            let diff = xv.add_const(&std::rc::Rc::new(target.map(|v| -v)));
+            let diff = xv.add_const(&std::sync::Arc::new(target.map(|v| -v)));
             let loss = diff.square().sum_all();
             last = loss.scalar_value();
             let grads = tape.backward(loss);

@@ -4,7 +4,7 @@
 //! step binds parameters onto a fresh [`crate::Tape`] via [`crate::Tape::param`],
 //! and the optimizer consumes the accumulated `grad` buffers afterwards.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -16,7 +16,7 @@ pub struct ParamId(pub(crate) usize);
 
 struct Entry {
     name: String,
-    value: Rc<Tensor>,
+    value: Arc<Tensor>,
     grad: Tensor,
     frozen: bool,
 }
@@ -58,7 +58,7 @@ impl Params {
         self.entries.push(Entry {
             name: name.into(),
             grad: Tensor::zeros(r, c),
-            value: Rc::new(value),
+            value: Arc::new(value),
             frozen: false,
         });
         ParamId(self.entries.len() - 1)
@@ -98,7 +98,7 @@ impl Params {
     }
 
     /// Shared handle to the current value.
-    pub fn value_rc(&self, id: ParamId) -> Rc<Tensor> {
+    pub fn value_shared(&self, id: ParamId) -> Arc<Tensor> {
         self.entries[id.0].value.clone()
     }
 
@@ -109,7 +109,7 @@ impl Params {
 
     /// Mutable access to the value (copy-on-write if a tape still holds it).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
-        Rc::make_mut(&mut self.entries[id.0].value)
+        Arc::make_mut(&mut self.entries[id.0].value)
     }
 
     /// Borrow the gradient buffer.

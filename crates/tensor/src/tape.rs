@@ -19,7 +19,7 @@
 //! ```
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::params::{ParamId, Params};
 use crate::tensor::Tensor;
@@ -29,7 +29,7 @@ use crate::tensor::Tensor;
 pub(crate) type BackwardFn = Box<dyn Fn(&Tensor, &mut GradSink)>;
 
 pub(crate) struct Node {
-    pub value: Rc<Tensor>,
+    pub value: Arc<Tensor>,
     pub requires_grad: bool,
     pub backward: Option<BackwardFn>,
 }
@@ -85,6 +85,43 @@ impl Grads {
             }
         }
     }
+
+    /// Consume the gradients, returning one `(ParamId, Tensor)` per distinct
+    /// trainable parameter that received gradient. Duplicate bindings of the
+    /// same parameter (a layer bound twice on one tape) are summed in the
+    /// binding order, exactly as [`Grads::accumulate_into`] would. All
+    /// remaining per-node gradients are returned to the buffer arena.
+    ///
+    /// This is the shard-side half of data-parallel training: each
+    /// micro-batch reduces its tape to this compact list, and the driver
+    /// combines the lists in fixed micro-batch order.
+    pub fn into_param_grads(mut self) -> Vec<(ParamId, Tensor)> {
+        let mut out: Vec<(ParamId, Tensor)> = Vec::with_capacity(self.param_nodes.len());
+        for &(node_id, pid) in &self.param_nodes {
+            let Some(g) = self.by_id[node_id].take() else {
+                continue;
+            };
+            match out.iter_mut().find(|(p, _)| *p == pid) {
+                Some((_, acc)) => {
+                    acc.add_assign(&g);
+                    crate::arena::put(g.into_vec());
+                }
+                None => out.push((pid, g)),
+            }
+        }
+        for g in self.by_id.into_iter().flatten() {
+            crate::arena::put(g.into_vec());
+        }
+        out
+    }
+
+    /// Return every per-node gradient buffer to the arena. Call after
+    /// [`Grads::accumulate_into`] when the gradients are no longer needed.
+    pub fn recycle(self) {
+        for g in self.by_id.into_iter().flatten() {
+            crate::arena::put(g.into_vec());
+        }
+    }
 }
 
 impl Tape {
@@ -109,10 +146,21 @@ impl Tape {
         requires_grad: bool,
         backward: Option<BackwardFn>,
     ) -> Var<'_> {
+        self.push_shared(Arc::new(value), requires_grad, backward)
+    }
+
+    /// Record a node whose value is already shared — ops that cache their
+    /// output for the backward pass use this to avoid a deep copy.
+    pub(crate) fn push_shared(
+        &self,
+        value: Arc<Tensor>,
+        requires_grad: bool,
+        backward: Option<BackwardFn>,
+    ) -> Var<'_> {
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node {
-            value: Rc::new(value),
+            value,
             requires_grad,
             backward,
         });
@@ -124,8 +172,29 @@ impl Tape {
         self.push(value, false, None)
     }
 
+    /// Clear the tape for reuse, returning every op-output buffer that is
+    /// no longer referenced to the thread-local arena.
+    ///
+    /// Nodes are popped in reverse (child-first) order and each node's
+    /// backward closure is dropped *before* its value is reclaimed: the
+    /// closures capture `Arc` handles to their parents' values, so by the
+    /// time a node is popped every child closure referencing it is gone
+    /// and `Arc::try_unwrap` succeeds. Values still shared outside the tape
+    /// (parameter tensors, [`Tape::constant_shared`] inputs) keep extra
+    /// references and are left untouched.
+    pub fn reset(&self) {
+        let mut nodes = self.nodes.borrow_mut();
+        while let Some(mut node) = nodes.pop() {
+            node.backward = None;
+            if let Ok(t) = Arc::try_unwrap(node.value) {
+                crate::arena::put(t.into_vec());
+            }
+        }
+        self.param_nodes.borrow_mut().clear();
+    }
+
     /// Record a constant from a shared tensor without copying the data.
-    pub fn constant_shared(&self, value: Rc<Tensor>) -> Var<'_> {
+    pub fn constant_shared(&self, value: Arc<Tensor>) -> Var<'_> {
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node {
@@ -146,7 +215,7 @@ impl Tape {
     /// shared (no copy); gradients route back to it via
     /// [`Grads::accumulate_into`]. Frozen parameters are bound as constants.
     pub fn param(&self, params: &Params, pid: ParamId) -> Var<'_> {
-        let value = params.value_rc(pid);
+        let value = params.value_shared(pid);
         if params.is_frozen(pid) {
             return self.constant_shared(value);
         }
@@ -191,7 +260,7 @@ impl Tape {
 
 impl<'t> Var<'t> {
     /// Shared handle to this node's value.
-    pub fn value(&self) -> Rc<Tensor> {
+    pub fn value(&self) -> Arc<Tensor> {
         self.tape.nodes.borrow()[self.id].value.clone()
     }
 

@@ -11,11 +11,21 @@ use rand::distributions::Distribution;
 use rand::Rng;
 
 /// A dense, contiguous, row-major `f32` tensor of rank 1 or 2.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     rows: usize,
     cols: usize,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Self {
+            data: crate::arena::take_copied(&self.data),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
 }
 
 impl Tensor {
@@ -48,7 +58,7 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
-            data: vec![0.0; rows * cols],
+            data: crate::arena::take_zeroed(rows * cols),
             rows,
             cols,
         }
@@ -61,11 +71,11 @@ impl Tensor {
 
     /// Tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            data: vec![value; rows * cols],
-            rows,
-            cols,
+        let mut data = crate::arena::take_zeroed(rows * cols);
+        if value != 0.0 {
+            data.fill(value);
         }
+        Self { data, rows, cols }
     }
 
     /// A `1 x 1` scalar tensor.
@@ -199,8 +209,12 @@ impl Tensor {
 
     /// Map each element through `f`, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = crate::arena::take_copied(&self.data);
+        for x in &mut data {
+            *x = f(*x);
+        }
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             rows: self.rows,
             cols: self.cols,
         }
@@ -216,13 +230,12 @@ impl Tensor {
     /// Elementwise binary combination; shapes must match.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        let mut data = crate::arena::take_copied(&self.data);
+        for (a, &b) in data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
             rows: self.rows,
             cols: self.cols,
         }

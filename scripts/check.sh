@@ -26,6 +26,17 @@ echo "== serve determinism + backpressure tests"
 cargo test -q -p ct-serve --test determinism
 cargo test -q -p ct-serve --test backpressure
 
+# Data-parallel training must be bitwise deterministic: trained params
+# may not depend on pool worker count or shard fan-out width.
+echo "== fit determinism (1 vs 4 workers, shard widths)"
+cargo test -q -p ct-models --test fit_determinism
+cargo test -q -p contratopic --test fit_determinism
+
+# The perf harness must keep running (and keep its own determinism
+# check green) even when nobody regenerates the committed artifacts.
+echo "== perf_snapshot --smoke"
+cargo run --release -q -p ct-bench --bin perf_snapshot -- --smoke
+
 # The public API surface must stay documented: ct-tensor and ct-core
 # carry #![warn(missing_docs)], and rustdoc must build without warnings
 # for every library crate (ct-cli is excluded only because its bin is
