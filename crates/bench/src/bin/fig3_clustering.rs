@@ -2,12 +2,13 @@
 //! test-set document-topic distributions at several cluster counts
 //! (paper: 20..100) and scored with purity and NMI against the document
 //! labels, on the two labelled datasets (20NG-like, Yahoo-like).
+//!
+//! Every fig3 trial is shared with fig2's grid, so running fig2 first
+//! means this harness trains nothing — it reads the run ledger.
 
-use ct_bench::{
-    cluster_counts, evaluate_clustering, fmt_header, fmt_row, num_seeds, ExperimentContext,
-    ModelKind,
-};
+use ct_bench::{cluster_counts, fmt_header, fmt_row, num_seeds, ModelKind};
 use ct_corpus::{DatasetPreset, Scale};
+use ct_exp::{aggregate_groups, ExperimentDef};
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,26 +28,46 @@ fn main() {
     println!(
         "Figure 3 — km-Purity / km-NMI on labelled datasets (scale {scale:?}, {seeds} seed(s))"
     );
+    let records = if args.is_empty() {
+        ct_bench::run_experiment("fig3", scale, seeds, &|p| {
+            if let Some(line) = ct_bench::progress_line(&p) {
+                eprintln!("{line}");
+            }
+        })
+    } else {
+        let grid: Vec<_> = ExperimentDef::find("fig3")
+            .expect("registered experiment")
+            .grid(scale, seeds)
+            .into_iter()
+            .filter(|s| models.contains(&s.model))
+            .collect();
+        ct_bench::run_trials(&grid, &|p| {
+            if let Some(line) = ct_bench::progress_line(&p) {
+                eprintln!("{line}");
+            }
+        })
+    };
+    let groups = aggregate_groups(&records);
+
     for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
-        let ctx = ExperimentContext::build(preset, scale, 42);
-        let labels = ctx.test.labels.clone().expect("labelled preset");
         println!("\n=== {} ===", preset.name());
         let mut purity_rows = Vec::new();
         let mut nmi_rows = Vec::new();
         for &model in &models {
-            let mut pur = vec![0.0f64; counts.len()];
-            let mut nm = vec![0.0f64; counts.len()];
-            for s in 0..seeds {
-                let fitted = model.fit(&ctx, 42 + s as u64);
-                let theta = fitted.theta(&ctx.test);
-                for (i, &k) in counts.iter().enumerate() {
-                    let (p, n) = evaluate_clustering(&theta, &labels, k, 7 + s as u64);
-                    pur[i] += p / seeds as f64;
-                    nm[i] += n / seeds as f64;
-                }
-            }
-            purity_rows.push((model.name(), pur));
-            nmi_rows.push((model.name(), nm));
+            let Some(group) = groups
+                .iter()
+                .find(|g| g.spec.preset == preset && g.spec.model == model)
+            else {
+                continue;
+            };
+            let at = |prefix: &str| -> Vec<f64> {
+                counts
+                    .iter()
+                    .map(|k| group.mean(&format!("{prefix}@k{k}")).unwrap_or(f64::NAN))
+                    .collect()
+            };
+            purity_rows.push((model.name(), at("pur")));
+            nmi_rows.push((model.name(), at("nmi")));
         }
         println!("[km-Purity]");
         println!("{}", fmt_header("model", &cols));

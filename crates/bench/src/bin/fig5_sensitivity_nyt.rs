@@ -2,62 +2,61 @@
 //!
 //! NYTimes is unlabelled, so the km-Purity columns are omitted; the paper
 //! also notes lambda's scale is much larger on NYTimes (it uses 300), so
-//! the sweep covers a wider range.
+//! the sweep covers a wider range. Runs through the `ct-exp` ledger; the
+//! default point (lambda=600, v=10) is shared with fig2's NYTimes trial.
 
-use contratopic::fit_contratopic;
-use ct_bench::ExperimentContext;
-use ct_corpus::{DatasetPreset, Scale};
-use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
-use ct_models::TopicModel;
+use ct_corpus::Scale;
+use ct_exp::{aggregate_groups, default_lambda, GroupAggregate};
 
-fn eval_point(ctx: &ExperimentContext, lambda: f32, v: usize) -> (f64, f64, f64, f64) {
-    let base = ctx.train_config(42);
-    let cfg = ctx.contratopic_config().with_lambda(lambda).with_v(v);
-    let model = fit_contratopic(
-        &ctx.train,
-        ctx.embeddings.clone(),
-        &ctx.npmi_train,
-        &base,
-        &cfg,
-    );
-    let beta = model.beta();
-    let scores = TopicScores::compute(&beta, &ctx.npmi_test, K_TC);
-    (
-        scores.coherence_at(0.1),
-        scores.coherence_at(0.9),
-        diversity_at(&beta, &scores, 0.1, K_TD),
-        diversity_at(&beta, &scores, 0.9, K_TD),
-    )
+const LAMBDAS: [f32; 4] = [0.0, 150.0, 600.0, 1800.0];
+const VS: [usize; 4] = [1, 7, 13, 19];
+
+fn cells(group: &GroupAggregate) -> String {
+    ["coh@10", "coh@90", "div@10", "div@90"]
+        .iter()
+        .map(|m| format!(" {:>8.3}", group.mean(m).unwrap_or(f64::NAN)))
+        .collect()
 }
 
 fn main() {
     let scale = Scale::from_env();
-    let ctx = ExperimentContext::build(DatasetPreset::NyTimesLike, scale, 42);
-    let lambdas = [0.0f32, 150.0, 600.0, 1800.0];
-    let vs = [1usize, 7, 13, 19];
-    println!(
-        "Figure 5 — sensitivity on {} (scale {scale:?})",
-        ctx.preset.name()
-    );
+    println!("Figure 5 — sensitivity on NYTimes-like (scale {scale:?})");
+    let records = ct_bench::run_experiment("fig5", scale, 1, &|p| {
+        if let Some(line) = ct_bench::progress_line(&p) {
+            eprintln!("{line}");
+        }
+    });
+    let groups = aggregate_groups(&records);
+    let lambda_default = default_lambda(ct_corpus::DatasetPreset::NyTimesLike);
+
     println!(
         "[lambda sweep, v = 10]\n{:<10} {:>8} {:>8} {:>8} {:>8}",
         "lambda", "coh@10%", "coh@90%", "div@10%", "div@90%"
     );
-    for &l in &lambdas {
-        let (c1, c9, d1, d9) = eval_point(&ctx, l, 10);
-        println!("{l:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3}");
+    for &l in &LAMBDAS {
+        let Some(g) = groups.iter().find(|g| {
+            g.spec
+                .ct
+                .as_ref()
+                .is_some_and(|ct| ct.lambda == l && ct.v == 10)
+        }) else {
+            continue;
+        };
+        println!("{l:<10}{}", cells(g));
     }
     println!(
-        "[v sweep, lambda = {}]\n{:<10} {:>8} {:>8} {:>8} {:>8}",
-        ctx.default_lambda(),
-        "v",
-        "coh@10%",
-        "coh@90%",
-        "div@10%",
-        "div@90%"
+        "[v sweep, lambda = {lambda_default}]\n{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "v", "coh@10%", "coh@90%", "div@10%", "div@90%"
     );
-    for &v in &vs {
-        let (c1, c9, d1, d9) = eval_point(&ctx, ctx.default_lambda(), v);
-        println!("{v:<10} {c1:>8.3} {c9:>8.3} {d1:>8.3} {d9:>8.3}");
+    for &v in &VS {
+        let Some(g) = groups.iter().find(|g| {
+            g.spec
+                .ct
+                .as_ref()
+                .is_some_and(|ct| ct.v == v && ct.lambda == lambda_default)
+        }) else {
+            continue;
+        };
+        println!("{v:<10}{}", cells(g));
     }
 }

@@ -3,41 +3,50 @@
 //! the ContraTopic regularizer attached (pink lines); we report coherence,
 //! diversity, km-Purity and km-NMI.
 //!
+//! The ETM / ContraTopic / WeTe trials are shared with fig2 through the
+//! run ledger; only the WLDA-family trials are unique to this figure.
+//!
 //! Expected shape: + regularizer improves coherence and diversity for
 //! every backbone; WLDA gains the most in purity/NMI.
 
-use contratopic::{fit_contratopic, fit_contratopic_wete, fit_contratopic_wlda};
-use ct_bench::{cluster_counts, evaluate_clustering, ExperimentContext};
+use ct_bench::{cluster_counts, num_seeds_or, ModelKind};
 use ct_corpus::{DatasetPreset, Scale};
-use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
-use ct_models::{fit_etm, fit_wete, fit_wlda, TopicModel};
+use ct_exp::{aggregate_groups, GroupAggregate};
 
-fn report(name: &str, model: &dyn TopicModel, ctx: &ExperimentContext) {
-    let beta = model.beta();
-    let scores = TopicScores::compute(&beta, &ctx.npmi_test, K_TC);
-    let labels = ctx.test.labels.clone().expect("labelled preset");
-    let theta = model.theta(&ctx.test);
-    let counts = cluster_counts(ctx.scale);
-    let k_mid = counts[counts.len() / 2];
-    let (pur, nmi_v) = evaluate_clustering(&theta, &labels, k_mid, 7);
+fn report(name: &str, group: &GroupAggregate, k_mid: usize) {
+    let m = |metric: &str| group.mean(metric).unwrap_or(f64::NAN);
     println!(
         "{name:<22} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-        scores.coherence_at(0.1),
-        scores.coherence_at(1.0),
-        diversity_at(&beta, &scores, 0.1, K_TD),
-        diversity_at(&beta, &scores, 1.0, K_TD),
-        pur,
-        nmi_v,
+        m("coh@10"),
+        m("coh@100"),
+        m("div@10"),
+        m("div@100"),
+        m(&format!("pur@k{k_mid}")),
+        m(&format!("nmi@k{k_mid}")),
     );
 }
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Figure 6 — backbone substitution (scale {scale:?})");
+    let seeds = num_seeds_or(1);
+    println!("Figure 6 — backbone substitution (scale {scale:?}, {seeds} seed(s))");
+    let records = ct_bench::run_experiment("fig6", scale, seeds, &|p| {
+        if let Some(line) = ct_bench::progress_line(&p) {
+            eprintln!("{line}");
+        }
+    });
+    let groups = aggregate_groups(&records);
+    let rows = [
+        (ModelKind::Etm, "ETM"),
+        (ModelKind::ContraTopic, "ETM + regularizer"),
+        (ModelKind::Wlda, "WLDA"),
+        (ModelKind::ContraTopicWlda, "WLDA + regularizer"),
+        (ModelKind::WeTe, "WeTe"),
+        (ModelKind::ContraTopicWete, "WeTe + regularizer"),
+    ];
     for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
-        let ctx = ExperimentContext::build(preset, scale, 42);
-        let base = ctx.train_config(42);
-        let cfg = ctx.contratopic_config();
+        let counts = cluster_counts(scale);
+        let k_mid = counts[counts.len() / 2];
         println!(
             "\n=== {} ===\n{:<22} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
             preset.name(),
@@ -49,40 +58,14 @@ fn main() {
             "purity",
             "nmi"
         );
-        let etm = fit_etm(&ctx.train, ctx.embeddings.clone(), &base);
-        report("ETM", &etm, &ctx);
-        let etm_ct = fit_contratopic(
-            &ctx.train,
-            ctx.embeddings.clone(),
-            &ctx.npmi_train,
-            &base,
-            &cfg,
-        );
-        report("ETM + regularizer", &etm_ct, &ctx);
-        // Free-logit decoders need a larger budget (same treatment as
-        // ModelKind::fit gives ProdLDA/WLDA).
-        let mut base_free = base.clone();
-        base_free.learning_rate *= 5.0;
-        base_free.epochs *= 2;
-        let wlda = fit_wlda(&ctx.train, &base_free);
-        report("WLDA", &wlda, &ctx);
-        let wlda_ct = fit_contratopic_wlda(
-            &ctx.train,
-            &ctx.embeddings,
-            &ctx.npmi_train,
-            &base_free,
-            &cfg,
-        );
-        report("WLDA + regularizer", &wlda_ct, &ctx);
-        let wete = fit_wete(&ctx.train, ctx.embeddings.clone(), &base);
-        report("WeTe", &wete, &ctx);
-        let wete_ct = fit_contratopic_wete(
-            &ctx.train,
-            ctx.embeddings.clone(),
-            &ctx.npmi_train,
-            &base,
-            &cfg,
-        );
-        report("WeTe + regularizer", &wete_ct, &ctx);
+        for (model, name) in rows {
+            let Some(group) = groups
+                .iter()
+                .find(|g| g.spec.preset == preset && g.spec.model == model)
+            else {
+                continue;
+            };
+            report(name, group, k_mid);
+        }
     }
 }

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use contratopic::{fit_contratopic, fit_contratopic_traced};
 use ct_corpus::{generate, train_embeddings, NpmiMatrix, SynthSpec};
-use ct_models::{JsonlSink, TrainConfig};
+use ct_models::TrainConfig;
 use ct_tensor::{params_to_bytes, pool, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -243,27 +243,19 @@ fn train_epoch_sweep(fix: &EpochFixture, samples: usize) -> (Vec<SweepPoint>, bo
 }
 
 /// Optional extra traced run, outside the timing loop, so the telemetry of
-/// the exact benchmark workload can be inspected.
+/// the exact benchmark workload can be inspected. The sink (shared with
+/// `fig4_sensitivity`) is gated on `CT_TRACE` and flushes on drop.
 fn maybe_trace(fix: &EpochFixture) {
-    if let Ok(path) = std::env::var("CT_TRACE") {
-        match std::fs::File::create(&path) {
-            Ok(file) => {
-                let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
-                black_box(fit_contratopic_traced(
-                    &fix.corpus,
-                    fix.emb.clone(),
-                    &fix.npmi,
-                    &fix.config,
-                    &Default::default(),
-                    &mut sink,
-                ));
-                match sink.finish() {
-                    Ok(_) => println!("wrote training trace to {path}"),
-                    Err(e) => eprintln!("warning: trace {path}: {e}"),
-                }
-            }
-            Err(e) => eprintln!("warning: trace {path}: {e}"),
-        }
+    let mut sink = ct_bench::trace_sink_from_env();
+    if sink.enabled() {
+        black_box(fit_contratopic_traced(
+            &fix.corpus,
+            fix.emb.clone(),
+            &fix.npmi,
+            &fix.config,
+            &Default::default(),
+            sink.as_mut(),
+        ));
     }
 }
 

@@ -6,19 +6,26 @@
 //! diversity at the same proportions, and km-Purity at 20/60/100% of the
 //! cluster-count range, each as mean ± std over `CT_SEEDS` seeds.
 //!
+//! The Full variant's trials coincide with fig2's ContraTopic runs and are
+//! shared through the run ledger.
+//!
 //! Expected shape: Full >= -S > -P ≈ -I > -N, with -N clearly worst.
 
-use contratopic::{fit_contratopic, AblationVariant};
-use ct_bench::{cluster_counts, evaluate_clustering, mean_std, num_seeds, ExperimentContext};
-use ct_corpus::{DatasetPreset, Scale};
-use ct_eval::{diversity_at, TopicScores, K_TC, K_TD};
-use ct_models::TopicModel;
+use contratopic::AblationVariant;
+use ct_bench::{cluster_counts, num_seeds};
+use ct_corpus::Scale;
+use ct_exp::{aggregate_groups, GroupAggregate};
+
+fn cell(group: &GroupAggregate, metric: &str) -> String {
+    match group.metrics.get(metric) {
+        Some(ms) => format!("{:.2}±{:.1}", ms.mean, ms.std),
+        None => "n/a".to_string(),
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
     let seeds = num_seeds();
-    let ctx = ExperimentContext::build(DatasetPreset::Ng20Like, scale, 42);
-    let labels = ctx.test.labels.clone().expect("20NG-like is labelled");
     let counts = cluster_counts(scale);
     // 20/60/100% of the cluster-count range.
     let purity_ks = [
@@ -26,12 +33,15 @@ fn main() {
         counts[(counts.len() - 1) * 3 / 5],
         counts[counts.len() - 1],
     ];
-    let coh_pcts = [0.1, 0.5, 0.9];
 
-    println!(
-        "Table II — ablation on {} (scale {scale:?}, {seeds} seed(s))",
-        ctx.preset.name()
-    );
+    println!("Table II — ablation on 20NG-like (scale {scale:?}, {seeds} seed(s))");
+    let records = ct_bench::run_experiment("table2", scale, seeds, &|p| {
+        if let Some(line) = ct_bench::progress_line(&p) {
+            eprintln!("{line}");
+        }
+    });
+    let groups = aggregate_groups(&records);
+
     println!(
         "{:<16} | {:^26} | {:^26} | {:^26}",
         "", "Topic Coherence", "Topic Diversity", "km-Purity"
@@ -51,47 +61,24 @@ fn main() {
     );
 
     for variant in AblationVariant::ALL {
-        let mut coh = vec![Vec::new(); 3];
-        let mut div = vec![Vec::new(); 3];
-        let mut pur = vec![Vec::new(); 3];
-        for s in 0..seeds {
-            let base = ctx.train_config(42 + s as u64);
-            let cfg = ctx.contratopic_config().with_variant(variant);
-            let model = fit_contratopic(
-                &ctx.train,
-                ctx.embeddings.clone(),
-                &ctx.npmi_train,
-                &base,
-                &cfg,
-            );
-            let beta = model.beta();
-            let scores = TopicScores::compute(&beta, &ctx.npmi_test, K_TC);
-            for (i, &p) in coh_pcts.iter().enumerate() {
-                coh[i].push(scores.coherence_at(p));
-                div[i].push(diversity_at(&beta, &scores, p, K_TD));
-            }
-            let theta = model.theta(&ctx.test);
-            for (i, &k) in purity_ks.iter().enumerate() {
-                let (p, _) = evaluate_clustering(&theta, &labels, k, 7 + s as u64);
-                pur[i].push(p);
-            }
-        }
-        let cell = |vals: &Vec<f64>| {
-            let (m, s) = mean_std(vals);
-            format!("{m:.2}±{s:.1}")
+        let Some(group) = groups
+            .iter()
+            .find(|g| g.spec.ct.as_ref().is_some_and(|ct| ct.variant == variant))
+        else {
+            continue;
         };
         println!(
             "{:<16} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
             variant.label(),
-            cell(&coh[0]),
-            cell(&coh[1]),
-            cell(&coh[2]),
-            cell(&div[0]),
-            cell(&div[1]),
-            cell(&div[2]),
-            cell(&pur[0]),
-            cell(&pur[1]),
-            cell(&pur[2]),
+            cell(group, "coh@10"),
+            cell(group, "coh@50"),
+            cell(group, "coh@90"),
+            cell(group, "div@10"),
+            cell(group, "div@50"),
+            cell(group, "div@90"),
+            cell(group, &format!("pur@k{}", purity_ks[0])),
+            cell(group, &format!("pur@k{}", purity_ks[1])),
+            cell(group, &format!("pur@k{}", purity_ks[2])),
         );
     }
     println!("\npaper shape: Full >= -S > -P ≈ -I > -N (−N worst across the board)");

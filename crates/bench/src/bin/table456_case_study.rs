@@ -2,11 +2,12 @@
 //! topics of LDA, ETM, WeTe, CLNTM and ContraTopic are printed with their
 //! top words, plus template descriptions of ContraTopic's topics (the
 //! paper uses an LLM for the descriptions; we derive them from the planted
-//! themes).
+//! themes). Every trial here is shared with fig2's seed-42 runs via the
+//! run ledger.
 
-use ct_bench::{ExperimentContext, ModelKind};
+use ct_bench::ModelKind;
 use ct_corpus::{DatasetPreset, Scale};
-use ct_eval::{describe_topic, top_topics};
+use ct_eval::{describe_topic, TopicSummary};
 
 fn main() {
     let scale = Scale::from_env();
@@ -17,20 +18,37 @@ fn main() {
         ModelKind::Clntm,
         ModelKind::ContraTopic,
     ];
+    let records = ct_bench::run_experiment("table456", scale, 1, &|p| {
+        if let Some(line) = ct_bench::progress_line(&p) {
+            eprintln!("{line}");
+        }
+    });
     for preset in DatasetPreset::ALL {
-        let ctx = ExperimentContext::build(preset, scale, 42);
         println!("\n==== {} (Tables IV–VI) ====", preset.name());
         for model in models {
-            let fitted = model.fit(&ctx, 42);
+            let Some(record) = records
+                .iter()
+                .find(|r| r.spec.preset == preset && r.spec.model == model)
+            else {
+                continue;
+            };
             println!("\n-- {} --", model.name());
-            let tops = top_topics(&fitted.beta(), &ctx.npmi_test, &ctx.train.vocab, 5, 8);
-            for t in &tops {
-                println!("  {:.2}  {}", t.npmi, t.top_words.join(" "));
+            if !record.outcome.is_ok() {
+                println!("  (trial {}: {})", record.key, record.outcome.id());
+                continue;
+            }
+            for t in &record.topics {
+                println!("  {:.2}  {}", t.npmi, t.words.join(" "));
             }
             if model == ModelKind::ContraTopic {
                 println!("\n  Topic descriptions for {}:", preset.name());
-                for t in &tops {
-                    println!("  • {}", describe_topic(t));
+                for (i, t) in record.topics.iter().enumerate() {
+                    let summary = TopicSummary {
+                        topic: i,
+                        npmi: t.npmi,
+                        top_words: t.words.clone(),
+                    };
+                    println!("  • {}", describe_topic(&summary));
                 }
             }
         }

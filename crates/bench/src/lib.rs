@@ -5,276 +5,137 @@
 //! table/figure; the Criterion benches in `benches/` cover the §V-E
 //! computational analysis and the substrate micro-benchmarks.
 //!
+//! The experiment machinery itself — dataset contexts, model fitting,
+//! evaluation, trial specs, the run ledger and the scheduler — lives in
+//! the `ct-exp` crate; this crate re-exports the pieces the binaries
+//! share and keeps only presentation helpers of its own. The binaries
+//! declare their trial grids against `ct-exp` (see
+//! [`ct_exp::registry`]), so trials shared between figures train once
+//! and completed trials are served from the run ledger on re-runs.
+//!
 //! Scale is controlled by the `CT_SCALE` env var (`tiny` | `quick` |
-//! `full`, default `quick`) and the number of seeds by `CT_SEEDS`
-//! (default 2; the paper uses 3).
+//! `full`, default `quick`), the number of seeds by `CT_SEEDS`
+//! (default 2; the paper uses 3), the ledger path by `CT_LEDGER`
+//! (default `results/ledger/trials.jsonl`) and scheduler concurrency by
+//! `CT_JOBS` (default 1).
 
-use std::sync::Arc;
+use std::io::BufWriter;
+use std::path::PathBuf;
 
-use contratopic::{fit_contratopic, AblationVariant, ContraTopicConfig, SubsetSamplerConfig};
-use ct_corpus::{generate, train_embeddings, BowCorpus, DatasetPreset, NpmiMatrix, Scale};
-use ct_eval::{diversity_at, kmeans, nmi, purity, TopicScores, K_TC, K_TD, PERCENTAGES};
-use ct_models::{
-    fit_clntm, fit_etm, fit_nstm, fit_ntmr, fit_prodlda, fit_vtmrl, fit_wete, fit_wlda, Lda,
-    LdaConfig, TopicModel, TrainConfig,
+use ct_models::{JsonlSink, NoopSink, TraceSink};
+
+pub use ct_exp::{
+    cluster_counts, embedding_noise, evaluate_clustering, evaluate_interpretability, num_seeds,
+    num_seeds_or, ContextCache, ExperimentContext, InterpretabilityResult, ModelKind,
 };
-use ct_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-/// Everything an experiment needs for one dataset, computed once.
-pub struct ExperimentContext {
-    pub preset: DatasetPreset,
-    pub scale: Scale,
-    pub train: BowCorpus,
-    pub test: BowCorpus,
-    /// NPMI on the training set — the regularizer kernel / reward oracle.
-    pub npmi_train: Arc<NpmiMatrix>,
-    /// NPMI on the held-out test set — the evaluation reference (§V-D:
-    /// "we evaluate the topic coherence on the unseen test data").
-    pub npmi_test: Arc<NpmiMatrix>,
-    /// PPMI-factorisation embeddings (GloVe stand-in), trained on train.
-    pub embeddings: Tensor,
-}
-
-impl ExperimentContext {
-    /// Generate the synthetic dataset for `preset` and compute its shared
-    /// statistics. `data_seed` fixes the corpus across model seeds.
-    pub fn build(preset: DatasetPreset, scale: Scale, data_seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(data_seed);
-        let synth = generate(&preset.spec(scale), &mut rng);
-        let (train, test) = synth.corpus.split(preset.train_frac(), &mut rng);
-        let embed_dim = match scale {
-            Scale::Tiny => 32,
-            _ => 64,
-        };
-        // Simulate out-of-domain pretrained GloVe: the paper's embeddings
-        // come from Wikipedia, not the evaluation corpus (see
-        // ct_corpus::embed::degrade_embeddings).
-        let embeddings = ct_corpus::degrade_embeddings(
-            train_embeddings(&train, embed_dim, &mut rng),
-            embedding_noise(),
-            &mut rng,
-        );
-        Self {
-            preset,
-            scale,
-            npmi_train: Arc::new(NpmiMatrix::from_corpus(&train)),
-            npmi_test: Arc::new(NpmiMatrix::from_corpus(&test)),
-            train,
-            test,
-            embeddings,
-        }
-    }
-
-    /// The shared training configuration at this scale.
-    pub fn train_config(&self, seed: u64) -> TrainConfig {
-        match self.scale {
-            Scale::Tiny => TrainConfig {
-                num_topics: 12,
-                hidden: 48,
-                epochs: 8,
-                batch_size: 128,
-                learning_rate: 5e-3,
-                embed_dim: 32,
-                ..TrainConfig::default()
-            },
-            Scale::Quick => TrainConfig {
-                num_topics: 40,
-                hidden: 128,
-                epochs: 30,
-                batch_size: 512,
-                learning_rate: 3e-3,
-                ..TrainConfig::default()
-            },
-            Scale::Full => TrainConfig {
-                num_topics: 60,
-                hidden: 256,
-                epochs: 40,
-                batch_size: 512,
-                learning_rate: 2e-3,
-                ..TrainConfig::default()
-            },
-        }
-        .with_seed(seed)
-    }
-
-    /// The paper's dataset-dependent lambda (40 / 40 / 300), rescaled to
-    /// our loss magnitudes (the contrastive gradient is ~1% of the ELBO
-    /// gradient per unit lambda on our corpora, measured in DESIGN.md §6).
-    pub fn default_lambda(&self) -> f32 {
-        match self.preset {
-            DatasetPreset::Ng20Like | DatasetPreset::YahooLike => 400.0,
-            DatasetPreset::NyTimesLike => 600.0,
-        }
-    }
-
-    /// Default ContraTopic configuration for this dataset.
-    pub fn contratopic_config(&self) -> ContraTopicConfig {
-        ContraTopicConfig {
-            lambda: self.default_lambda(),
-            sampler: SubsetSamplerConfig { v: 10, tau_g: 0.5 },
-            variant: AblationVariant::Full,
-        }
-    }
-}
-
-/// All models of Figure 2 / Table III.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ModelKind {
-    Lda,
-    ProdLda,
-    Wlda,
-    Etm,
-    Nstm,
-    WeTe,
-    NtmR,
-    Vtmrl,
-    Clntm,
-    ContraTopic,
-}
-
-impl ModelKind {
-    pub const ALL: [ModelKind; 10] = [
-        ModelKind::Lda,
-        ModelKind::ProdLda,
-        ModelKind::Wlda,
-        ModelKind::Etm,
-        ModelKind::Nstm,
-        ModelKind::WeTe,
-        ModelKind::NtmR,
-        ModelKind::Vtmrl,
-        ModelKind::Clntm,
-        ModelKind::ContraTopic,
-    ];
-
-    pub fn name(self) -> &'static str {
-        match self {
-            ModelKind::Lda => "LDA",
-            ModelKind::ProdLda => "ProdLDA",
-            ModelKind::Wlda => "WLDA",
-            ModelKind::Etm => "ETM",
-            ModelKind::Nstm => "NSTM",
-            ModelKind::WeTe => "WeTe",
-            ModelKind::NtmR => "NTM-R",
-            ModelKind::Vtmrl => "VTMRL",
-            ModelKind::Clntm => "CLNTM",
-            ModelKind::ContraTopic => "ContraTopic",
-        }
-    }
-
-    /// Train this model on the context's training split.
-    pub fn fit(self, ctx: &ExperimentContext, seed: u64) -> Box<dyn TopicModel> {
-        let mut config = ctx.train_config(seed);
-        // Free-logit decoders (a K x V parameter) need a larger step size
-        // than the embedding decoders to converge in the same budget —
-        // the "best reported settings" treatment of §V-C.
-        if matches!(self, ModelKind::ProdLda | ModelKind::Wlda) {
-            config.learning_rate *= 5.0;
-            config.epochs *= 2;
-        }
-        let emb = ctx.embeddings.clone();
-        match self {
-            ModelKind::Lda => Box::new(Lda::fit(
-                &ctx.train,
-                LdaConfig {
-                    num_topics: config.num_topics,
-                    iterations: config.epochs * 4,
-                    seed,
-                    ..Default::default()
-                },
-            )),
-            ModelKind::ProdLda => Box::new(fit_prodlda(&ctx.train, &config)),
-            ModelKind::Wlda => Box::new(fit_wlda(&ctx.train, &config)),
-            ModelKind::Etm => Box::new(fit_etm(&ctx.train, emb, &config)),
-            ModelKind::Nstm => Box::new(fit_nstm(&ctx.train, emb, &config)),
-            ModelKind::WeTe => Box::new(fit_wete(&ctx.train, emb, &config)),
-            ModelKind::NtmR => Box::new(fit_ntmr(&ctx.train, emb, &config)),
-            ModelKind::Vtmrl => {
-                Box::new(fit_vtmrl(&ctx.train, emb, ctx.npmi_train.clone(), &config))
-            }
-            ModelKind::Clntm => Box::new(fit_clntm(&ctx.train, emb, &config)),
-            ModelKind::ContraTopic => Box::new(fit_contratopic(
-                &ctx.train,
-                emb,
-                &ctx.npmi_train,
-                &config,
-                &ctx.contratopic_config(),
-            )),
-        }
-    }
-}
-
-/// Interpretability evaluation of one fitted model (Figure 2's two rows).
-pub struct InterpretabilityResult {
-    pub coherence: Vec<f64>,
-    pub diversity: Vec<f64>,
-}
-
-/// Coherence and diversity curves against the *test* NPMI reference.
-pub fn evaluate_interpretability(beta: &Tensor, npmi_test: &NpmiMatrix) -> InterpretabilityResult {
-    let scores = TopicScores::compute(beta, npmi_test, K_TC);
-    let coherence = PERCENTAGES
-        .iter()
-        .map(|&p| scores.coherence_at(p))
-        .collect();
-    let diversity = PERCENTAGES
-        .iter()
-        .map(|&p| diversity_at(beta, &scores, p, K_TD))
-        .collect();
-    InterpretabilityResult {
-        coherence,
-        diversity,
-    }
-}
-
-/// km-Purity and km-NMI at one cluster count (Figure 3 points).
-pub fn evaluate_clustering(
-    theta_test: &Tensor,
-    labels: &[usize],
-    clusters: usize,
-    seed: u64,
-) -> (f64, f64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let res = kmeans(theta_test, clusters, 60, &mut rng);
-    (
-        purity(&res.assignments, labels),
-        nmi(&res.assignments, labels),
-    )
-}
-
-/// Cluster counts for Figure 3, scaled from the paper's {20,40,60,80,100}.
-pub fn cluster_counts(scale: Scale) -> Vec<usize> {
-    match scale {
-        Scale::Tiny => vec![4, 8, 12],
-        _ => vec![10, 20, 30, 40, 50],
-    }
-}
-
-/// Out-of-domain embedding noise level (`CT_EMB_NOISE`, default 0.8).
-pub fn embedding_noise() -> f32 {
-    std::env::var("CT_EMB_NOISE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3)
-}
-
-/// Number of seeds per configuration (`CT_SEEDS`, default 2).
-pub fn num_seeds() -> usize {
-    std::env::var("CT_SEEDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2)
-}
-
-/// Mean and (population) standard deviation.
+/// Mean and (population) standard deviation, as a tuple (compatibility
+/// shim over [`ct_exp::mean_std`]; empty input yields zeros).
 pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.is_empty() {
         return (0.0, 0.0);
     }
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
-    (mean, var.sqrt())
+    let ms = ct_exp::mean_std(values);
+    (ms.mean, ms.std)
+}
+
+/// The shared run ledger path: `CT_LEDGER` if set, else
+/// `results/ledger/trials.jsonl` — one ledger for every harness binary,
+/// which is what lets them share trials.
+pub fn ledger_path() -> PathBuf {
+    std::env::var("CT_LEDGER")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/ledger/trials.jsonl"))
+}
+
+/// Scheduler concurrency for the harness binaries (`CT_JOBS`, default 1).
+pub fn num_jobs() -> usize {
+    std::env::var("CT_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Render one scheduler progress event as a human-readable line, or
+/// `None` for events the harnesses don't surface. Pure formatting — the
+/// binaries own the actual stderr write (library crates never print).
+pub fn progress_line(p: &ct_exp::Progress) -> Option<String> {
+    match p {
+        ct_exp::Progress::Started {
+            label,
+            index,
+            pending,
+            ..
+        } => Some(format!("  [{index}/{pending}] training {label}")),
+        ct_exp::Progress::Finished {
+            label,
+            outcome,
+            wall_ms,
+            ..
+        } if *outcome != "ok" => Some(format!("  {label}: {outcome} after {wall_ms} ms")),
+        _ => None,
+    }
+}
+
+/// Run a trial grid through the shared ledger and return its grid-ordered
+/// records, reporting progress through the caller's callback (see
+/// [`progress_line`]). Panics on ledger I/O errors — harness binaries
+/// have no error path to propagate into.
+pub fn run_trials(
+    grid: &[ct_exp::TrialSpec],
+    progress: &(dyn Fn(ct_exp::Progress) + Sync),
+) -> Vec<ct_exp::TrialRecord> {
+    let mut ledger =
+        ct_exp::Ledger::open(ledger_path()).unwrap_or_else(|e| panic!("open ledger: {e}"));
+    let contexts = ContextCache::new();
+    let config = ct_exp::SchedulerConfig {
+        jobs: num_jobs(),
+        ..Default::default()
+    };
+    let (records, _) = ct_exp::run_grid(grid, &mut ledger, &contexts, &config, progress)
+        .unwrap_or_else(|e| panic!("run grid: {e}"));
+    records
+}
+
+/// Run one named experiment end to end: its full grid through the shared
+/// ledger, plus the `results/exp_<name>.{json,md}` report artifacts
+/// (written next to the ledger's `results/` root). Returns the
+/// grid-ordered records for the binary's own table rendering.
+pub fn run_experiment(
+    name: &str,
+    scale: ct_corpus::Scale,
+    seeds: usize,
+    progress: &(dyn Fn(ct_exp::Progress) + Sync),
+) -> Vec<ct_exp::TrialRecord> {
+    let def =
+        ct_exp::ExperimentDef::find(name).unwrap_or_else(|| panic!("unknown experiment '{name}'"));
+    let records = run_trials(&def.grid(scale, seeds), progress);
+    let report = ct_exp::ExperimentReport::build(def.name, def.title, &records);
+    let out_dir = ledger_path()
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    report
+        .write_artifacts(&out_dir)
+        .unwrap_or_else(|e| panic!("write report artifacts under {}: {e}", out_dir.display()));
+    records
+}
+
+/// JSONL trace sink gated on `CT_TRACE`: when the variable names a path,
+/// training telemetry streams there; otherwise a no-op sink. Shared by
+/// `fig4_sensitivity` and `perf_snapshot` (the flush happens when the
+/// sink drops).
+pub fn trace_sink_from_env() -> Box<dyn TraceSink> {
+    match std::env::var("CT_TRACE") {
+        Ok(path) => {
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("CT_TRACE={path}: cannot create trace file: {e}"));
+            println!("writing training traces to {path}");
+            Box::new(JsonlSink::new(BufWriter::new(file)))
+        }
+        Err(_) => Box::new(NoopSink),
+    }
 }
 
 /// Render one row of a fixed-width table.
@@ -300,16 +161,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn context_builds_at_tiny_scale() {
-        let ctx = ExperimentContext::build(DatasetPreset::Ng20Like, Scale::Tiny, 1);
-        assert!(ctx.train.num_docs() > 0);
-        assert!(ctx.test.num_docs() > 0);
-        assert_eq!(ctx.train.vocab_size(), ctx.test.vocab_size());
-        assert_eq!(ctx.embeddings.rows(), ctx.train.vocab_size());
-        assert!(ctx.train.labels.is_some());
-    }
-
-    #[test]
     fn mean_std_basics() {
         let (m, s) = mean_std(&[1.0, 3.0]);
         assert_eq!(m, 2.0);
@@ -324,12 +175,6 @@ mod tests {
     }
 
     #[test]
-    fn cluster_counts_scale() {
-        assert_eq!(cluster_counts(Scale::Tiny).len(), 3);
-        assert_eq!(cluster_counts(Scale::Quick), vec![10, 20, 30, 40, 50]);
-    }
-
-    #[test]
     fn fmt_row_and_header_align() {
         let header = fmt_header("model", &["a".into(), "b".into()]);
         let row = fmt_row("x", &[1.0, 2.0]);
@@ -337,22 +182,17 @@ mod tests {
     }
 
     #[test]
-    fn default_lambda_larger_for_nytimes() {
-        let ng = ExperimentContext::build(DatasetPreset::Ng20Like, Scale::Tiny, 1);
-        let nyt = ExperimentContext::build(DatasetPreset::NyTimesLike, Scale::Tiny, 1);
-        assert!(nyt.default_lambda() > ng.default_lambda());
+    fn ledger_path_honors_env_default() {
+        // Only checks the default (env mutation would race other tests).
+        if std::env::var("CT_LEDGER").is_err() {
+            assert!(ledger_path().ends_with("results/ledger/trials.jsonl"));
+        }
     }
 
     #[test]
-    fn interpretability_curves_have_ten_points() {
-        let ctx = ExperimentContext::build(DatasetPreset::Ng20Like, Scale::Tiny, 2);
-        let beta = Tensor::full(
-            4,
-            ctx.train.vocab_size(),
-            1.0 / ctx.train.vocab_size() as f32,
-        );
-        let r = evaluate_interpretability(&beta, &ctx.npmi_test);
-        assert_eq!(r.coherence.len(), 10);
-        assert_eq!(r.diversity.len(), 10);
+    fn trace_sink_disabled_without_env() {
+        if std::env::var("CT_TRACE").is_err() {
+            assert!(!trace_sink_from_env().enabled());
+        }
     }
 }

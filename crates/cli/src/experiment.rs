@@ -1,0 +1,239 @@
+//! The `experiment` subcommand: list, inspect, run and resume the
+//! registered paper experiments through the `ct-exp` run ledger.
+
+use std::path::{Path, PathBuf};
+
+use ct_corpus::Scale;
+use ct_exp::{
+    num_seeds_or, ContextCache, DivergedTrialPolicy, ExperimentDef, ExperimentReport, Ledger,
+    Progress, SchedulerConfig, TrialSpec, EXPERIMENTS,
+};
+
+use crate::args::Args;
+
+const FLAGS: &[&str] = &[
+    "op",
+    "exp",
+    "scale",
+    "seeds",
+    "ledger",
+    "out",
+    "jobs",
+    "limit",
+    "timeout-ms",
+    "on-diverged",
+];
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(Scale::Tiny),
+        "quick" => Ok(Scale::Quick),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale '{other}' (tiny|quick|full)")),
+    }
+}
+
+/// Entry point for `contratopic experiment --op <list|status|run|resume>`.
+pub fn experiment(args: &Args) -> Result<(), String> {
+    if let Some(f) = args.unknown_flags(FLAGS).into_iter().next() {
+        return Err(format!("unknown flag --{f} for experiment"));
+    }
+    let op = args.get_or("op", "list".to_string())?;
+    let scale = match args.get("scale") {
+        Some(s) => parse_scale(s)?,
+        None => Scale::from_env(),
+    };
+    let ledger_path =
+        PathBuf::from(args.get_or("ledger", "results/ledger/trials.jsonl".to_string())?);
+    match op.as_str() {
+        "list" => list(scale),
+        "status" => status(args, scale, &ledger_path),
+        "run" => run(args, scale, &ledger_path, false),
+        "resume" => run(args, scale, &ledger_path, true),
+        other => Err(format!("unknown op '{other}' (list|status|run|resume)")),
+    }
+}
+
+fn defs_for(args: &Args) -> Result<Vec<&'static ExperimentDef>, String> {
+    match args.get("exp") {
+        None => Ok(EXPERIMENTS.iter().collect()),
+        Some(names) => names
+            .split(',')
+            .map(|n| {
+                ExperimentDef::find(n.trim())
+                    .ok_or_else(|| format!("unknown experiment '{n}' (try --op list)"))
+            })
+            .collect(),
+    }
+}
+
+fn grid_for(args: &Args, def: &ExperimentDef, scale: Scale) -> Result<Vec<TrialSpec>, String> {
+    let seeds = match args.get("seeds") {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| format!("--seeds: cannot parse '{s}'"))?,
+        None => num_seeds_or(def.default_seeds),
+    };
+    Ok(def.grid(scale, seeds))
+}
+
+fn list(scale: Scale) -> Result<(), String> {
+    println!("{:<10} {:>6} {:>6}  title", "name", "trials", "seeds");
+    for def in EXPERIMENTS {
+        let grid = def.grid(scale, def.default_seeds);
+        println!(
+            "{:<10} {:>6} {:>6}  {}",
+            def.name,
+            grid.len(),
+            def.default_seeds,
+            def.title
+        );
+    }
+    println!("\nscale: {scale:?} (override with --scale or CT_SCALE)");
+    Ok(())
+}
+
+fn status(args: &Args, scale: Scale, ledger_path: &Path) -> Result<(), String> {
+    let ledger =
+        Ledger::open(ledger_path).map_err(|e| format!("{}: {e}", ledger_path.display()))?;
+    println!(
+        "ledger {}: {} record(s), {} distinct trial(s), {} malformed line(s)",
+        ledger_path.display(),
+        ledger.records_on_disk(),
+        ledger.distinct_trials(),
+        ledger.malformed_lines()
+    );
+    println!(
+        "\n{:<10} {:>6} {:>8} {:>4} {:>9} {:>7} {:>8}",
+        "name", "trials", "settled", "ok", "diverged", "failed", "pending"
+    );
+    for def in defs_for(args)? {
+        let grid = grid_for(args, def, scale)?;
+        let mut distinct = std::collections::HashSet::new();
+        let (mut settled, mut ok, mut diverged, mut failed, mut pending) = (0, 0, 0, 0, 0);
+        for spec in &grid {
+            let key = spec.key();
+            if !distinct.insert(key.clone()) {
+                continue;
+            }
+            match ledger.get(&key) {
+                Some(rec) if rec.outcome.is_settled() => {
+                    settled += 1;
+                    if rec.outcome.is_ok() {
+                        ok += 1;
+                    } else {
+                        diverged += 1;
+                    }
+                }
+                Some(_) => {
+                    failed += 1;
+                    pending += 1;
+                }
+                None => pending += 1,
+            }
+        }
+        println!(
+            "{:<10} {:>6} {:>8} {:>4} {:>9} {:>7} {:>8}",
+            def.name,
+            distinct.len(),
+            settled,
+            ok,
+            diverged,
+            failed,
+            pending
+        );
+    }
+    Ok(())
+}
+
+fn run(args: &Args, scale: Scale, ledger_path: &Path, resume: bool) -> Result<(), String> {
+    if resume && !ledger_path.exists() {
+        return Err(format!(
+            "--op resume: no ledger at {} (use --op run to start one)",
+            ledger_path.display()
+        ));
+    }
+    let defs = defs_for(args)?;
+    let jobs: usize = args.get_or("jobs", 1)?;
+    let limit = args.get("limit").map(str::parse).transpose().map_err(|_| {
+        format!(
+            "--limit: cannot parse '{}'",
+            args.get("limit").unwrap_or("")
+        )
+    })?;
+    let timeout_ms = args
+        .get("timeout-ms")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| {
+            format!(
+                "--timeout-ms: cannot parse '{}'",
+                args.get("timeout-ms").unwrap_or("")
+            )
+        })?;
+    let policy = match args.get_or("on-diverged", "skip".to_string())?.as_str() {
+        "skip" => DivergedTrialPolicy::RecordAndSkip,
+        "retry" => DivergedTrialPolicy::RetryFallbackSeed {
+            offset: 1000,
+            max_retries: 2,
+        },
+        other => return Err(format!("unknown --on-diverged '{other}' (skip|retry)")),
+    };
+    let out_dir = PathBuf::from(args.get_or("out", "results".to_string())?);
+
+    let mut ledger =
+        Ledger::open(ledger_path).map_err(|e| format!("{}: {e}", ledger_path.display()))?;
+    let contexts = ContextCache::new();
+    let config = SchedulerConfig {
+        jobs,
+        timeout_ms,
+        policy,
+        limit,
+    };
+    let progress = |p: Progress| match p {
+        Progress::Started {
+            label,
+            index,
+            pending,
+            ..
+        } => eprintln!("  [{index}/{pending}] training {label}"),
+        Progress::Finished {
+            label,
+            outcome,
+            wall_ms,
+            ..
+        } if outcome != "ok" => eprintln!("  {label}: {outcome} after {wall_ms} ms"),
+        _ => {}
+    };
+
+    for def in defs {
+        let grid = grid_for(args, def, scale)?;
+        eprintln!("== {} ({} trial(s)) ==", def.name, grid.len());
+        let (records, summary) =
+            ct_exp::run_grid(&grid, &mut ledger, &contexts, &config, &progress)
+                .map_err(|e| format!("{}: {e}", ledger_path.display()))?;
+        println!(
+            "{}: {} trained, {} from ledger, {} diverged, {} failed, {} timed out, {} remaining",
+            def.name,
+            summary.executed,
+            summary.reused,
+            summary.diverged,
+            summary.failed,
+            summary.timed_out,
+            summary.remaining
+        );
+        if summary.remaining == 0 {
+            let report = ExperimentReport::build(def.name, def.title, &records);
+            let (json, md) = report
+                .write_artifacts(&out_dir)
+                .map_err(|e| format!("{}: {e}", out_dir.display()))?;
+            println!("  wrote {} and {}", json.display(), md.display());
+        } else {
+            println!(
+                "  ({} trial(s) still pending — resume with --op resume)",
+                summary.remaining
+            );
+        }
+    }
+    Ok(())
+}

@@ -10,6 +10,7 @@
 
 mod args;
 mod commands;
+mod experiment;
 
 use args::Args;
 
@@ -42,6 +43,12 @@ COMMANDS:
              [--trace trace.jsonl]     per-batch serve telemetry as JSONL
   query      Send documents to a running serve instance, print JSON per doc
              --socket /path/ct.sock  (--text \"...\" | --file docs.txt)
+  experiment List, run and resume the paper experiments through the run ledger
+             [--op list|status|run|resume]   (default: list)
+             [--exp fig2,fig3,...]           comma-separated names (default: all)
+             [--scale tiny|quick|full] [--seeds N]
+             [--ledger results/ledger/trials.jsonl] [--out results]
+             [--jobs N] [--limit N] [--timeout-ms N] [--on-diverged skip|retry]
   help       Show this message
 ";
 
@@ -68,6 +75,7 @@ fn main() {
         "eval" => commands::eval(&args),
         "serve" => commands::serve(&args),
         "query" => commands::query(&args),
+        "experiment" => experiment::experiment(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -111,6 +111,10 @@ impl<B: Backbone> TopicModel for ContraTopic<B> {
     fn num_topics(&self) -> usize {
         self.inner.num_topics()
     }
+
+    fn train_stats(&self) -> Option<&ct_models::TrainStats> {
+        self.inner.train_stats()
+    }
 }
 
 /// Train any backbone with the contrastive regularizer attached

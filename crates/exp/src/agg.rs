@@ -1,0 +1,333 @@
+//! Multi-seed aggregation and paired significance testing.
+//!
+//! Records sharing a [`TrialSpec::group_key`] (same configuration, different
+//! model seed) fold into a [`GroupAggregate`] of per-metric mean ± std.
+//! ContraTopic-vs-baseline comparisons use a paired bootstrap over per-seed
+//! differences, the standard test when the same seeds (and therefore the
+//! same corpus draws) back both systems.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ledger::TrialRecord;
+use crate::spec::TrialSpec;
+
+/// Mean and population standard deviation of `n` values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Number of values folded in.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (0 for a single value).
+    pub std: f64,
+}
+
+/// Mean and population standard deviation of a slice (`n=0` → NaN mean).
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    let n = values.len();
+    if n == 0 {
+        return MeanStd {
+            n,
+            mean: f64::NAN,
+            std: f64::NAN,
+        };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    MeanStd {
+        n,
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+impl MeanStd {
+    /// `mean±std` with 4 decimals, or just the mean when `n <= 1`.
+    pub fn display(&self) -> String {
+        if self.n <= 1 {
+            format!("{:.4}", self.mean)
+        } else {
+            format!("{:.4}±{:.4}", self.mean, self.std)
+        }
+    }
+}
+
+/// All seeds of one configuration folded together.
+pub struct GroupAggregate {
+    /// A representative spec (the first seed's), for model/preset/params.
+    pub spec: TrialSpec,
+    /// Configuration key shared by the folded records (spec minus seed).
+    pub group_key: String,
+    /// Seeds that completed with `Ok`, ascending.
+    pub seeds: Vec<u64>,
+    /// Records folded in (the `Ok` ones).
+    pub n_ok: usize,
+    /// Records considered, including diverged / timed-out ones.
+    pub n_total: usize,
+    /// Per-metric mean ± std over the `Ok` seeds. Empty when `n_ok == 0`
+    /// (an all-diverged configuration still appears, so reports can say so).
+    pub metrics: BTreeMap<String, MeanStd>,
+    /// Per-seed raw metric values (seed-aligned with `seeds`), kept for
+    /// paired significance tests.
+    pub per_seed: BTreeMap<String, Vec<f64>>,
+}
+
+impl GroupAggregate {
+    /// Mean of one metric, if present.
+    pub fn mean(&self, metric: &str) -> Option<f64> {
+        self.metrics.get(metric).map(|m| m.mean)
+    }
+}
+
+/// Fold trial records into per-configuration aggregates, in order of each
+/// configuration's first appearance (so reports follow grid order, not
+/// ledger or hash order). Only `Ok` records contribute metric values;
+/// others count toward `n_total`.
+pub fn aggregate_groups(records: &[TrialRecord]) -> Vec<GroupAggregate> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_group: BTreeMap<String, Vec<&TrialRecord>> = BTreeMap::new();
+    for rec in records {
+        let gk = rec.spec.group_key();
+        if !by_group.contains_key(&gk) {
+            order.push(gk.clone());
+        }
+        by_group.entry(gk).or_default().push(rec);
+    }
+    order
+        .into_iter()
+        .map(|gk| {
+            let group = &by_group[&gk];
+            let mut ok: Vec<&&TrialRecord> = group.iter().filter(|r| r.outcome.is_ok()).collect();
+            ok.sort_by_key(|r| r.spec.seed);
+            let seeds: Vec<u64> = ok.iter().map(|r| r.spec.seed).collect();
+            let mut per_seed: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+            for rec in &ok {
+                for (k, v) in &rec.metrics {
+                    per_seed.entry(k.clone()).or_default().push(*v);
+                }
+            }
+            // A metric missing from some seed would silently skew its mean;
+            // keep only metrics every Ok seed reported.
+            per_seed.retain(|_, vs| vs.len() == ok.len());
+            let metrics = per_seed
+                .iter()
+                .map(|(k, vs)| (k.clone(), mean_std(vs)))
+                .collect();
+            GroupAggregate {
+                spec: group[0].spec.clone(),
+                group_key: gk,
+                seeds,
+                n_ok: ok.len(),
+                n_total: group.len(),
+                metrics,
+                per_seed,
+            }
+        })
+        .collect()
+}
+
+/// Result of a paired bootstrap comparison on one metric.
+#[derive(Clone, Copy, Debug)]
+pub struct PairedBootstrap {
+    /// Number of seed pairs compared.
+    pub n: usize,
+    /// Mean per-seed difference (candidate − baseline).
+    pub delta: f64,
+    /// Bootstrap probability that the candidate improves on the baseline:
+    /// `1 − p` is the achieved significance level of "candidate > baseline".
+    /// `None` when fewer than two pairs exist — a single seed supports no
+    /// significance claim.
+    pub p_improved: Option<f64>,
+}
+
+/// Paired bootstrap over per-seed differences. `candidate` and `baseline`
+/// must be seed-aligned slices of the same metric (as produced by
+/// [`GroupAggregate::per_seed`] when both groups ran the same seeds).
+/// Resampling is seeded, so the p-value is deterministic.
+pub fn paired_bootstrap(
+    candidate: &[f64],
+    baseline: &[f64],
+    iters: usize,
+    seed: u64,
+) -> PairedBootstrap {
+    assert_eq!(
+        candidate.len(),
+        baseline.len(),
+        "paired bootstrap needs seed-aligned samples"
+    );
+    let n = candidate.len();
+    let diffs: Vec<f64> = candidate.iter().zip(baseline).map(|(c, b)| c - b).collect();
+    let delta = if n == 0 {
+        f64::NAN
+    } else {
+        diffs.iter().sum::<f64>() / n as f64
+    };
+    if n < 2 {
+        return PairedBootstrap {
+            n,
+            delta,
+            p_improved: None,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut not_improved = 0usize;
+    for _ in 0..iters {
+        let mean: f64 = (0..n).map(|_| diffs[rng.gen_range(0..n)]).sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            not_improved += 1;
+        }
+    }
+    // Add-one smoothing keeps the p-value off the degenerate 0/1 endpoints
+    // at finite resample counts.
+    let p_not = (not_improved + 1) as f64 / (iters + 1) as f64;
+    PairedBootstrap {
+        n,
+        delta,
+        p_improved: Some(1.0 - p_not),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::TrialOutcome;
+    use crate::spec::ModelKind;
+    use ct_corpus::{DatasetPreset, Scale};
+
+    fn record(model: ModelKind, seed: u64, coh: f64, outcome: TrialOutcome) -> TrialRecord {
+        let spec = TrialSpec::baseline(model, DatasetPreset::Ng20Like, Scale::Tiny, seed);
+        let mut metrics = BTreeMap::new();
+        if outcome.is_ok() {
+            metrics.insert("coh@100".to_string(), coh);
+        }
+        TrialRecord {
+            key: spec.key(),
+            spec,
+            outcome,
+            attempt: 0,
+            fallback_seed: None,
+            wall_ms: 0,
+            skipped_batches: 0,
+            metrics,
+            topics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computed_fixture() {
+        // Values 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population std 2.
+        let ms = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(ms.n, 8);
+        assert!((ms.mean - 5.0).abs() < 1e-12);
+        assert!((ms.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_degenerate_single_value() {
+        let ms = mean_std(&[0.125]);
+        assert_eq!(ms.n, 1);
+        assert_eq!(ms.mean, 0.125);
+        assert_eq!(ms.std, 0.0);
+        assert_eq!(ms.display(), "0.1250");
+        assert!(mean_std(&[]).mean.is_nan());
+    }
+
+    #[test]
+    fn aggregate_folds_seeds_and_keeps_grid_order() {
+        let records = vec![
+            record(ModelKind::Etm, 42, 0.10, TrialOutcome::Ok),
+            record(ModelKind::Lda, 42, 0.05, TrialOutcome::Ok),
+            record(ModelKind::Etm, 43, 0.20, TrialOutcome::Ok),
+            record(ModelKind::Lda, 43, 0.07, TrialOutcome::Ok),
+        ];
+        let groups = aggregate_groups(&records);
+        assert_eq!(groups.len(), 2);
+        // First appearance order: Etm before Lda.
+        assert_eq!(groups[0].spec.model, ModelKind::Etm);
+        assert_eq!(groups[0].seeds, vec![42, 43]);
+        let ms = groups[0].metrics["coh@100"];
+        assert!((ms.mean - 0.15).abs() < 1e-12);
+        assert!((ms.std - 0.05).abs() < 1e-12);
+        assert_eq!(groups[0].per_seed["coh@100"], vec![0.10, 0.20]);
+    }
+
+    #[test]
+    fn aggregate_all_diverged_group_is_present_but_empty() {
+        let records = vec![
+            record(
+                ModelKind::Etm,
+                42,
+                0.0,
+                TrialOutcome::Diverged { detail: "d".into() },
+            ),
+            record(
+                ModelKind::Etm,
+                43,
+                0.0,
+                TrialOutcome::Diverged { detail: "d".into() },
+            ),
+        ];
+        let groups = aggregate_groups(&records);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].n_ok, 0);
+        assert_eq!(groups[0].n_total, 2);
+        assert!(groups[0].metrics.is_empty());
+        assert!(groups[0].seeds.is_empty());
+    }
+
+    #[test]
+    fn aggregate_drops_partially_reported_metrics() {
+        let mut a = record(ModelKind::Etm, 42, 0.1, TrialOutcome::Ok);
+        a.metrics.insert("pur@k4".to_string(), 0.9);
+        let b = record(ModelKind::Etm, 43, 0.2, TrialOutcome::Ok);
+        let groups = aggregate_groups(&[a, b]);
+        assert!(groups[0].metrics.contains_key("coh@100"));
+        assert!(
+            !groups[0].metrics.contains_key("pur@k4"),
+            "metric missing from one seed must not average over fewer seeds"
+        );
+    }
+
+    #[test]
+    fn paired_bootstrap_detects_consistent_improvement() {
+        let ct = [0.30, 0.32, 0.31, 0.33, 0.29];
+        let base = [0.20, 0.22, 0.21, 0.23, 0.19];
+        let pb = paired_bootstrap(&ct, &base, 2000, 0);
+        assert_eq!(pb.n, 5);
+        assert!((pb.delta - 0.10).abs() < 1e-12);
+        // Every per-seed difference is +0.10: every resample mean is
+        // positive, so p_improved is the maximum (iters / (iters+1)).
+        let p = pb.p_improved.unwrap();
+        assert!((p - 2000.0 / 2001.0).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn paired_bootstrap_neutral_on_no_effect() {
+        let ct = [0.30, 0.10, 0.30, 0.10];
+        let base = [0.10, 0.30, 0.10, 0.30];
+        let pb = paired_bootstrap(&ct, &base, 2000, 0);
+        assert!((pb.delta - 0.0).abs() < 1e-12);
+        let p = pb.p_improved.unwrap();
+        assert!((0.2..=0.8).contains(&p), "mixed differences, p = {p}");
+    }
+
+    #[test]
+    fn paired_bootstrap_single_seed_makes_no_claim() {
+        let pb = paired_bootstrap(&[0.3], &[0.2], 2000, 0);
+        assert_eq!(pb.n, 1);
+        assert!((pb.delta - 0.1).abs() < 1e-12);
+        assert!(pb.p_improved.is_none());
+    }
+
+    #[test]
+    fn paired_bootstrap_is_deterministic() {
+        let ct = [0.3, 0.25, 0.35];
+        let base = [0.28, 0.26, 0.30];
+        let a = paired_bootstrap(&ct, &base, 1000, 9).p_improved.unwrap();
+        let b = paired_bootstrap(&ct, &base, 1000, 9).p_improved.unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,439 @@
+//! The append-only run ledger.
+//!
+//! Every finished trial — successful, diverged, failed, or timed out — is
+//! appended to a JSONL file as one self-describing record carrying the
+//! trial key, the full canonical spec, the outcome, wall time, and the
+//! metric suite. On restart, [`Ledger::open`] replays the file and later
+//! records win per key, so:
+//!
+//! - a completed sweep re-run against the same ledger performs **zero
+//!   training** (every trial is served from the ledger), and
+//! - an interrupted sweep resumes mid-grid: settled trials load, pending
+//!   ones train, and the final aggregates are bitwise identical to an
+//!   uninterrupted run (training is deterministic in the spec, and
+//!   aggregation iterates in grid order, not ledger order).
+//!
+//! A record whose line was cut short by a crash mid-append fails to parse
+//! and is dropped on replay — the trial simply re-runs. [`TrialOutcome`]
+//! encodes the resume policy per outcome: `ok`, `diverged`, and `timeout`
+//! are settled; `failed` (a panic) is retried on the next resume.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+use crate::spec::TrialSpec;
+
+/// How a trial ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrialOutcome {
+    /// Trained and evaluated normally; metrics are present.
+    Ok,
+    /// Training diverged (every batch of an epoch dropped, or halted on a
+    /// non-finite loss). Settled: recorded with no metrics and excluded
+    /// from aggregates, or superseded by a fallback-seed retry when the
+    /// scheduler's divergence policy asks for one.
+    Diverged {
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// The trial panicked. Re-run on the next resume (panics may be
+    /// environmental); a deterministic panic re-records `failed` each time.
+    Failed {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The trial exceeded the scheduler's soft wall-clock budget. The
+    /// result is discarded and the trial is settled as timed out; see
+    /// `SchedulerConfig::timeout_ms` for the determinism trade-off.
+    TimedOut {
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl TrialOutcome {
+    /// Stable identifier stored in the ledger.
+    pub fn id(&self) -> &'static str {
+        match self {
+            TrialOutcome::Ok => "ok",
+            TrialOutcome::Diverged { .. } => "diverged",
+            TrialOutcome::Failed { .. } => "failed",
+            TrialOutcome::TimedOut { .. } => "timeout",
+        }
+    }
+
+    /// Whether a record with this outcome is terminal for resume purposes
+    /// (not re-run when its trial appears in a future grid).
+    pub fn is_settled(&self) -> bool {
+        !matches!(self, TrialOutcome::Failed { .. })
+    }
+
+    /// Whether metrics from this record contribute to aggregates.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TrialOutcome::Ok)
+    }
+}
+
+/// One reported topic: its test-NPMI score and top words (Tables IV–VI).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopicRecord {
+    /// Mean pairwise NPMI of the topic's top words.
+    pub npmi: f64,
+    /// The topic's highest-probability words.
+    pub words: Vec<String>,
+}
+
+/// One ledger entry: a finished trial with its spec, outcome and metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialRecord {
+    /// Content hash of `spec` — the trial key.
+    pub key: String,
+    /// The full spec, embedded so the ledger is self-describing.
+    pub spec: TrialSpec,
+    /// How the trial ended.
+    pub outcome: TrialOutcome,
+    /// 0 for a first run; `n` for the n-th fallback-seed retry.
+    pub attempt: u32,
+    /// The seed actually trained when a divergence retry succeeded with a
+    /// fallback seed (the record stays under the original trial key).
+    pub fallback_seed: Option<u64>,
+    /// Wall-clock time of the training + evaluation, milliseconds. Not
+    /// deterministic; excluded from aggregate artifacts.
+    pub wall_ms: u64,
+    /// Diverged batches dropped during training (PR 2's skip policy).
+    pub skipped_batches: u64,
+    /// Named scalar metrics (sorted keys; deterministic).
+    pub metrics: BTreeMap<String, f64>,
+    /// Top topics by test NPMI, for the case-study tables.
+    pub topics: Vec<TopicRecord>,
+}
+
+impl TrialRecord {
+    /// Render as one ledger line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"v\":1,\"key\":\"");
+        s.push_str(&self.key);
+        s.push_str("\",\"spec\":");
+        s.push_str(&self.spec.canonical());
+        s.push_str(",\"outcome\":\"");
+        s.push_str(self.outcome.id());
+        s.push('"');
+        match &self.outcome {
+            TrialOutcome::Diverged { detail } => {
+                s.push_str(",\"detail\":");
+                s.push_str(&Json::Str(detail.clone()).emit());
+            }
+            TrialOutcome::Failed { message } => {
+                s.push_str(",\"detail\":");
+                s.push_str(&Json::Str(message.clone()).emit());
+            }
+            TrialOutcome::TimedOut { budget_ms } => {
+                s.push_str(&format!(",\"budget_ms\":{budget_ms}"));
+            }
+            TrialOutcome::Ok => {}
+        }
+        s.push_str(&format!(",\"attempt\":{}", self.attempt));
+        match self.fallback_seed {
+            Some(seed) => s.push_str(&format!(",\"fallback_seed\":{seed}")),
+            None => s.push_str(",\"fallback_seed\":null"),
+        }
+        s.push_str(&format!(
+            ",\"wall_ms\":{},\"skipped_batches\":{}",
+            self.wall_ms, self.skipped_batches
+        ));
+        s.push_str(",\"metrics\":{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&Json::Str(k.clone()).emit());
+            s.push(':');
+            s.push_str(&json::emit_f64(*v));
+        }
+        s.push_str("},\"topics\":[");
+        for (i, t) in self.topics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"npmi\":{},\"words\":", json::emit_f64(t.npmi)));
+            s.push_str(&Json::Arr(t.words.iter().map(|w| Json::Str(w.clone())).collect()).emit());
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse one ledger line.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let v = json::parse(line)?;
+        let get = |k: &str| v.get(k).ok_or_else(|| format!("record missing '{k}'"));
+        let key = get("key")?.as_str().ok_or("key not a string")?.to_string();
+        let spec = TrialSpec::from_json(get("spec")?)?;
+        let detail = || {
+            v.get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let outcome = match get("outcome")?.as_str().ok_or("outcome not a string")? {
+            "ok" => TrialOutcome::Ok,
+            "diverged" => TrialOutcome::Diverged { detail: detail() },
+            "failed" => TrialOutcome::Failed { message: detail() },
+            "timeout" => TrialOutcome::TimedOut {
+                budget_ms: v.get("budget_ms").and_then(Json::as_u64).unwrap_or(0),
+            },
+            other => return Err(format!("unknown outcome '{other}'")),
+        };
+        let fallback_seed = match get("fallback_seed")? {
+            Json::Null => None,
+            s => Some(s.as_u64().ok_or("bad fallback_seed")?),
+        };
+        let mut metrics = BTreeMap::new();
+        if let Json::Obj(members) = get("metrics")? {
+            for (k, val) in members {
+                metrics.insert(
+                    k.clone(),
+                    val.as_f64().ok_or_else(|| format!("bad metric '{k}'"))?,
+                );
+            }
+        }
+        let mut topics = Vec::new();
+        for t in get("topics")?.as_arr().ok_or("topics not an array")? {
+            topics.push(TopicRecord {
+                npmi: t
+                    .get("npmi")
+                    .and_then(Json::as_f64)
+                    .ok_or("bad topic npmi")?,
+                words: t
+                    .get("words")
+                    .and_then(Json::as_arr)
+                    .ok_or("bad topic words")?
+                    .iter()
+                    .map(|w| w.as_str().map(str::to_string).ok_or("bad topic word"))
+                    .collect::<Result<_, _>>()?,
+            });
+        }
+        Ok(Self {
+            key,
+            spec,
+            outcome,
+            attempt: get("attempt")?.as_u64().ok_or("bad attempt")? as u32,
+            fallback_seed,
+            wall_ms: get("wall_ms")?.as_u64().ok_or("bad wall_ms")?,
+            skipped_batches: get("skipped_batches")?
+                .as_u64()
+                .ok_or("bad skipped_batches")?,
+            metrics,
+            topics,
+        })
+    }
+}
+
+/// The on-disk ledger: an append-only JSONL file plus the replayed
+/// last-record-per-key index.
+pub struct Ledger {
+    path: PathBuf,
+    latest: HashMap<String, TrialRecord>,
+    records_on_disk: usize,
+    malformed: usize,
+}
+
+impl Ledger {
+    /// Open (or create) the ledger at `path`, replaying existing records.
+    /// Malformed lines — e.g. a final line truncated by a crash — are
+    /// counted and skipped, never fatal.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut latest = HashMap::new();
+        let mut records_on_disk = 0usize;
+        let mut malformed = 0usize;
+        match File::open(&path) {
+            Ok(file) => {
+                for line in BufReader::new(file).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match TrialRecord::from_line(&line) {
+                        Ok(rec) => {
+                            records_on_disk += 1;
+                            latest.insert(rec.key.clone(), rec);
+                        }
+                        Err(_) => malformed += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self {
+            path,
+            latest,
+            records_on_disk,
+            malformed,
+        })
+    }
+
+    /// The file this ledger appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The latest record for a trial key, if any.
+    pub fn get(&self, key: &str) -> Option<&TrialRecord> {
+        self.latest.get(key)
+    }
+
+    /// The latest *settled* record for a trial key (the resume check).
+    pub fn settled(&self, key: &str) -> Option<&TrialRecord> {
+        self.latest.get(key).filter(|r| r.outcome.is_settled())
+    }
+
+    /// Number of records replayed from disk at open time (including ones
+    /// later superseded by retries).
+    pub fn records_on_disk(&self) -> usize {
+        self.records_on_disk
+    }
+
+    /// Number of distinct trial keys with a record.
+    pub fn distinct_trials(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Malformed lines skipped at open time.
+    pub fn malformed_lines(&self) -> usize {
+        self.malformed
+    }
+
+    /// Append one record and flush it to disk before returning, so a
+    /// completed trial survives any later crash.
+    pub fn append(&mut self, record: TrialRecord) -> std::io::Result<()> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(w, "{}", record.to_line())?;
+        w.flush()?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        self.records_on_disk += 1;
+        self.latest.insert(record.key.clone(), record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelKind;
+    use ct_corpus::{DatasetPreset, Scale};
+
+    fn record(seed: u64, outcome: TrialOutcome) -> TrialRecord {
+        let spec = TrialSpec::baseline(ModelKind::Etm, DatasetPreset::Ng20Like, Scale::Tiny, seed);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("coh@100".to_string(), 0.125);
+        metrics.insert("div@100".to_string(), 0.5);
+        TrialRecord {
+            key: spec.key(),
+            spec,
+            outcome,
+            attempt: 0,
+            fallback_seed: None,
+            wall_ms: 12,
+            skipped_batches: 0,
+            metrics,
+            topics: vec![TopicRecord {
+                npmi: 0.25,
+                words: vec!["alpha".into(), "beta".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_its_line() {
+        for outcome in [
+            TrialOutcome::Ok,
+            TrialOutcome::Diverged {
+                detail: "all batches diverged at epoch 3".into(),
+            },
+            TrialOutcome::Failed {
+                message: "panicked: \"boom\"".into(),
+            },
+            TrialOutcome::TimedOut { budget_ms: 500 },
+        ] {
+            let rec = record(42, outcome);
+            let parsed = TrialRecord::from_line(&rec.to_line()).unwrap();
+            assert_eq!(parsed, rec);
+        }
+    }
+
+    #[test]
+    fn replay_keeps_last_record_per_key() {
+        let dir = std::env::temp_dir().join(format!("ct-exp-ledger-{}", std::process::id()));
+        let path = dir.join("replay.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut ledger = Ledger::open(&path).unwrap();
+        let diverged = record(
+            42,
+            TrialOutcome::Diverged {
+                detail: "first attempt".into(),
+            },
+        );
+        let key = diverged.key.clone();
+        ledger.append(diverged).unwrap();
+        let mut retried = record(42, TrialOutcome::Ok);
+        retried.attempt = 1;
+        retried.fallback_seed = Some(1042);
+        ledger.append(retried.clone()).unwrap();
+
+        let reopened = Ledger::open(&path).unwrap();
+        assert_eq!(reopened.records_on_disk(), 2);
+        assert_eq!(reopened.distinct_trials(), 1);
+        assert_eq!(reopened.settled(&key), Some(&retried));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_line_is_skipped() {
+        let dir = std::env::temp_dir().join(format!("ct-exp-ledger-t-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.jsonl");
+        let full = record(42, TrialOutcome::Ok);
+        let half = record(43, TrialOutcome::Ok);
+        let mut contents = full.to_line();
+        contents.push('\n');
+        let half_line = half.to_line();
+        contents.push_str(&half_line[..half_line.len() / 2]);
+        std::fs::write(&path, contents).unwrap();
+
+        let ledger = Ledger::open(&path).unwrap();
+        assert_eq!(ledger.records_on_disk(), 1);
+        assert_eq!(ledger.malformed_lines(), 1);
+        assert!(ledger.settled(&full.key).is_some());
+        assert!(ledger.settled(&half.key).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_records_are_not_settled() {
+        let rec = record(
+            42,
+            TrialOutcome::Failed {
+                message: "boom".into(),
+            },
+        );
+        assert!(!rec.outcome.is_settled());
+        assert!(TrialOutcome::Ok.is_settled());
+        assert!(TrialOutcome::TimedOut { budget_ms: 1 }.is_settled());
+    }
+}

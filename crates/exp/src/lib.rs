@@ -1,0 +1,51 @@
+//! `ct-exp` — deterministic, resumable experiment orchestration.
+//!
+//! Turns the paper's experiments into declarative, cached, restartable
+//! jobs:
+//!
+//! - [`TrialSpec`] names one training run — model, dataset preset, scale,
+//!   seeds, hyperparameters — with a canonical serialized form whose
+//!   content hash ([`TrialSpec::key`]) is the trial's identity. Training
+//!   is bitwise deterministic in the spec (thread-count invariant since
+//!   the data-parallel trainer landed), so the key is a sound cache key.
+//! - [`Ledger`]: an append-only JSONL run ledger. Settled trials are
+//!   served from it on restart instead of retraining, and an interrupted
+//!   sweep resumes mid-grid with bitwise-identical final aggregates.
+//! - [`run_grid`]: the scheduler — bounded-concurrency execution of
+//!   independent trials on the shared worker pool, with typed failure
+//!   records, a soft per-trial timeout, and a configurable
+//!   [`DivergedTrialPolicy`].
+//! - [`aggregate_groups`] / [`paired_bootstrap`]: multi-seed mean ± std
+//!   and paired bootstrap significance of ContraTopic against each
+//!   baseline.
+//! - [`ExperimentReport`]: markdown + JSON artifacts under `results/`.
+//!
+//! The named paper experiments live in [`registry::EXPERIMENTS`]; their
+//! grids overlap deliberately so a full schedule trains each distinct
+//! trial once.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod context;
+pub mod json;
+pub mod ledger;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod sched;
+pub mod spec;
+
+pub use agg::{
+    aggregate_groups, mean_std, paired_bootstrap, GroupAggregate, MeanStd, PairedBootstrap,
+};
+pub use context::{
+    cluster_counts, embedding_noise, evaluate_clustering, evaluate_interpretability, fit_trial,
+    num_seeds, num_seeds_or, ContextCache, ExperimentContext, InterpretabilityResult,
+};
+pub use ledger::{Ledger, TopicRecord, TrialOutcome, TrialRecord};
+pub use registry::{ExperimentDef, EXPERIMENTS};
+pub use report::{group_label, parse_group_means, ExperimentReport, SignificanceRow};
+pub use runner::{run_trial, trained_count};
+pub use sched::{run_grid, DivergedTrialPolicy, Progress, RunSummary, SchedulerConfig};
+pub use spec::{default_lambda, CtParams, ModelKind, TrialSpec};

@@ -1,0 +1,303 @@
+//! The named experiments: each paper figure/table declared as a trial
+//! grid. Grids deliberately overlap — fig3's trials are a subset of
+//! fig2's, table456 reuses fig2's seed-42 trials, fig4/fig5's default
+//! sweep points coincide with fig2's ContraTopic runs — and the shared
+//! ledger makes each distinct trial train exactly once across a full
+//! experiment schedule.
+
+use contratopic::AblationVariant;
+use ct_corpus::{DatasetPreset, Scale};
+
+use crate::spec::{default_lambda, CtParams, ModelKind, TrialSpec, BASE_SEED};
+
+/// A named experiment: its grid plus presentation metadata.
+pub struct ExperimentDef {
+    /// Stable name (CLI argument, artifact file stem).
+    pub name: &'static str,
+    /// Human title used in report headings.
+    pub title: &'static str,
+    /// Seeds per configuration when the caller doesn't override.
+    pub default_seeds: usize,
+    grid: fn(Scale, usize) -> Vec<TrialSpec>,
+}
+
+impl ExperimentDef {
+    /// The experiment's trial grid at `scale` with `seeds` seeds per
+    /// configuration (single-seed experiments ignore `seeds`).
+    pub fn grid(&self, scale: Scale, seeds: usize) -> Vec<TrialSpec> {
+        (self.grid)(scale, seeds.max(1))
+    }
+
+    /// Look up an experiment by name.
+    pub fn find(name: &str) -> Option<&'static ExperimentDef> {
+        EXPERIMENTS.iter().find(|e| e.name == name)
+    }
+}
+
+/// All registered experiments, in the order `run_all_experiments.sh`
+/// runs them.
+pub static EXPERIMENTS: &[ExperimentDef] = &[
+    ExperimentDef {
+        name: "fig2",
+        title: "Figure 2 — topic coherence and diversity vs selected-topic proportion",
+        default_seeds: 2,
+        grid: fig2_grid,
+    },
+    ExperimentDef {
+        name: "fig3",
+        title: "Figure 3 — km-Purity / km-NMI on labelled datasets",
+        default_seeds: 2,
+        grid: fig3_grid,
+    },
+    ExperimentDef {
+        name: "table2",
+        title: "Table II — ablation study on 20NG-like",
+        default_seeds: 2,
+        grid: table2_grid,
+    },
+    ExperimentDef {
+        name: "table456",
+        title: "Tables IV–VI — case study: top topics per model",
+        default_seeds: 1,
+        grid: table456_grid,
+    },
+    ExperimentDef {
+        name: "fig4",
+        title: "Figure 4 — sensitivity to lambda and v (20NG-like, Yahoo-like)",
+        default_seeds: 1,
+        grid: fig4_grid,
+    },
+    ExperimentDef {
+        name: "fig5",
+        title: "Figure 5 — sensitivity to lambda and v (NYTimes-like)",
+        default_seeds: 1,
+        grid: fig5_grid,
+    },
+    ExperimentDef {
+        name: "fig6",
+        title: "Figure 6 — backbone substitution",
+        default_seeds: 1,
+        grid: fig6_grid,
+    },
+    ExperimentDef {
+        name: "smoke",
+        title: "Smoke — tiny 2-model grid for the orchestration gate",
+        default_seeds: 2,
+        grid: smoke_grid,
+    },
+];
+
+fn seeded(mut spec: TrialSpec, s: usize) -> TrialSpec {
+    spec.seed = BASE_SEED + s as u64;
+    spec
+}
+
+fn fig2_grid(scale: Scale, seeds: usize) -> Vec<TrialSpec> {
+    let mut grid = Vec::new();
+    for preset in DatasetPreset::ALL {
+        for model in ModelKind::ALL {
+            for s in 0..seeds {
+                grid.push(seeded(
+                    TrialSpec::baseline(model, preset, scale, BASE_SEED),
+                    s,
+                ));
+            }
+        }
+    }
+    grid
+}
+
+fn fig3_grid(scale: Scale, seeds: usize) -> Vec<TrialSpec> {
+    let mut grid = Vec::new();
+    for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
+        for model in ModelKind::ALL {
+            for s in 0..seeds {
+                grid.push(seeded(
+                    TrialSpec::baseline(model, preset, scale, BASE_SEED),
+                    s,
+                ));
+            }
+        }
+    }
+    grid
+}
+
+fn table2_grid(scale: Scale, seeds: usize) -> Vec<TrialSpec> {
+    let preset = DatasetPreset::Ng20Like;
+    let mut grid = Vec::new();
+    for variant in AblationVariant::ALL {
+        for s in 0..seeds {
+            let mut spec = TrialSpec::baseline(ModelKind::ContraTopic, preset, scale, BASE_SEED);
+            let mut ct = CtParams::preset_default(preset);
+            ct.variant = variant;
+            spec.ct = Some(ct);
+            grid.push(seeded(spec, s));
+        }
+    }
+    grid
+}
+
+fn table456_grid(scale: Scale, _seeds: usize) -> Vec<TrialSpec> {
+    let models = [
+        ModelKind::Lda,
+        ModelKind::Etm,
+        ModelKind::WeTe,
+        ModelKind::Clntm,
+        ModelKind::ContraTopic,
+    ];
+    let mut grid = Vec::new();
+    for preset in DatasetPreset::ALL {
+        for model in models {
+            grid.push(TrialSpec::baseline(model, preset, scale, BASE_SEED));
+        }
+    }
+    grid
+}
+
+fn sensitivity_point(preset: DatasetPreset, scale: Scale, lambda: f32, v: usize) -> TrialSpec {
+    let mut spec = TrialSpec::baseline(ModelKind::ContraTopic, preset, scale, BASE_SEED);
+    spec.ct = Some(CtParams {
+        lambda,
+        v,
+        ..CtParams::preset_default(preset)
+    });
+    spec
+}
+
+fn fig4_grid(scale: Scale, _seeds: usize) -> Vec<TrialSpec> {
+    let mut grid = Vec::new();
+    for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
+        for lambda in [0.0f32, 100.0, 400.0, 1200.0] {
+            grid.push(sensitivity_point(preset, scale, lambda, 10));
+        }
+        for v in [1usize, 7, 13, 19] {
+            grid.push(sensitivity_point(preset, scale, default_lambda(preset), v));
+        }
+    }
+    grid
+}
+
+fn fig5_grid(scale: Scale, _seeds: usize) -> Vec<TrialSpec> {
+    let preset = DatasetPreset::NyTimesLike;
+    let mut grid = Vec::new();
+    for lambda in [0.0f32, 150.0, 600.0, 1800.0] {
+        grid.push(sensitivity_point(preset, scale, lambda, 10));
+    }
+    for v in [1usize, 7, 13, 19] {
+        grid.push(sensitivity_point(preset, scale, default_lambda(preset), v));
+    }
+    grid
+}
+
+fn fig6_grid(scale: Scale, seeds: usize) -> Vec<TrialSpec> {
+    let models = [
+        ModelKind::Etm,
+        ModelKind::ContraTopic,
+        ModelKind::Wlda,
+        ModelKind::ContraTopicWlda,
+        ModelKind::WeTe,
+        ModelKind::ContraTopicWete,
+    ];
+    let mut grid = Vec::new();
+    for preset in [DatasetPreset::Ng20Like, DatasetPreset::YahooLike] {
+        for model in models {
+            for s in 0..seeds {
+                grid.push(seeded(
+                    TrialSpec::baseline(model, preset, scale, BASE_SEED),
+                    s,
+                ));
+            }
+        }
+    }
+    grid
+}
+
+fn smoke_grid(_scale: Scale, seeds: usize) -> Vec<TrialSpec> {
+    let mut grid = Vec::new();
+    for model in [ModelKind::Etm, ModelKind::ContraTopic] {
+        for s in 0..seeds {
+            let mut spec =
+                TrialSpec::baseline(model, DatasetPreset::Ng20Like, Scale::Tiny, BASE_SEED);
+            spec.epochs = Some(2);
+            grid.push(seeded(spec, s));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names = HashSet::new();
+        for def in EXPERIMENTS {
+            assert!(names.insert(def.name), "duplicate name {}", def.name);
+            assert!(ExperimentDef::find(def.name).is_some());
+        }
+        assert!(ExperimentDef::find("nope").is_none());
+    }
+
+    #[test]
+    fn fig2_covers_all_models_and_presets() {
+        let grid = ExperimentDef::find("fig2").unwrap().grid(Scale::Tiny, 2);
+        assert_eq!(grid.len(), 3 * 10 * 2);
+        let keys: HashSet<String> = grid.iter().map(TrialSpec::key).collect();
+        assert_eq!(keys.len(), grid.len(), "no duplicate trials inside fig2");
+    }
+
+    #[test]
+    fn fig3_is_a_subset_of_fig2() {
+        let fig2: HashSet<String> = ExperimentDef::find("fig2")
+            .unwrap()
+            .grid(Scale::Tiny, 2)
+            .iter()
+            .map(TrialSpec::key)
+            .collect();
+        for spec in ExperimentDef::find("fig3").unwrap().grid(Scale::Tiny, 2) {
+            assert!(
+                fig2.contains(&spec.key()),
+                "fig3 trial {} not shared with fig2",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_full_variant_is_shared_with_fig2() {
+        let fig2: HashSet<String> = ExperimentDef::find("fig2")
+            .unwrap()
+            .grid(Scale::Tiny, 2)
+            .iter()
+            .map(TrialSpec::key)
+            .collect();
+        let table2 = ExperimentDef::find("table2").unwrap().grid(Scale::Tiny, 2);
+        let shared = table2.iter().filter(|s| fig2.contains(&s.key())).count();
+        assert_eq!(shared, 2, "the Full-variant seeds coincide with fig2");
+        assert_eq!(table2.len(), 5 * 2);
+    }
+
+    #[test]
+    fn fig4_default_point_is_shared_with_fig2() {
+        let fig2: HashSet<String> = ExperimentDef::find("fig2")
+            .unwrap()
+            .grid(Scale::Tiny, 1)
+            .iter()
+            .map(TrialSpec::key)
+            .collect();
+        let fig4 = ExperimentDef::find("fig4").unwrap().grid(Scale::Tiny, 1);
+        let shared = fig4.iter().filter(|s| fig2.contains(&s.key())).count();
+        // lambda=400/v=10 on both labelled presets is the default config.
+        assert!(shared >= 2, "shared fig4 points: {shared}");
+    }
+
+    #[test]
+    fn smoke_grid_is_tiny() {
+        let grid = ExperimentDef::find("smoke").unwrap().grid(Scale::Full, 2);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.iter().all(|s| s.scale == Scale::Tiny));
+        assert!(grid.iter().all(|s| s.epochs == Some(2)));
+    }
+}

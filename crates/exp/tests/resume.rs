@@ -1,0 +1,115 @@
+//! Ledger-resume integration test: run a small grid, truncate the ledger
+//! to simulate an interruption, resume, and assert that (a) already
+//! settled trials are not retrained (via the trained-trial counter) and
+//! (b) the final aggregate JSON is bitwise identical to an uninterrupted
+//! run's.
+
+use std::path::PathBuf;
+
+use ct_corpus::{DatasetPreset, Scale};
+use ct_exp::{
+    run_grid, trained_count, ContextCache, ExperimentReport, Ledger, ModelKind, SchedulerConfig,
+    TrialSpec,
+};
+
+fn grid() -> Vec<TrialSpec> {
+    let mut specs = Vec::new();
+    for model in [ModelKind::Etm, ModelKind::ContraTopic] {
+        for seed in [42u64, 43] {
+            let mut s = TrialSpec::baseline(model, DatasetPreset::Ng20Like, Scale::Tiny, seed);
+            s.epochs = Some(2);
+            specs.push(s);
+        }
+    }
+    specs
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ct-exp-resume-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn run_to_completion(path: &PathBuf, contexts: &ContextCache) -> Vec<ct_exp::TrialRecord> {
+    let mut ledger = Ledger::open(path).unwrap();
+    let (records, _) = run_grid(
+        &grid(),
+        &mut ledger,
+        contexts,
+        &SchedulerConfig::default(),
+        &|_| {},
+    )
+    .unwrap();
+    records
+}
+
+#[test]
+fn truncated_ledger_resumes_without_retraining_settled_trials() {
+    let contexts = ContextCache::new();
+
+    // Reference: one uninterrupted run.
+    let ref_path = temp_path("ref");
+    let _ = std::fs::remove_file(&ref_path);
+    let reference = run_to_completion(&ref_path, &contexts);
+    let ref_json = ExperimentReport::build("resume", "Resume test", &reference).to_json();
+
+    // Interrupted run: complete, then truncate the ledger file to its
+    // first 2 records (as if the process died mid-grid), with the third
+    // line cut mid-record (as if it died mid-append).
+    let cut_path = temp_path("cut");
+    let _ = std::fs::remove_file(&cut_path);
+    run_to_completion(&cut_path, &contexts);
+    let contents = std::fs::read_to_string(&cut_path).unwrap();
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 4);
+    let mut truncated = format!("{}\n{}\n", lines[0], lines[1]);
+    truncated.push_str(&lines[2][..lines[2].len() / 3]);
+    std::fs::write(&cut_path, truncated).unwrap();
+
+    // Resume. The 2 surviving settled trials must be served from the
+    // ledger (trained-count grows by exactly the 2 missing trials).
+    let mut ledger = Ledger::open(&cut_path).unwrap();
+    assert_eq!(ledger.records_on_disk(), 2);
+    assert_eq!(ledger.malformed_lines(), 1, "the torn line is skipped");
+    let before = trained_count();
+    let (resumed, summary) = run_grid(
+        &grid(),
+        &mut ledger,
+        &contexts,
+        &SchedulerConfig::default(),
+        &|_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        trained_count() - before,
+        2,
+        "only the trials lost to truncation retrain"
+    );
+    assert_eq!(summary.reused, 2);
+    assert_eq!(summary.executed, 2);
+
+    // The resumed aggregate artifact is bitwise identical.
+    let resumed_json = ExperimentReport::build("resume", "Resume test", &resumed).to_json();
+    assert_eq!(ref_json, resumed_json);
+
+    // And a further re-run performs zero training at all.
+    let before = trained_count();
+    let (rerun, _) = run_grid(
+        &grid(),
+        &mut ledger,
+        &contexts,
+        &SchedulerConfig::default(),
+        &|_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        trained_count(),
+        before,
+        "completed sweep re-run trains nothing"
+    );
+    assert_eq!(
+        ExperimentReport::build("resume", "Resume test", &rerun).to_json(),
+        ref_json
+    );
+
+    std::fs::remove_file(&ref_path).unwrap();
+    std::fs::remove_file(&cut_path).unwrap();
+}

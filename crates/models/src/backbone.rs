@@ -158,6 +158,10 @@ impl<B: Backbone> TopicModel for Fitted<B> {
         })
     }
 
+    fn train_stats(&self) -> Option<&TrainStats> {
+        Some(&self.stats)
+    }
+
     fn num_topics(&self) -> usize {
         self.backbone.num_topics()
     }

@@ -157,6 +157,15 @@ pub trait TopicModel {
 
     /// Number of topics.
     fn num_topics(&self) -> usize;
+
+    /// Telemetry of the training run that produced this model, when the
+    /// implementation keeps it (gradient-trained models do; closed-form
+    /// or collapsed-sampling models like LDA return `None`). The
+    /// experiment runner uses this to classify diverged trials without
+    /// attaching a trace sink to every fit path.
+    fn train_stats(&self) -> Option<&TrainStats> {
+        None
+    }
 }
 
 /// How a training run ended.

@@ -44,7 +44,7 @@ cargo run --release -q -p ct-bench --bin perf_snapshot -- --smoke
 echo "== cargo doc --no-deps (warning-free)"
 doc_log=$(mktemp)
 cargo doc --no-deps -p ct-tensor -p ct-corpus -p ct-models -p contratopic \
-  -p ct-eval -p ct-serve -p ct-bench 2>&1 | tee "$doc_log"
+  -p ct-eval -p ct-serve -p ct-exp -p ct-bench 2>&1 | tee "$doc_log"
 if grep -q "^warning" "$doc_log"; then
   echo "error: cargo doc emitted warnings — document the public API" >&2
   rm -f "$doc_log"
@@ -63,10 +63,42 @@ lib_paths=(
   crates/eval/src
   crates/core/src
   crates/serve/src
+  crates/exp/src
   crates/bench/src/lib.rs
 )
 if grep -rn "eprintln!" "${lib_paths[@]}" | grep -v ':[0-9]*:[[:space:]]*//'; then
   echo "error: eprintln! found in a library crate — route output through ct_models::trace" >&2
+  exit 1
+fi
+
+# Experiment orchestration must be resumable and deterministic: a tiny
+# 2-model × 2-seed grid, interrupted after 2 trials and resumed, must
+# produce a report artifact bitwise identical to an uninterrupted run
+# at a different worker count — and re-running a completed sweep must
+# train nothing.
+echo "== experiment ledger resume smoke (run → interrupt → resume)"
+cargo build --release -q -p ct-cli
+exp_tmp=$(mktemp -d)
+trap 'rm -rf "$exp_tmp"' EXIT
+exp_a="$exp_tmp/interrupted"
+exp_b="$exp_tmp/uninterrupted"
+exp_args=(experiment --exp smoke --scale tiny --seeds 2)
+CT_NUM_THREADS=1 ./target/release/contratopic "${exp_args[@]}" --op run \
+  --ledger "$exp_a/ledger/trials.jsonl" --out "$exp_a" --limit 2 > /dev/null
+CT_NUM_THREADS=1 ./target/release/contratopic "${exp_args[@]}" --op resume \
+  --ledger "$exp_a/ledger/trials.jsonl" --out "$exp_a" > /dev/null
+CT_NUM_THREADS=4 ./target/release/contratopic "${exp_args[@]}" --op run --jobs 2 \
+  --ledger "$exp_b/ledger/trials.jsonl" --out "$exp_b" > /dev/null
+if ! cmp -s "$exp_a/exp_smoke.json" "$exp_b/exp_smoke.json"; then
+  echo "error: resumed aggregate differs from uninterrupted run" >&2
+  diff "$exp_a/exp_smoke.json" "$exp_b/exp_smoke.json" >&2 || true
+  exit 1
+fi
+rerun=$(CT_NUM_THREADS=1 ./target/release/contratopic "${exp_args[@]}" --op resume \
+  --ledger "$exp_a/ledger/trials.jsonl" --out "$exp_a")
+if ! grep -q "smoke: 0 trained, 4 from ledger" <<< "$rerun"; then
+  echo "error: re-running a completed sweep retrained trials:" >&2
+  echo "$rerun" >&2
   exit 1
 fi
 

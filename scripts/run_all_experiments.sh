@@ -1,18 +1,33 @@
 #!/bin/sh
 # Regenerate every table and figure. Outputs land in results/.
-# CT_SCALE/CT_SEEDS can be overridden; defaults below match EXPERIMENTS.md.
+#
+# CT_SCALE selects the corpus preset sizes (tiny|quick|full, default
+# quick). CT_SEEDS, when set, overrides the per-harness seed defaults
+# below for EVERY harness; unset, each harness runs with the default
+# its figure/table documents (multi-seed where EXPERIMENTS.md reports
+# mean±std, single-seed for the sensitivity sweeps and case studies).
+#
+# All harnesses share the run ledger (results/ledger/trials.jsonl), so
+# trials common to several figures train once and re-runs of completed
+# sweeps perform no training at all.
 set -e
 cd "$(dirname "$0")/.."
 cargo build --release -p ct-bench
 export CT_SCALE="${CT_SCALE:-quick}"
-run() { echo "== $1 (seeds=$2) =="; CT_SEEDS=$2 ./target/release/"$1" > "results/$1.txt" 2>&1; }
+# Tables land in results/<bin>.txt; live training progress (stderr) goes
+# to results/<bin>.progress so the recorded tables stay clean.
+run() {
+  seeds="${CT_SEEDS:-$2}"
+  echo "== $1 (seeds=$seeds) =="
+  CT_SEEDS=$seeds ./target/release/"$1" > "results/$1.txt" 2> "results/$1.progress"
+}
 run table1_datasets 1
-run fig2_interpretability 1
-run table2_ablation 1
+run fig2_interpretability 2
+run table2_ablation 2
 run table3_intrusion 1
 run fig6_backbone 1
 run table456_case_study 1
-run fig3_clustering 1
+run fig3_clustering 2
 run sec5e_compute 1
 run fig4_sensitivity 1
 run fig5_sensitivity_nyt 1
