@@ -41,6 +41,38 @@ fn bench_sgemm(c: &mut Criterion) {
     group.bench_function("tn_256x128x600_dw", |bencher| {
         bencher.iter(|| black_box(x.matmul_tn(&g)))
     });
+    // NT below the transpose-route crossover (m*k*n < 2^23): exercises
+    // the four-accumulator dot-product path the big shapes above no
+    // longer take, so a regression in either NT route is visible.
+    let sa = Tensor::randn(128, 256, 1.0, &mut rng);
+    let sb = Tensor::randn(128, 256, 1.0, &mut rng);
+    group.bench_function("nt_128x256x128_small_route", |bencher| {
+        bencher.iter(|| black_box(sa.matmul_nt(&sb)))
+    });
+    // CSR encoder shapes: a bag-of-words batch (256 docs, vocab 600,
+    // ~40 distinct words per doc) through the sparse forward and
+    // weight-gradient kernels.
+    let corpus = {
+        let spec = SynthSpec {
+            vocab_size: 600,
+            num_topics: 8,
+            num_docs: 256,
+            avg_doc_len: 40.0,
+            ..Default::default()
+        };
+        let mut crng = StdRng::seed_from_u64(9);
+        generate(&spec, &mut crng).corpus
+    };
+    let idx: Vec<usize> = (0..256).collect();
+    let xs = corpus.csr_batch(&idx);
+    let we = Tensor::randn(600, 128, 1.0, &mut rng);
+    let ge = Tensor::randn(256, 128, 1.0, &mut rng);
+    group.bench_function("csr_256x600x128_enc_fwd", |bencher| {
+        bencher.iter(|| black_box(xs.matmul(&we)))
+    });
+    group.bench_function("csr_tn_600x256x128_dw", |bencher| {
+        bencher.iter(|| black_box(xs.matmul_tn(&ge)))
+    });
     group.finish();
 }
 

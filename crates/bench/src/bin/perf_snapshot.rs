@@ -2,7 +2,7 @@
 //!
 //! Writes two JSON files into the current directory:
 //!
-//! - `BENCH_sgemm.json` — median wall-time (and derived GFLOP/s) for the
+//! - `BENCH_sgemm.json` — best wall-time (and derived GFLOP/s) for the
 //!   three SGEMM layouts at training shapes, plus the square baseline.
 //! - `BENCH_train_epoch.json` — median wall-time of a one-epoch
 //!   `fit_contratopic` run on the shared train-epoch fixture, swept over
@@ -14,11 +14,15 @@
 //! counts and writes nothing — a CI gate so the binary cannot rot.
 //!
 //! The JSON is assembled by hand (no serde in this workspace) and kept flat
-//! so CI or a human can diff successive snapshots: each entry is
-//! `{"name": ..., "median_ns": ..., ...}`. Medians are over `SGEMM_SAMPLES`
-//! / `EPOCH_SAMPLES` runs after one warm-up, which also spins up the worker
-//! pool. Note the speedup of the worker sweep is bounded by the *physical*
-//! cores of the machine (the `cores` field), not by the worker count.
+//! so CI or a human can diff successive snapshots. SGEMM rows report the
+//! *best* (minimum) time over the sample loop: on a shared box,
+//! interference only ever slows a sample down, so min-time is the stable
+//! estimator a ±10% regression gate can be built on, while medians would
+//! flake with scheduler noise. The epoch sweep keeps medians (its samples
+//! are long enough to average the noise out) over `EPOCH_SAMPLES` runs
+//! after one warm-up, which also spins up the worker pool. Note the
+//! speedup of the worker sweep is bounded by the *physical* cores of the
+//! machine (the `cores` field), not by the worker count.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -50,12 +54,52 @@ fn time_median<F: FnMut()>(samples: usize, mut f: F) -> u128 {
     median_ns(&mut out)
 }
 
+/// Best (minimum) time over `samples` runs after one warm-up. Used for the
+/// SGEMM micro-rows: scheduler interference is strictly additive, so the
+/// minimum converges on the kernel's true cost and stays reproducible
+/// enough for the 10% regression gate in `scripts/check.sh`.
+fn time_best<F: FnMut()>(samples: usize, mut f: F) -> u128 {
+    f(); // warm-up: allocator, caches, worker pool
+    let mut best = u128::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
 struct SgemmCase {
     name: &'static str,
     m: usize,
     k: usize,
     n: usize,
-    median_ns: u128,
+    best_ns: u128,
+}
+
+/// A synthetic encoder input batch in CSR storage: 256 documents over a
+/// 600-word vocabulary at ~40 distinct words each — the same density as
+/// the train-epoch fixture, so the `csr_*` rows measure the storage
+/// backend on a realistic batch rather than a best-case one.
+fn csr_encoder_batch() -> Tensor {
+    let mut state = 42u64;
+    let mut step = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    let rows: Vec<Vec<(u32, f32)>> = (0..256)
+        .map(|_| {
+            let mut ids: Vec<u32> = (0..40).map(|_| (step() % 600) as u32).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.into_iter()
+                .map(|id| (id, 1.0 + (step() % 5) as f32))
+                .collect()
+        })
+        .collect();
+    Tensor::from_csr(ct_tensor::CsrMatrix::from_rows(256, 600, rows))
 }
 
 fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
@@ -65,6 +109,10 @@ fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
     let x = Tensor::randn(256, 128, 1.0, &mut rng); // activations (B, H)
     let w = Tensor::randn(128, 600, 1.0, &mut rng); // weights (H, V)
     let g = Tensor::randn(256, 600, 1.0, &mut rng); // upstream grad (B, V)
+    let xs = csr_encoder_batch(); // sparse encoder input (B, V)
+    let we = Tensor::randn(600, 128, 1.0, &mut rng); // encoder weights (V, H)
+    let ge = Tensor::randn(256, 128, 1.0, &mut rng); // encoder out grad (B, H)
+    let mut cbuf = vec![0.0f32; 256 * 600]; // axpy accumulator rows
 
     vec![
         SgemmCase {
@@ -72,7 +120,7 @@ fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
             m: 256,
             k: 256,
             n: 256,
-            median_ns: time_median(samples, || {
+            best_ns: time_best(samples, || {
                 black_box(a.matmul(&b));
             }),
         },
@@ -81,7 +129,7 @@ fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
             m: 256,
             k: 256,
             n: 256,
-            median_ns: time_median(samples, || {
+            best_ns: time_best(samples, || {
                 black_box(a.matmul_nt(&b));
             }),
         },
@@ -90,7 +138,7 @@ fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
             m: 256,
             k: 128,
             n: 600,
-            median_ns: time_median(samples, || {
+            best_ns: time_best(samples, || {
                 black_box(x.matmul(&w));
             }),
         },
@@ -99,7 +147,7 @@ fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
             m: 256,
             k: 600,
             n: 128,
-            median_ns: time_median(samples, || {
+            best_ns: time_best(samples, || {
                 black_box(g.matmul_nt(&w));
             }),
         },
@@ -108,8 +156,60 @@ fn sgemm_cases(samples: usize) -> Vec<SgemmCase> {
             m: 128,
             k: 256,
             n: 600,
-            median_ns: time_median(samples, || {
+            best_ns: time_best(samples, || {
                 black_box(x.matmul_tn(&g));
+            }),
+        },
+        // CSR rows: GFLOP/s below is *dense-equivalent* (flops = 2mkn as
+        // if every zero were multiplied) — the honest way to read the
+        // sparse speedup, since the kernels produce bitwise-identical
+        // output to their dense counterparts while skipping the zeros.
+        SgemmCase {
+            name: "csr_encoder_fwd",
+            m: 256,
+            k: 600,
+            n: 128,
+            best_ns: time_best(samples, || {
+                black_box(xs.matmul(&we));
+            }),
+        },
+        SgemmCase {
+            name: "csr_weight_grad",
+            m: 600,
+            k: 256,
+            n: 128,
+            best_ns: time_best(samples, || {
+                black_box(xs.matmul_tn(&ge));
+            }),
+        },
+        // SIMD micro-kernel rows: 4096 calls on length-600 spans per
+        // sample (flops = 2 * m * k with n = 1), cycling through 256 rows
+        // so the working set is cache-realistic. These isolate the inner
+        // loops every sgemm path above is built from.
+        SgemmCase {
+            name: "simd_axpy",
+            m: 4096,
+            k: 600,
+            n: 1,
+            best_ns: time_best(samples, || {
+                for i in 0..4096usize {
+                    let r = i % 256;
+                    ct_tensor::simd::axpy(&mut cbuf[r * 600..(r + 1) * 600], 0.37, g.row(i % 256));
+                }
+                black_box(&cbuf);
+            }),
+        },
+        SgemmCase {
+            name: "simd_dot4",
+            m: 4096,
+            k: 600,
+            n: 1,
+            best_ns: time_best(samples, || {
+                let mut acc = 0.0f32;
+                for i in 0..4096usize {
+                    acc += ct_tensor::simd::dot4(g.row(i % 256), g.row((i + 1) % 256));
+                }
+                black_box(acc);
             }),
         },
     ]
@@ -120,15 +220,15 @@ fn write_sgemm_json(cases: &[SgemmCase]) -> std::io::Result<()> {
     let _ = write!(out, "{},\n  \"ops\": [\n", pool::configured_threads());
     for (i, c) in cases.iter().enumerate() {
         let flops = 2.0 * (c.m * c.k * c.n) as f64;
-        let gflops = flops / c.median_ns.max(1) as f64; // ns => GFLOP/s
+        let gflops = flops / c.best_ns.max(1) as f64; // ns => GFLOP/s
         let _ = writeln!(
             out,
-            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"median_ns\": {}, \"gflops\": {:.3}}}{}",
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"best_ns\": {}, \"gflops\": {:.3}}}{}",
             c.name,
             c.m,
             c.k,
             c.n,
-            c.median_ns,
+            c.best_ns,
             gflops,
             if i + 1 < cases.len() { "," } else { "" }
         );
@@ -287,24 +387,35 @@ fn write_train_json(
 
 fn main() -> std::io::Result<()> {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let sgemm_samples = if smoke { 3 } else { 15 };
+    let sgemm_samples = if smoke { 3 } else { 30 };
     let epoch_samples = if smoke { 1 } else { 5 };
 
     println!("threads: {}", pool::configured_threads());
     let cases = sgemm_cases(sgemm_samples);
     for c in &cases {
         println!(
-            "sgemm {:<16} {:>4}x{:<4}x{:<4} median {:>10.3} ms",
+            "sgemm {:<16} {:>4}x{:<4}x{:<4} best {:>10.3} ms",
             c.name,
             c.m,
             c.k,
             c.n,
-            c.median_ns as f64 / 1e6
+            c.best_ns as f64 / 1e6
         );
     }
 
+    // Observability gate (the `csr_matmuls` counter mirrors the
+    // `masks_built` trace hook): the sweep below must actually select the
+    // CSR fast path for its sparse synthetic corpus — a silent fallback
+    // to dense batches would leave the numbers measuring the wrong code.
+    let csr_before = ct_tensor::csr_matmuls();
     let fix = epoch_fixture(smoke);
     let (points, bitwise_equal) = train_epoch_sweep(&fix, epoch_samples);
+    let csr_delta = ct_tensor::csr_matmuls() - csr_before;
+    println!("csr_matmuls during epoch sweep: {csr_delta}");
+    if csr_delta == 0 {
+        eprintln!("error: the CSR fast path was never selected during training");
+        std::process::exit(1);
+    }
     for p in &points {
         println!(
             "train_one_epoch ContraTopic workers={} median {:>10.3} ms",

@@ -5,11 +5,28 @@
 //! them, which keeps memory proportional to corpus tokens rather than
 //! `D x V`.
 
-use ct_tensor::Tensor;
+use ct_tensor::{CsrMatrix, Tensor};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::vocab::Vocab;
+
+/// Assemble sparse documents into a CSR-backed `(docs, vocab_size)` counts
+/// tensor without materializing zeros.
+///
+/// Element-for-element (and bitwise) equal to scattering each document
+/// into a dense row: `SparseDoc` stores ids ascending with aggregated
+/// counts, which is exactly the CSR row invariant, so the conversion is a
+/// straight copy. Downstream CSR matmul kernels accumulate the same
+/// nonzero terms in the same order as their dense counterparts, so a
+/// model fed this batch follows a bitwise-identical trajectory.
+pub fn csr_batch_from_docs(docs: &[&SparseDoc], vocab_size: usize) -> Tensor {
+    Tensor::from_csr(CsrMatrix::from_rows(
+        docs.len(),
+        vocab_size,
+        docs.iter().map(|d| d.iter()),
+    ))
+}
 
 /// One document as sorted sparse `(word id, count)` pairs.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -136,6 +153,19 @@ impl BowCorpus {
             self.docs[d].write_dense(out.row_mut(r));
         }
         out
+    }
+
+    /// Materialize documents `indices` as a CSR-backed `(batch, V)` tensor.
+    ///
+    /// Holds the same values as [`BowCorpus::dense_batch`] (bitwise — see
+    /// [`csr_batch_from_docs`]) but costs `O(tokens)` instead of
+    /// `O(batch x V)`, and routes downstream matmuls onto the sparse
+    /// kernels. Use it anywhere the batch is consumed by ops with CSR
+    /// support (encode/decode paths); ops that mutate arbitrary elements
+    /// need [`BowCorpus::dense_batch`].
+    pub fn csr_batch(&self, indices: &[usize]) -> Tensor {
+        let docs: Vec<&SparseDoc> = indices.iter().map(|&d| &self.docs[d]).collect();
+        csr_batch_from_docs(&docs, self.vocab_size())
     }
 
     /// Materialize documents `indices` with each row L1-normalized.
@@ -295,6 +325,25 @@ mod tests {
         assert_eq!(b.shape(), (2, 4));
         assert_eq!(b.row(0), &[2.0, 1.0, 0.0, 0.0]);
         assert_eq!(b.row(1), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn csr_batch_matches_dense_batch_bitwise() {
+        let c = tiny_corpus();
+        let idx = [0, 2, 1, 0];
+        let sparse = c.csr_batch(&idx);
+        let dense = c.dense_batch(&idx);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.shape(), dense.shape());
+        for r in 0..idx.len() {
+            for col in 0..c.vocab_size() {
+                assert_eq!(
+                    sparse.get(r, col).to_bits(),
+                    dense.get(r, col).to_bits(),
+                    "({r}, {col})"
+                );
+            }
+        }
     }
 
     #[test]

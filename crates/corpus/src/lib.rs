@@ -15,7 +15,7 @@ pub mod stats;
 pub mod synth;
 pub mod vocab;
 
-pub use bow::{BatchIter, BowCorpus, SparseDoc};
+pub use bow::{csr_batch_from_docs, BatchIter, BowCorpus, SparseDoc};
 pub use embed::{cosine, degrade_embeddings, train_embeddings, CorpusStats};
 pub use npmi::NpmiMatrix;
 pub use pipeline::{Pipeline, PipelineConfig};

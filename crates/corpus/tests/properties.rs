@@ -64,6 +64,82 @@ proptest! {
         }
     }
 
+    // Ragged corpus over a 9-word vocabulary: doc lengths 0..8 (empty
+    // docs allowed) and ids drawn from 0..6, so columns 6..9 are all-zero
+    // in every batch — the shapes the CSR fast path must handle exactly.
+    #[test]
+    fn csr_batch_bitwise_matches_dense_batch(
+        docs in proptest::collection::vec(proptest::collection::vec(0u32..6, 0..8), 1..20),
+    ) {
+        let vocab = Vocab::from_words((0..9).map(|i| format!("w{i}")));
+        let mut corpus = BowCorpus::new(vocab);
+        for d in docs {
+            corpus.docs.push(SparseDoc::from_tokens(&d));
+        }
+        let idx: Vec<usize> = (0..corpus.num_docs()).collect();
+        let sparse = corpus.csr_batch(&idx);
+        let dense = corpus.dense_batch(&idx);
+        prop_assert!(sparse.is_sparse());
+        prop_assert_eq!(sparse.shape(), dense.shape());
+        for r in 0..corpus.num_docs() {
+            for c in 0..corpus.vocab_size() {
+                prop_assert_eq!(sparse.get(r, c).to_bits(), dense.get(r, c).to_bits());
+            }
+        }
+        // Densifying round-trips exactly.
+        let densified = sparse.to_dense();
+        prop_assert!(!densified.is_sparse());
+        prop_assert_eq!(densified.data(), dense.data());
+    }
+
+    // The encoder-forward shape (batch x V) @ (V x h): the CSR kernel must
+    // produce bitwise-identical output to the dense kernel on the
+    // densified operand, including rows from empty docs and all-zero
+    // columns.
+    #[test]
+    fn csr_batch_matmul_bitwise_matches_dense(
+        docs in proptest::collection::vec(proptest::collection::vec(0u32..6, 0..8), 1..16),
+        bseed in 0u64..1000,
+    ) {
+        let vocab = Vocab::from_words((0..9).map(|i| format!("w{i}")));
+        let mut corpus = BowCorpus::new(vocab);
+        for d in docs {
+            corpus.docs.push(SparseDoc::from_tokens(&d));
+        }
+        let idx: Vec<usize> = (0..corpus.num_docs()).collect();
+        let sparse = corpus.csr_batch(&idx);
+        let dense = corpus.dense_batch(&idx);
+        let v = corpus.vocab_size();
+        let h = 5usize;
+        let mut b = ct_tensor::Tensor::zeros(v, h);
+        let mut state = bseed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for val in b.data_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *val = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        let cs = sparse.matmul(&b);
+        let cd = dense.matmul(&b);
+        prop_assert_eq!(cs.shape(), cd.shape());
+        for (x, y) in cs.data().iter().zip(cd.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Weight-gradient shape: (batch x V)^T @ (batch x h).
+        let mut g = ct_tensor::Tensor::zeros(corpus.num_docs(), h);
+        for val in g.data_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *val = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        let ts = sparse.matmul_tn(&g);
+        let td = dense.matmul_tn(&g);
+        for (x, y) in ts.data().iter().zip(td.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     #[test]
     fn dirichlet_always_on_simplex(alpha in 0.01f64..5.0, k in 2usize..20, seed in 0u64..50) {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -94,6 +94,21 @@ pub trait Backbone: Sync {
     /// Amortized θ for one dense batch (eval mode).
     fn infer_theta_batch(&self, params: &Params, x: &Tensor) -> Tensor;
 
+    /// Whether [`Backbone::batch_loss`] accepts a CSR-backed batch
+    /// tensor.
+    ///
+    /// Defaults to `true`: the standard consumption pattern —
+    /// L1-normalize a clone, encode through `matmul`, reconstruct through
+    /// `mul_const` — is fully CSR-compatible, and the CSR kernels are
+    /// bitwise identical to the dense ones, so opting in never changes a
+    /// training trajectory. A backbone whose objective applies dense-only
+    /// elementwise ops to the batch variable itself (e.g. NSTM's unrolled
+    /// Sinkhorn divides by the batch) overrides this to keep receiving
+    /// dense batches.
+    fn supports_csr_batch(&self) -> bool {
+        true
+    }
+
     /// Concrete topic-word distribution.
     fn beta_tensor(&self, params: &Params) -> Tensor;
 
@@ -305,7 +320,7 @@ fn train_backbone_inner<B: Backbone>(
                         // worker runs it (and to keep pool use non-nested).
                         pool::with_threads(1, || {
                             let mut mrng = StdRng::seed_from_u64(seeds[m]);
-                            let x = corpus.dense_batch(micros[m]);
+                            let x = batch_input(backbone, corpus, micros[m]);
                             let mtape = Tape::new();
                             let out =
                                 backbone.batch_loss(&mtape, params, &x, micros[m], true, &mut mrng);
@@ -393,6 +408,18 @@ fn train_backbone_inner<B: Backbone>(
     train_loop_core(corpus, config, params, trace, &mut exec)
 }
 
+/// Materialize one training batch in the storage the backbone supports:
+/// CSR (no dense scatter, sparse encoder matmuls) for the default
+/// backbones, dense for opt-outs. Both carry bitwise-identical values,
+/// so the choice never alters a training trajectory — only its cost.
+fn batch_input<B: Backbone>(backbone: &B, corpus: &BowCorpus, indices: &[usize]) -> Tensor {
+    if backbone.supports_csr_batch() {
+        corpus.csr_batch(indices)
+    } else {
+        corpus.dense_batch(indices)
+    }
+}
+
 /// The legacy single-tape batch: identical op order, RNG stream and
 /// (same-tape) regularizer placement as the historical driver, so runs
 /// whose batches fit in one micro-batch stay bitwise reproducible against
@@ -409,7 +436,7 @@ fn single_tape_batch<B: Backbone>(
     timing: bool,
 ) -> Result<BatchOutcome, f32> {
     tape.reset();
-    let x = corpus.dense_batch(batch);
+    let x = batch_input(backbone, corpus, batch);
     let fwd_t0 = timing.then(Instant::now);
     let out = backbone.batch_loss(tape, params, &x, batch, true, rng);
     let (loss, components) = match reg.as_mut() {

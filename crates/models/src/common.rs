@@ -556,7 +556,9 @@ pub(crate) fn train_loop_core(
 }
 
 /// Amortized θ inference over a whole corpus in blocks: runs `encode` on
-/// dense batches and stacks the resulting `(batch, K)` rows.
+/// CSR-backed batches (every eval-mode encoder path is
+/// normalize-then-matmul, which the sparse storage backend handles with
+/// bitwise-identical results) and stacks the resulting `(batch, K)` rows.
 pub fn infer_theta_blocked<F>(corpus: &BowCorpus, k: usize, mut encode: F) -> Tensor
 where
     F: FnMut(&Tensor) -> Tensor,
@@ -568,7 +570,7 @@ where
     while d0 < d {
         let d1 = (d0 + BLOCK).min(d);
         let idx: Vec<usize> = (d0..d1).collect();
-        let x = corpus.dense_batch(&idx);
+        let x = corpus.csr_batch(&idx);
         let block = encode(&x);
         assert_eq!(block.shape(), (idx.len(), k), "encode block shape");
         for (r, dd) in (d0..d1).enumerate() {

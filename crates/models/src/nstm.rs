@@ -124,6 +124,13 @@ impl Backbone for NstmBackbone {
         self.decoder.beta(tape, params)
     }
 
+    /// The unrolled Sinkhorn iterations divide by and multiply the batch
+    /// variable elementwise (`xbar.div(kv)`, `u.mul(m)`), which the CSR
+    /// storage backend does not implement — NSTM keeps dense batches.
+    fn supports_csr_batch(&self) -> bool {
+        false
+    }
+
     fn commit_batch_stats(&self) {
         self.encoder.commit_batch_stats();
     }

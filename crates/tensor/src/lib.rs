@@ -30,6 +30,7 @@
 
 pub mod arena;
 pub mod checkpoint;
+pub mod csr;
 pub mod infer;
 pub mod nn;
 pub mod ops;
@@ -37,12 +38,14 @@ pub mod optim;
 pub mod params;
 pub mod pool;
 pub mod sgemm;
+pub mod simd;
 pub mod tape;
 pub mod tensor;
 
 pub use checkpoint::{params_from_bytes, params_to_bytes};
+pub use csr::CsrMatrix;
 pub use nn::{Activation, BatchNorm1d, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{he_normal, xavier_uniform, ClipReport, ParamId, Params};
 pub use tape::{Grads, Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{csr_matmuls, Tensor};

@@ -96,6 +96,26 @@ pub(crate) fn reduce_to_shape(grad: &Tensor, shape: (usize, usize)) -> Tensor {
     out
 }
 
+/// `dense ⊙ sparse` for a CSR-backed `sparse` of the same shape: only the
+/// nonzero positions are touched, everything else stays an exact `+0.0`.
+fn mul_dense_csr(dense: &Tensor, sparse: &Tensor) -> Tensor {
+    debug_assert_eq!(dense.shape(), sparse.shape());
+    let m = sparse.csr().expect("mul_dense_csr requires a CSR operand");
+    let (rows, cols) = dense.shape();
+    let mut out = Tensor::zeros(rows, cols);
+    let src = dense.data();
+    let dst = out.data_mut();
+    for r in 0..rows {
+        let (cidx, vals) = m.row(r);
+        let base = r * cols;
+        for (&cc, &v) in cidx.iter().zip(vals) {
+            let i = base + cc as usize;
+            dst[i] = src[i] * v;
+        }
+    }
+    out
+}
+
 fn sum_axis0_t(t: &Tensor) -> Tensor {
     reduce_to_shape(t, (1, t.cols()))
 }
@@ -563,8 +583,28 @@ impl<'t> Var<'t> {
 
     /// Elementwise multiply by a constant tensor (no gradient into the
     /// constant). Supports the same broadcasting as [`Var::mul`].
+    ///
+    /// A CSR-backed constant (the bag-of-words batch in the reconstruction
+    /// term `log p(x) ⊙ x`) takes a scatter path over the nonzeros, in both
+    /// the forward and the backward pass. Zero entries of the constant
+    /// yield exact `+0.0` outputs where the dense path would compute
+    /// `x · 0.0 = ±0.0`; every consumer of this product (`sum_all`, the
+    /// gradient chain) treats those identically, and the batch itself is
+    /// finite, so losses and gradients are unchanged.
     pub fn mul_const(self, c: &Arc<Tensor>) -> Var<'t> {
         let x = self.value();
+        if c.is_sparse() {
+            assert_eq!(
+                x.shape(),
+                c.shape(),
+                "mul_const with a CSR constant requires matching shapes"
+            );
+            let out = mul_dense_csr(&x, c);
+            let c = c.clone();
+            return self.unary(out, move |g, sink, id| {
+                sink.add(id, mul_dense_csr(g, &c));
+            });
+        }
         let out = broadcast_zip(&x, c, |a, b| a * b);
         let shape = x.shape();
         let c = c.clone();
@@ -1163,5 +1203,69 @@ mod tests {
         let y = x.logsumexp_rows();
         assert!((y.value().get(0, 0) - 0.0).abs() < 1e-6);
         assert!((y.value().get(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    /// A small bag-of-words-like CSR batch and its dense image.
+    fn csr_batch_pair() -> (Tensor, Tensor) {
+        let csr = Tensor::from_csr(crate::csr::CsrMatrix::from_rows(
+            3,
+            6,
+            vec![
+                vec![(0u32, 2.0f32), (4, 1.0)],
+                vec![(1, 3.0), (2, 1.0), (5, 4.0)],
+                vec![(3, 2.0)],
+            ],
+        ));
+        let dense = csr.to_dense();
+        (csr, dense)
+    }
+
+    #[test]
+    fn csr_constant_matmul_loss_and_weight_grad_match_dense_bitwise() {
+        // The encoder first layer: constant batch x (CSR vs dense) times a
+        // trainable W. Loss values and dW must agree bitwise.
+        let (xs, xd) = csr_batch_pair();
+        let w0 = rand_t(6, 5, 60);
+        let mut results = Vec::new();
+        for x in [xs, xd] {
+            let tape = Tape::new();
+            let xv = tape.constant(x);
+            let w = tape.leaf(w0.clone());
+            let loss = xv.matmul(w).square().sum_all();
+            let lv = loss.scalar_value();
+            let grads = tape.backward(loss);
+            results.push((lv, grads.get(w).unwrap().clone()));
+        }
+        let (l_sparse, g_sparse) = &results[0];
+        let (l_dense, g_dense) = &results[1];
+        assert_eq!(l_sparse.to_bits(), l_dense.to_bits());
+        for (a, b) in g_sparse.data().iter().zip(g_dense.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_mul_const_matches_dense_through_sum_and_grad() {
+        // The reconstruction term: log-probs ⊙ x summed. The CSR scatter
+        // path may flip the sign of zero products, which sums and gradient
+        // chains cannot observe — compare loss and input grad bitwise.
+        let (xs, xd) = csr_batch_pair();
+        let logits0 = rand_t(3, 6, 61);
+        let mut results = Vec::new();
+        for x in [xs, xd] {
+            let x = std::sync::Arc::new(x);
+            let tape = Tape::new();
+            let l = tape.leaf(logits0.clone());
+            let loss = l.log_softmax_rows(1.0).mul_const(&x).sum_all().scale(-1.0);
+            let lv = loss.scalar_value();
+            let grads = tape.backward(loss);
+            results.push((lv, grads.get(l).unwrap().clone()));
+        }
+        let (l_sparse, g_sparse) = &results[0];
+        let (l_dense, g_dense) = &results[1];
+        assert_eq!(l_sparse.to_bits(), l_dense.to_bits());
+        for (a, b) in g_sparse.data().iter().zip(g_dense.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

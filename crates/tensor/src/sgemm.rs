@@ -16,10 +16,16 @@
 //!
 //! The dense inner loops carry no `aik == 0.0` branch — on dense training
 //! data the branch is pure overhead and blocks vectorization. Callers with
-//! genuinely sparse left operands (bag-of-words batches feeding the encoder)
-//! use [`sgemm_nn_sparse_a`], which keeps the skip.
+//! genuinely sparse left operands have two tiers: [`sgemm_nn_sparse_a`]
+//! keeps the per-element skip on a dense buffer, while [`sgemm_csr_dense`] /
+//! [`sgemm_csr_t_dense`] take a [`CsrMatrix`] and never touch the zeros at
+//! all (no `O(mk)` scan, no branch). All inner loops go through the
+//! explicitly vectorized micro-kernels in [`crate::simd`], which are
+//! bitwise identical to the scalar loops they replace.
 
+use crate::csr::CsrMatrix;
 use crate::pool;
+use crate::simd;
 
 /// Rows of `B` kept hot per k-panel (L1-sized: 64 rows × 4 B × ~256 cols).
 const KB: usize = 64;
@@ -77,11 +83,7 @@ fn sgemm_nn_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
             let a_row = &a[i * k..(i + 1) * k];
             let c_row = &mut c[i * n..(i + 1) * n];
             for kk in kb..kend {
-                let aik = a_row[kk];
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
-                }
+                simd::axpy(c_row, a_row[kk], &b[kk * n..(kk + 1) * n]);
             }
         }
     }
@@ -116,10 +118,7 @@ fn sgemm_nn_rows_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &
                     let a_seg = &a[i * k + kb..i * k + kb + kw];
                     let c_row = &mut c[i * n + jb..i * n + jb + jw];
                     for (kk, &aik) in a_seg.iter().enumerate() {
-                        let b_row = &pack[kk * jw..(kk + 1) * jw];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += aik * bv;
-                        }
+                        simd::axpy(c_row, aik, &pack[kk * jw..(kk + 1) * jw]);
                     }
                 }
             }
@@ -151,10 +150,77 @@ pub fn sgemm_nn_sparse_a(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: 
                 if aik == 0.0 {
                     continue;
                 }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
-                }
+                simd::axpy(c_row, aik, &b[kk * n..(kk + 1) * n]);
+            }
+        }
+    });
+}
+
+/// `C += A · B` for a CSR left operand `A (m x k)` and dense row-major
+/// `B (k x n)`, producing dense `C (m x n)`.
+///
+/// Each output row is a sum of `axpy`s over the row's nonzeros in
+/// ascending column order — the same `k` order as the dense kernels, with
+/// the zero terms skipped. Skipping `acc += 0.0 * b` never changes a
+/// finite accumulator (the skipped product is `±0.0`, and an accumulator
+/// built from finite sums is never `-0.0`), so the result is **bitwise
+/// identical** to [`sgemm_nn`] / [`sgemm_nn_sparse_a`] on the densified
+/// operand. Rows are partitioned across the pool exactly like `sgemm_nn`,
+/// preserving the any-worker-count determinism contract.
+pub fn sgemm_csr_dense(a: &CsrMatrix, n: usize, b: &[f32], c: &mut [f32]) {
+    let m = a.rows();
+    let k = a.cols();
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    // Cost per output row ≈ nnz/m axpys of width n.
+    let cost_per_row = (a.nnz() / m.max(1)).max(1) * n;
+    let c_ptr = MutPtr(c.as_mut_ptr());
+    pool::run_partitioned(m, pool::min_items_for_grain(cost_per_row), |rows| {
+        let base = c_ptr.get();
+        // SAFETY: disjoint row ranges — see `sgemm_nn`.
+        let c_slab =
+            unsafe { std::slice::from_raw_parts_mut(base.add(rows.start * n), rows.len() * n) };
+        for (i, r) in rows.clone().enumerate() {
+            let (cols, vals) = a.row(r);
+            let c_row = &mut c_slab[i * n..(i + 1) * n];
+            for (&cc, &v) in cols.iter().zip(vals) {
+                simd::axpy(c_row, v, &b[cc as usize * n..(cc as usize + 1) * n]);
+            }
+        }
+    });
+}
+
+/// `C += Aᵀ · B` for a CSR `A (m x k)` and dense `B (m x n)`, producing
+/// dense `C (k x n)` — the weight-gradient form `dW = Xᵀ·dY` with a sparse
+/// batch `X`.
+///
+/// Mirrors [`sgemm_tn`]: the outer loop walks the shared dimension (the
+/// batch rows) in ascending order applying rank-1 updates, and the output
+/// **columns** are partitioned across workers so every `C` element sees
+/// the same accumulation order at any worker count. Nonzeros are visited
+/// in the same ascending order as the dense kernel's loops, so (by the
+/// zero-skip argument on [`sgemm_csr_dense`]) the result is bitwise
+/// identical to [`sgemm_tn`] on the densified operand.
+pub fn sgemm_csr_t_dense(a: &CsrMatrix, n: usize, b: &[f32], c: &mut [f32]) {
+    let m = a.rows();
+    let k = a.cols();
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    // Cost per output column ≈ one multiply-add per nonzero of A.
+    let c_ptr = MutPtr(c.as_mut_ptr());
+    pool::run_partitioned(n, pool::min_items_for_grain(a.nnz().max(1)), |cols| {
+        let base = c_ptr.get();
+        let jw = cols.len();
+        for d in 0..m {
+            let (row_cols, row_vals) = a.row(d);
+            let b_seg = &b[d * n + cols.start..d * n + cols.end];
+            for (&i, &v) in row_cols.iter().zip(row_vals) {
+                // SAFETY: column slabs are disjoint across workers — see
+                // `sgemm_tn`.
+                let c_seg = unsafe {
+                    std::slice::from_raw_parts_mut(base.add(i as usize * n + cols.start), jw)
+                };
+                simd::axpy(c_seg, v, b_seg);
             }
         }
     });
@@ -173,11 +239,55 @@ pub fn sparse_a_worthwhile(m: usize, k: usize, n: usize, a: &[f32]) -> bool {
     zeros * 10 >= a.len() * 6
 }
 
+/// Minimum multiply-add count before `nt` pays to transpose `B` and run
+/// through the (packed, axpy-based) `nn` path. The dot-product kernel below
+/// streams `B` column-major through cache `m` times, which caps it at a
+/// fraction of the `nn` throughput — but the `O(nk)` transpose plus a second
+/// pass over `B` only amortizes on large multiplies. The crossover is set
+/// conservatively high because rerouting also changes the accumulation
+/// grouping (four interleaved partial sums vs. sequential axpy), and the
+/// mid-size shapes below it sit on training paths whose float-exact
+/// trajectories are pinned by seed-sensitive quality tests.
+const NT_VIA_NN_MIN_FLOPS: usize = 1 << 23;
+
+thread_local! {
+    /// Reused `Bᵀ` buffer for the transposing `nt` route.
+    static NT_TRANSPOSE_BUF: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// `C += A(m x k) · B(n x k)ᵀ`, producing `C (m x n)`.
+///
+/// Large multiplies transpose `B` once into a thread-local buffer and
+/// reuse the `nn` kernel (packed axpy inner loop); small and mid-size
+/// shapes keep the unrolled dot-product kernel (see the
+/// `NT_VIA_NN_MIN_FLOPS` crossover above). Both routes partition output rows, so results
+/// are bitwise identical across worker counts.
 pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    if m * k * n >= NT_VIA_NN_MIN_FLOPS {
+        NT_TRANSPOSE_BUF.with(|buf| {
+            let mut bt = buf.borrow_mut();
+            bt.clear();
+            bt.resize(k * n, 0.0);
+            // Blocked transpose of B (n x k) into Bᵀ (k x n): trivial next
+            // to the O(mkn) multiply.
+            const TB: usize = 32;
+            for rb in (0..n).step_by(TB) {
+                for cb in (0..k).step_by(TB) {
+                    for r in rb..(rb + TB).min(n) {
+                        for cc in cb..(cb + TB).min(k) {
+                            bt[cc * n + r] = b[r * k + cc];
+                        }
+                    }
+                }
+            }
+            sgemm_nn(m, k, n, a, &bt, c);
+        });
+        return;
+    }
     let c_ptr = MutPtr(c.as_mut_ptr());
     pool::run_partitioned(m, pool::min_items_for_grain(k * n), |rows| {
         let base = c_ptr.get();
@@ -194,25 +304,7 @@ fn sgemm_nt_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc0 = 0.0f32;
-            let mut acc1 = 0.0f32;
-            let mut acc2 = 0.0f32;
-            let mut acc3 = 0.0f32;
-            let mut idx = 0;
-            while idx + 4 <= k {
-                acc0 += a_row[idx] * b_row[idx];
-                acc1 += a_row[idx + 1] * b_row[idx + 1];
-                acc2 += a_row[idx + 2] * b_row[idx + 2];
-                acc3 += a_row[idx + 3] * b_row[idx + 3];
-                idx += 4;
-            }
-            let mut acc = acc0 + acc1 + acc2 + acc3;
-            while idx < k {
-                acc += a_row[idx] * b_row[idx];
-                idx += 1;
-            }
-            c_row[j] += acc;
+            c_row[j] += simd::dot4(a_row, &b[j * k..(j + 1) * k]);
         }
     }
 }
@@ -242,9 +334,7 @@ pub fn sgemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
                 // written by this worker.
                 let c_seg =
                     unsafe { std::slice::from_raw_parts_mut(base.add(i * n + cols.start), jw) };
-                for (cv, &bv) in c_seg.iter_mut().zip(b_seg) {
-                    *cv += aik * bv;
-                }
+                simd::axpy(c_seg, aik, b_seg);
             }
         }
     });
@@ -380,6 +470,116 @@ mod tests {
         let expect = naive_nn(m, k, n, &a, &b);
         for (x, y) in c.iter().zip(&expect) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nt_large_route_matches_small_route_numerically() {
+        // A shape above NT_VIA_NN_MIN_FLOPS takes the transpose+nn route;
+        // compare it against the naive product (not bitwise — the route
+        // legitimately changes the accumulation grouping).
+        let (m, k, n) = (64, 512, 256); // 8.4M ≥ 1<<23
+        assert!(m * k * n >= NT_VIA_NN_MIN_FLOPS);
+        let a = rand_vec(m * k, 21);
+        let bt = rand_vec(n * k, 22);
+        let mut c = vec![0.0; m * n];
+        sgemm_nt(m, k, n, &a, &bt, &mut c);
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let expect = naive_nn(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 2e-2, "{x} vs {y}");
+        }
+    }
+
+    fn csr_from_dense(m: usize, k: usize, a: &[f32]) -> CsrMatrix {
+        CsrMatrix::from_rows(
+            m,
+            k,
+            (0..m).map(|i| {
+                (0..k)
+                    .filter(|&j| a[i * k + j] != 0.0)
+                    .map(|j| (j as u32, a[i * k + j]))
+                    .collect::<Vec<_>>()
+            }),
+        )
+    }
+
+    #[test]
+    fn csr_dense_bitwise_matches_sparse_a() {
+        let (m, k, n) = (7, 40, 23);
+        let mut a = rand_vec(m * k, 31);
+        for (idx, v) in a.iter_mut().enumerate() {
+            if idx % 5 != 0 {
+                *v = 0.0;
+            }
+        }
+        let csr = csr_from_dense(m, k, &a);
+        let b = rand_vec(k * n, 32);
+        let mut dense = vec![0.0; m * n];
+        sgemm_nn_sparse_a(m, k, n, &a, &b, &mut dense);
+        let mut sparse = vec![0.0; m * n];
+        sgemm_csr_dense(&csr, n, &b, &mut sparse);
+        for (x, y) in sparse.iter().zip(&dense) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_t_dense_bitwise_matches_tn() {
+        let (m, k, n) = (9, 37, 21); // batch x vocab, grad width n
+        let mut a = rand_vec(m * k, 33);
+        for (idx, v) in a.iter_mut().enumerate() {
+            if idx % 4 != 0 {
+                *v = 0.0;
+            }
+        }
+        let csr = csr_from_dense(m, k, &a);
+        let b = rand_vec(m * n, 34);
+        let mut dense = vec![0.0; k * n];
+        sgemm_tn(m, k, n, &a, &b, &mut dense);
+        let mut sparse = vec![0.0; k * n];
+        sgemm_csr_t_dense(&csr, n, &b, &mut sparse);
+        for (x, y) in sparse.iter().zip(&dense) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_kernels_deterministic_across_worker_counts() {
+        let (m, k, n) = (24, 120, 64);
+        let mut a = rand_vec(m * k, 41);
+        for (idx, v) in a.iter_mut().enumerate() {
+            if idx % 7 != 0 {
+                *v = 0.0;
+            }
+        }
+        let csr = csr_from_dense(m, k, &a);
+        let b = rand_vec(k * n, 42);
+        let g = rand_vec(m * n, 43);
+        let mut ref_fwd: Option<Vec<f32>> = None;
+        let mut ref_grad: Option<Vec<f32>> = None;
+        for threads in [1, 2, 4] {
+            pool::with_threads(threads, || {
+                let mut fwd = vec![0.0; m * n];
+                sgemm_csr_dense(&csr, n, &b, &mut fwd);
+                let mut grad = vec![0.0; k * n];
+                sgemm_csr_t_dense(&csr, n, &g, &mut grad);
+                match (&ref_fwd, &ref_grad) {
+                    (Some(rf), Some(rg)) => {
+                        assert!(fwd.iter().zip(rf).all(|(x, y)| x.to_bits() == y.to_bits()));
+                        assert!(grad.iter().zip(rg).all(|(x, y)| x.to_bits() == y.to_bits()));
+                    }
+                    _ => {
+                        ref_fwd = Some(fwd);
+                        ref_grad = Some(grad);
+                    }
+                }
+            });
         }
     }
 

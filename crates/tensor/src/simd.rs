@@ -1,0 +1,221 @@
+//! Explicitly vectorized inner micro-kernels for the SGEMM paths.
+//!
+//! Two primitives cover every hot inner loop in [`crate::sgemm`]:
+//!
+//! - [`axpy`]: `c[j] += a * b[j]` over a contiguous span — the innermost
+//!   loop of the `nn` (packed and unpacked), `tn`, sparse-A and CSR
+//!   kernels.
+//! - [`dot4`]: a dot product accumulated in **four interleaved partial
+//!   sums** (lane `j` holds the terms with index ≡ `j` mod 4) — the exact
+//!   accumulation grouping of the `nt` dot-product kernel.
+//!
+//! Dispatch is per-architecture at compile time with a scalar fallback:
+//! on `x86_64`, `axpy` additionally selects an AVX2 body at runtime
+//! (`is_x86_feature_detected!`, cached) over the SSE2 baseline. All
+//! variants are **bitwise identical** to the scalar loops: `axpy` is
+//! lane-independent (each output element sees the same single
+//! multiply-add), and `dot4`'s SIMD lanes reproduce the scalar version's
+//! four accumulators and their exact combine order. No FMA is ever
+//! emitted — a fused multiply-add rounds once instead of twice and would
+//! break bitwise equality between the dispatch variants (and with it the
+//! cross-worker determinism contract, since different machines could pick
+//! different paths).
+
+/// `c[j] += a * b[j]` for every `j`. Panics in debug builds on length
+/// mismatch; the slices must be equal length.
+#[inline]
+pub fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if c.len() >= 8 && avx2_available() {
+            // SAFETY: guarded by the cached CPUID check above.
+            unsafe { axpy_avx2(c, a, b) };
+            return;
+        }
+        // SSE2 is part of the x86_64 baseline: no runtime check needed.
+        // SAFETY: always available on x86_64.
+        unsafe { axpy_sse2(c, a, b) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    axpy_scalar(c, a, b);
+}
+
+/// Dot product of `a` and `b` using four interleaved accumulators,
+/// combined as `((acc0 + acc1) + acc2) + acc3`, then a scalar tail.
+#[inline]
+pub fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        unsafe { dot4_sse2(a, b) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    dot4_scalar(a, b)
+}
+
+#[allow(dead_code)] // the fallback body; also the reference for the tests
+fn axpy_scalar(c: &mut [f32], a: f32, b: &[f32]) {
+    for (cv, &bv) in c.iter_mut().zip(b) {
+        *cv += a * bv;
+    }
+}
+
+#[allow(dead_code)] // the fallback body; also the reference for the tests
+fn dot4_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let mut idx = 0;
+    while idx + 4 <= k {
+        acc0 += a[idx] * b[idx];
+        acc1 += a[idx + 1] * b[idx + 1];
+        acc2 += a[idx + 2] * b[idx + 2];
+        acc3 += a[idx + 3] * b[idx + 3];
+        idx += 4;
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    while idx < k {
+        acc += a[idx] * b[idx];
+        idx += 1;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// AVX2 axpy: two 8-lane vectors per iteration (explicit 2× unroll), an
+/// 8-lane cleanup loop, then a scalar tail. Separate `mul` + `add` — see
+/// the module docs for why FMA is forbidden.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(c: &mut [f32], a: f32, b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = c.len();
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    let av = _mm256_set1_ps(a);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let b0 = _mm256_loadu_ps(bp.add(i));
+        let b1 = _mm256_loadu_ps(bp.add(i + 8));
+        let c0 = _mm256_loadu_ps(cp.add(i));
+        let c1 = _mm256_loadu_ps(cp.add(i + 8));
+        let r0 = _mm256_add_ps(c0, _mm256_mul_ps(av, b0));
+        let r1 = _mm256_add_ps(c1, _mm256_mul_ps(av, b1));
+        _mm256_storeu_ps(cp.add(i), r0);
+        _mm256_storeu_ps(cp.add(i + 8), r1);
+        i += 16;
+    }
+    while i + 8 <= n {
+        let b0 = _mm256_loadu_ps(bp.add(i));
+        let c0 = _mm256_loadu_ps(cp.add(i));
+        _mm256_storeu_ps(cp.add(i), _mm256_add_ps(c0, _mm256_mul_ps(av, b0)));
+        i += 8;
+    }
+    while i < n {
+        *cp.add(i) += a * *bp.add(i);
+        i += 1;
+    }
+}
+
+/// SSE2 axpy: 4-lane body plus scalar tail.
+#[cfg(target_arch = "x86_64")]
+unsafe fn axpy_sse2(c: &mut [f32], a: f32, b: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = c.len();
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    let av = _mm_set1_ps(a);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let b0 = _mm_loadu_ps(bp.add(i));
+        let c0 = _mm_loadu_ps(cp.add(i));
+        _mm_storeu_ps(cp.add(i), _mm_add_ps(c0, _mm_mul_ps(av, b0)));
+        i += 4;
+    }
+    while i < n {
+        *cp.add(i) += a * *bp.add(i);
+        i += 1;
+    }
+}
+
+/// SSE2 dot product whose four vector lanes are exactly the scalar
+/// version's four accumulators (lane `j` sums the terms with index ≡ `j`
+/// mod 4), combined in the same `((l0 + l1) + l2) + l3` order.
+#[cfg(target_arch = "x86_64")]
+unsafe fn dot4_sse2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut accv = _mm_setzero_ps();
+    let mut idx = 0usize;
+    while idx + 4 <= k {
+        let av = _mm_loadu_ps(ap.add(idx));
+        let bv = _mm_loadu_ps(bp.add(idx));
+        accv = _mm_add_ps(accv, _mm_mul_ps(av, bv));
+        idx += 4;
+    }
+    let mut lanes = [0.0f32; 4];
+    _mm_storeu_ps(lanes.as_mut_ptr(), accv);
+    let mut acc = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+    while idx < k {
+        acc += *ap.add(idx) * *bp.add(idx);
+        idx += 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axpy_bitwise_matches_scalar() {
+        // Lengths straddle every unroll boundary (16, 8, 4, tails).
+        for n in [0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 600] {
+            let b = rand_vec(n, 1);
+            let mut c_simd = rand_vec(n, 2);
+            let mut c_ref = c_simd.clone();
+            axpy(&mut c_simd, 0.37, &b);
+            axpy_scalar(&mut c_ref, 0.37, &b);
+            for (x, y) in c_simd.iter().zip(&c_ref) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot4_bitwise_matches_scalar() {
+        for n in [0, 1, 3, 4, 5, 7, 8, 21, 64, 600, 601] {
+            let a = rand_vec(n, 3);
+            let b = rand_vec(n, 4);
+            assert_eq!(
+                dot4(&a, &b).to_bits(),
+                dot4_scalar(&a, &b).to_bits(),
+                "n={n}"
+            );
+        }
+    }
+}

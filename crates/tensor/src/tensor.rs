@@ -1,35 +1,88 @@
-//! Dense row-major `f32` tensor.
+//! Row-major `f32` tensor with pluggable storage.
 //!
-//! The tensor type is deliberately simple: contiguous storage, rank 1 or 2
-//! (rank-2 covers every model in this workspace; rank-1 is treated as a row
-//! vector where convenient). All hot paths operate on `&[f32]` slices so the
-//! compiler can autovectorize them.
+//! The tensor type is deliberately simple: rank 1 or 2 (rank-2 covers every
+//! model in this workspace; rank-1 is treated as a row vector where
+//! convenient), with one of two storage backends behind the same API:
+//!
+//! - **Dense** — a contiguous row-major `Vec<f32>`. Every tensor op works
+//!   on dense storage; hot paths operate on `&[f32]` slices so the
+//!   vectorized kernels in [`crate::simd`] apply.
+//! - **CSR** — a [`CsrMatrix`] holding only nonzeros. This backend exists
+//!   for bag-of-words batches, which are >90% zeros: the corpus layer
+//!   builds them directly from sparse documents ([`Tensor::from_csr`]) and
+//!   the matmul entry points route them to the zero-skipping CSR kernels.
+//!   Only the operations a batch actually meets on the training/serving
+//!   hot path are implemented for CSR (`matmul`, `matmul_tn`, `clone`,
+//!   `normalize_rows_l1`, `sum`, `get`, `has_non_finite`); anything else
+//!   panics with a message telling the caller to densify first. The CSR
+//!   results are bitwise identical to the dense computation — see
+//!   [`crate::csr`] for why zero-skipping preserves that.
 
 use std::fmt;
 
 use rand::distributions::Distribution;
 use rand::Rng;
 
-/// A dense, contiguous, row-major `f32` tensor of rank 1 or 2.
-#[derive(PartialEq)]
+use crate::csr::CsrMatrix;
+
+/// Process-wide count of matmuls dispatched to the CSR kernels — the
+/// observability hook CI uses to assert the sparse path is actually
+/// selected on a sparse workload (mirrors `masks_built` in ct-core).
+static CSR_MATMULS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Cumulative number of matrix products routed to the CSR kernels since
+/// start-up (both the `A·B` forward and the `Aᵀ·B` gradient form).
+pub fn csr_matmuls() -> u64 {
+    CSR_MATMULS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Backing storage of a [`Tensor`].
+enum Storage {
+    /// Contiguous row-major values, `rows * cols` of them.
+    Dense(Vec<f32>),
+    /// Compressed sparse rows; zeros are implicit.
+    Csr(CsrMatrix),
+}
+
+/// A row-major `f32` tensor of rank 1 or 2, dense or CSR-backed.
 pub struct Tensor {
-    data: Vec<f32>,
+    storage: Storage,
     rows: usize,
     cols: usize,
 }
 
 impl Clone for Tensor {
     fn clone(&self) -> Self {
+        let storage = match &self.storage {
+            Storage::Dense(d) => Storage::Dense(crate::arena::take_copied(d)),
+            Storage::Csr(m) => Storage::Csr(m.clone()),
+        };
         Self {
-            data: crate::arena::take_copied(&self.data),
+            storage,
             rows: self.rows,
             cols: self.cols,
         }
     }
 }
 
+impl PartialEq for Tensor {
+    /// Element-for-element equality (f32 `==` semantics). A CSR tensor and
+    /// a dense tensor compare equal when they describe the same matrix.
+    fn eq(&self, other: &Self) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        match (&self.storage, &other.storage) {
+            (Storage::Dense(a), Storage::Dense(b)) => a == b,
+            (Storage::Csr(a), Storage::Csr(b)) if a == b => true,
+            _ => (0..self.rows).all(|r| (0..self.cols).all(|c| self.get(r, c) == other.get(r, c))),
+        }
+    }
+}
+
 impl Tensor {
-    /// Create a tensor from raw data with the given `(rows, cols)` shape.
+    /// Create a dense tensor from raw data with the given `(rows, cols)`
+    /// shape.
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
@@ -40,7 +93,21 @@ impl Tensor {
             "data length {} does not match shape ({rows}, {cols})",
             data.len()
         );
-        Self { data, rows, cols }
+        Self {
+            storage: Storage::Dense(data),
+            rows,
+            cols,
+        }
+    }
+
+    /// Wrap a CSR matrix as a sparse-backed tensor.
+    pub fn from_csr(m: CsrMatrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        Self {
+            storage: Storage::Csr(m),
+            rows,
+            cols,
+        }
     }
 
     /// A `1 x n` row vector.
@@ -58,7 +125,7 @@ impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
-            data: crate::arena::take_zeroed(rows * cols),
+            storage: Storage::Dense(crate::arena::take_zeroed(rows * cols)),
             rows,
             cols,
         }
@@ -75,7 +142,7 @@ impl Tensor {
         if value != 0.0 {
             data.fill(value);
         }
-        Self { data, rows, cols }
+        Self::from_vec(data, rows, cols)
     }
 
     /// A `1 x 1` scalar tensor.
@@ -108,7 +175,7 @@ impl Tensor {
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(n, n);
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            t.dense_mut()[i * n + i] = 1.0;
         }
         t
     }
@@ -131,60 +198,131 @@ impl Tensor {
         (self.rows, self.cols)
     }
 
-    /// Total number of elements.
+    /// Total number of elements (including implicit zeros for CSR).
     #[inline]
     pub fn numel(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
-    /// Immutable view of the underlying storage (row-major).
+    /// Whether this tensor is CSR-backed.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.storage, Storage::Csr(_))
+    }
+
+    /// The CSR backing matrix, when this tensor is sparse.
+    #[inline]
+    pub fn csr(&self) -> Option<&CsrMatrix> {
+        match &self.storage {
+            Storage::Csr(m) => Some(m),
+            Storage::Dense(_) => None,
+        }
+    }
+
+    /// Materialize a dense copy (identity copy for dense tensors).
+    pub fn to_dense(&self) -> Tensor {
+        match &self.storage {
+            Storage::Dense(_) => self.clone(),
+            Storage::Csr(m) => {
+                let mut data = crate::arena::take_zeroed(self.rows * self.cols);
+                m.write_dense(&mut data);
+                Tensor::from_vec(data, self.rows, self.cols)
+            }
+        }
+    }
+
+    /// Dense storage or a clear panic: ops that have no CSR implementation
+    /// funnel through here so a sparse batch reaching an unsupported op
+    /// fails loudly instead of silently densifying on a hot path.
+    #[inline]
+    fn dense(&self) -> &[f32] {
+        match &self.storage {
+            Storage::Dense(d) => d,
+            Storage::Csr(_) => panic!(
+                "operation requires dense storage but tensor ({}, {}) is CSR-backed; \
+                 call to_dense() first",
+                self.rows, self.cols
+            ),
+        }
+    }
+
+    #[inline]
+    fn dense_mut(&mut self) -> &mut Vec<f32> {
+        match &mut self.storage {
+            Storage::Dense(d) => d,
+            Storage::Csr(_) => panic!(
+                "operation requires dense storage but tensor ({}, {}) is CSR-backed; \
+                 call to_dense() first",
+                self.rows, self.cols
+            ),
+        }
+    }
+
+    /// Immutable view of the underlying dense storage (row-major).
+    ///
+    /// # Panics
+    /// Panics if the tensor is CSR-backed.
     #[inline]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.dense()
     }
 
-    /// Mutable view of the underlying storage (row-major).
+    /// Mutable view of the underlying dense storage (row-major).
+    ///
+    /// # Panics
+    /// Panics if the tensor is CSR-backed.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.dense_mut()
     }
 
-    /// Consume the tensor, returning its storage.
+    /// Consume the tensor, returning its value buffer: the full dense
+    /// storage, or — for CSR tensors — the (shorter) nonzero-values buffer.
+    /// Either way the result is suitable for the recycling arena.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match self.storage {
+            Storage::Dense(d) => d,
+            Storage::Csr(m) => m.into_values(),
+        }
     }
 
-    /// Element accessor.
+    /// Element accessor (CSR lookups binary-search the row).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c]
+        match &self.storage {
+            Storage::Dense(d) => d[r * self.cols + c],
+            Storage::Csr(m) => m.get(r, c),
+        }
     }
 
     /// Element mutator.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c] = v;
+        let cols = self.cols;
+        self.dense_mut()[r * cols + c] = v;
     }
 
     /// Immutable view of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.dense()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.dense_mut()[r * cols..(r + 1) * cols]
     }
 
     /// Reinterpret the storage with a new shape (same number of elements).
     pub fn reshape(mut self, rows: usize, cols: usize) -> Self {
-        assert_eq!(self.data.len(), rows * cols, "reshape numel mismatch");
+        assert_eq!(self.numel(), rows * cols, "reshape numel mismatch");
+        let _ = self.dense(); // CSR cannot be reshaped in place
         self.rows = rows;
         self.cols = cols;
         self
@@ -192,14 +330,16 @@ impl Tensor {
 
     /// Materialized transpose.
     pub fn transposed(&self) -> Tensor {
+        let src = self.dense();
         let mut out = Tensor::zeros(self.cols, self.rows);
+        let dst = out.dense_mut();
         // Blocked transpose keeps both streams cache-friendly.
         const B: usize = 32;
         for rb in (0..self.rows).step_by(B) {
             for cb in (0..self.cols).step_by(B) {
                 for r in rb..(rb + B).min(self.rows) {
                     for c in cb..(cb + B).min(self.cols) {
-                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                        dst[c * self.rows + r] = src[r * self.cols + c];
                     }
                 }
             }
@@ -209,20 +349,16 @@ impl Tensor {
 
     /// Map each element through `f`, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let mut data = crate::arena::take_copied(&self.data);
+        let mut data = crate::arena::take_copied(self.dense());
         for x in &mut data {
             *x = f(*x);
         }
-        Tensor {
-            data,
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Tensor::from_vec(data, self.rows, self.cols)
     }
 
     /// In-place map.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.dense_mut() {
             *x = f(*x);
         }
     }
@@ -230,21 +366,17 @@ impl Tensor {
     /// Elementwise binary combination; shapes must match.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
-        let mut data = crate::arena::take_copied(&self.data);
-        for (a, &b) in data.iter_mut().zip(&other.data) {
+        let mut data = crate::arena::take_copied(self.dense());
+        for (a, &b) in data.iter_mut().zip(other.dense()) {
             *a = f(*a, b);
         }
-        Tensor {
-            data,
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Tensor::from_vec(data, self.rows, self.cols)
     }
 
     /// `self += other` elementwise.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.dense_mut().iter_mut().zip(other.dense()) {
             *a += b;
         }
     }
@@ -252,28 +384,34 @@ impl Tensor {
     /// `self += alpha * other` elementwise (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::simd::axpy(self.dense_mut(), alpha, other.dense());
     }
 
     /// Multiply all elements by `alpha`.
     pub fn scale_inplace(&mut self, alpha: f32) {
-        for a in &mut self.data {
+        for a in self.dense_mut() {
             *a *= alpha;
         }
     }
 
     /// Fill with `value`.
     pub fn fill(&mut self, value: f32) {
-        self.data.fill(value);
+        self.dense_mut().fill(value);
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements. For CSR storage the implicit zeros contribute
+    /// nothing and the stored values are summed in row-major order — for
+    /// the non-negative bag-of-words data CSR carries, this is bitwise
+    /// identical to the dense sum (adding `+0.0` never changes a
+    /// non-negative accumulator).
     pub fn sum(&self) -> f32 {
+        let vals: &[f32] = match &self.storage {
+            Storage::Dense(d) => d,
+            Storage::Csr(m) => m.values(),
+        };
         // Chunked accumulation for better float accuracy than a single fold.
         let mut acc = 0.0f64;
-        for chunk in self.data.chunks(4096) {
+        for chunk in vals.chunks(4096) {
             acc += chunk.iter().map(|&x| x as f64).sum::<f64>();
         }
         acc as f32
@@ -281,16 +419,16 @@ impl Tensor {
 
     /// Mean of all elements.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.numel() == 0 {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.numel() as f32
         }
     }
 
     /// Maximum element (NaN-safe: NaNs are ignored unless all are NaN).
     pub fn max(&self) -> f32 {
-        self.data
+        self.dense()
             .iter()
             .copied()
             .fold(f32::NEG_INFINITY, |a, b| if b > a { b } else { a })
@@ -298,7 +436,7 @@ impl Tensor {
 
     /// Minimum element.
     pub fn min(&self) -> f32 {
-        self.data
+        self.dense()
             .iter()
             .copied()
             .fold(f32::INFINITY, |a, b| if b < a { b } else { a })
@@ -339,7 +477,7 @@ impl Tensor {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data
+        self.dense()
             .iter()
             .map(|&x| (x as f64) * (x as f64))
             .sum::<f64>()
@@ -349,16 +487,20 @@ impl Tensor {
     /// Dot product of two same-shaped tensors viewed as flat vectors.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.numel(), other.numel(), "dot numel mismatch");
-        self.data
+        self.dense()
             .iter()
-            .zip(&other.data)
+            .zip(other.dense())
             .map(|(&a, &b)| (a as f64) * (b as f64))
             .sum::<f64>() as f32
     }
 
     /// True if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
+        let vals: &[f32] = match &self.storage {
+            Storage::Dense(d) => d,
+            Storage::Csr(m) => m.values(),
+        };
+        vals.iter().any(|x| !x.is_finite())
     }
 
     /// Row-wise softmax with temperature, numerically stabilized.
@@ -372,8 +514,10 @@ impl Tensor {
     pub fn softmax_rows_inplace(&mut self, temperature: f32) {
         let inv_t = 1.0 / temperature;
         let cols = self.cols;
-        for r in 0..self.rows {
-            let row = &mut self.data[r * cols..(r + 1) * cols];
+        let rows = self.rows;
+        let data = self.dense_mut();
+        for r in 0..rows {
+            let row = &mut data[r * cols..(r + 1) * cols];
             let mut m = f32::NEG_INFINITY;
             for &v in row.iter() {
                 let v = v * inv_t;
@@ -395,10 +539,38 @@ impl Tensor {
 
     /// Normalize each row to sum to one (L1). Rows summing to zero become
     /// uniform.
+    ///
+    /// On CSR storage this scales each row's stored values in place — for
+    /// non-negative data the row sum over nonzeros is bitwise identical to
+    /// the dense row sum, so the result matches the dense path exactly. A
+    /// CSR tensor containing an all-zero row (an empty document) must
+    /// become uniform, which CSR cannot represent: that rare case
+    /// densifies first.
     pub fn normalize_rows_l1(&mut self) {
+        if let Storage::Csr(m) = &mut self.storage {
+            let any_zero_row = (0..m.rows()).any(|r| m.row(r).1.iter().sum::<f32>().abs() < 1e-12);
+            if any_zero_row {
+                *self = self.to_dense();
+                // fall through to the dense path below
+            } else {
+                for r in 0..m.rows() {
+                    let lo = m.row_ptr()[r] as usize;
+                    let hi = m.row_ptr()[r + 1] as usize;
+                    let vals = &mut m.values_mut()[lo..hi];
+                    let s: f32 = vals.iter().sum();
+                    let inv = 1.0 / s;
+                    for v in vals {
+                        *v *= inv;
+                    }
+                }
+                return;
+            }
+        }
         let cols = self.cols;
-        for r in 0..self.rows {
-            let row = &mut self.data[r * cols..(r + 1) * cols];
+        let rows = self.rows;
+        let data = self.dense_mut();
+        for r in 0..rows {
+            let row = &mut data[r * cols..(r + 1) * cols];
             let s: f32 = row.iter().sum();
             if s.abs() < 1e-12 {
                 let u = 1.0 / cols as f32;
@@ -412,9 +584,10 @@ impl Tensor {
         }
     }
 
-    /// Matrix product `self @ other` using the blocked kernel. Mostly-zero
-    /// left operands (bag-of-words batches) are detected and routed to the
-    /// zero-skipping sparse kernel.
+    /// Matrix product `self @ other` using the blocked kernel. CSR-backed
+    /// left operands go straight to the CSR kernel; mostly-zero dense left
+    /// operands (bag-of-words batches that were materialized anyway) are
+    /// detected and routed to the zero-skipping sparse kernel.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -422,24 +595,26 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        if crate::sgemm::sparse_a_worthwhile(self.rows, self.cols, other.cols, &self.data) {
-            crate::sgemm::sgemm_nn_sparse_a(
-                self.rows,
-                self.cols,
-                other.cols,
-                &self.data,
-                &other.data,
-                &mut out.data,
-            );
-        } else {
-            crate::sgemm::sgemm_nn(
-                self.rows,
-                self.cols,
-                other.cols,
-                &self.data,
-                &other.data,
-                &mut out.data,
-            );
+        let b = other.dense();
+        match &self.storage {
+            Storage::Csr(m) => {
+                CSR_MATMULS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                crate::sgemm::sgemm_csr_dense(m, other.cols, b, out.dense_mut());
+            }
+            Storage::Dense(a) => {
+                if crate::sgemm::sparse_a_worthwhile(self.rows, self.cols, other.cols, a) {
+                    crate::sgemm::sgemm_nn_sparse_a(
+                        self.rows,
+                        self.cols,
+                        other.cols,
+                        a,
+                        b,
+                        out.dense_mut(),
+                    );
+                } else {
+                    crate::sgemm::sgemm_nn(self.rows, self.cols, other.cols, a, b, out.dense_mut());
+                }
+            }
         }
         out
     }
@@ -456,14 +631,16 @@ impl Tensor {
             self.rows,
             self.cols,
             other.rows,
-            &self.data,
-            &other.data,
-            &mut out.data,
+            self.dense(),
+            other.dense(),
+            out.dense_mut(),
         );
         out
     }
 
-    /// Matrix product `self.T @ other`.
+    /// Matrix product `self.T @ other`. A CSR-backed `self` (the
+    /// bag-of-words batch in the weight gradient `dW = Xᵀ·dY`) routes to
+    /// the transposed CSR kernel.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -471,32 +648,45 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Tensor::zeros(self.cols, other.cols);
-        crate::sgemm::sgemm_tn(
-            self.rows,
-            self.cols,
-            other.cols,
-            &self.data,
-            &other.data,
-            &mut out.data,
-        );
+        let b = other.dense();
+        match &self.storage {
+            Storage::Csr(m) => {
+                CSR_MATMULS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                crate::sgemm::sgemm_csr_t_dense(m, other.cols, b, out.dense_mut());
+            }
+            Storage::Dense(a) => {
+                crate::sgemm::sgemm_tn(self.rows, self.cols, other.cols, a, b, out.dense_mut());
+            }
+        }
         out
     }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor({}x{})[", self.rows, self.cols)?;
-        let n = self.data.len().min(8);
-        for (i, v) in self.data[..n].iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
+        match &self.storage {
+            Storage::Dense(data) => {
+                write!(f, "Tensor({}x{})[", self.rows, self.cols)?;
+                let n = data.len().min(8);
+                for (i, v) in data[..n].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:.4}")?;
+                }
+                if data.len() > n {
+                    write!(f, ", …")?;
+                }
+                write!(f, "]")
             }
-            write!(f, "{v:.4}")?;
+            Storage::Csr(m) => write!(
+                f,
+                "Tensor({}x{}, csr, nnz={})",
+                self.rows,
+                self.cols,
+                m.nnz()
+            ),
         }
-        if self.data.len() > n {
-            write!(f, ", …")?;
-        }
-        write!(f, "]")
     }
 }
 
@@ -644,5 +834,108 @@ mod tests {
         assert_eq!(a.data(), &[7.0; 4]);
         a.scale_inplace(0.5);
         assert_eq!(a.data(), &[3.5; 4]);
+    }
+
+    // ---- CSR storage backend ----
+
+    fn csr_fixture() -> Tensor {
+        // [ 0 2 0 1 ]
+        // [ 3 0 0 0 ]
+        // [ 0 0 4 5 ]
+        Tensor::from_csr(CsrMatrix::from_rows(
+            3,
+            4,
+            vec![
+                vec![(1u32, 2.0f32), (3, 1.0)],
+                vec![(0, 3.0)],
+                vec![(2, 4.0), (3, 5.0)],
+            ],
+        ))
+    }
+
+    #[test]
+    fn csr_accessors_and_dense_equivalence() {
+        let t = csr_fixture();
+        assert!(t.is_sparse());
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.numel(), 12);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 3), 0.0);
+        let d = t.to_dense();
+        assert!(!d.is_sparse());
+        assert_eq!(t, d);
+        assert_eq!(d, t);
+        assert_eq!(t.sum(), d.sum());
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn csr_matmul_matches_dense_bitwise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = csr_fixture();
+        let d = t.to_dense();
+        let w = Tensor::randn(4, 9, 1.0, &mut rng);
+        let sparse = t.matmul(&w);
+        let dense = d.matmul(&w);
+        for (x, y) in sparse.data().iter().zip(dense.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_matmul_tn_matches_dense_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = csr_fixture();
+        let d = t.to_dense();
+        let g = Tensor::randn(3, 7, 1.0, &mut rng);
+        let sparse = t.matmul_tn(&g);
+        let dense = d.matmul_tn(&g);
+        for (x, y) in sparse.data().iter().zip(dense.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_matmuls_counter_advances() {
+        let before = csr_matmuls();
+        let t = csr_fixture();
+        let w = Tensor::ones(4, 2);
+        let _ = t.matmul(&w);
+        let g = Tensor::ones(3, 2);
+        let _ = t.matmul_tn(&g);
+        assert!(csr_matmuls() >= before + 2);
+    }
+
+    #[test]
+    fn csr_normalize_rows_l1_matches_dense_bitwise() {
+        let mut t = csr_fixture();
+        let mut d = t.to_dense();
+        t.normalize_rows_l1();
+        d.normalize_rows_l1();
+        assert!(t.is_sparse(), "no zero rows: must stay sparse");
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(t.get(r, c).to_bits(), d.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn csr_normalize_rows_l1_densifies_on_zero_row() {
+        let mut t = Tensor::from_csr(CsrMatrix::from_rows(
+            2,
+            3,
+            vec![vec![(0u32, 2.0f32), (1, 2.0)], vec![]],
+        ));
+        t.normalize_rows_l1();
+        assert!(!t.is_sparse(), "zero row forces densification");
+        assert_eq!(t.row(1), &[1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires dense storage")]
+    fn csr_rejects_dense_only_ops() {
+        let t = csr_fixture();
+        let _ = t.data();
     }
 }

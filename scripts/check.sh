@@ -34,8 +34,29 @@ cargo test -q -p contratopic --test fit_determinism
 
 # The perf harness must keep running (and keep its own determinism
 # check green) even when nobody regenerates the committed artifacts.
-echo "== perf_snapshot --smoke"
+# --smoke also asserts the CSR fast path is actually selected during
+# training (via the ct_tensor::csr_matmuls counter) — a silent fallback
+# to dense batches fails the gate.
+echo "== perf_snapshot --smoke (incl. CSR-path-selected assertion)"
 cargo run --release -q -p ct-bench --bin perf_snapshot -- --smoke
+
+# Kernel perf regression gate: regenerate BENCH_sgemm.json in scratch
+# directories (the committed artifact is left untouched) and fail if any
+# op's GFLOP/s dropped more than 10% below the committed snapshot. Three
+# fresh runs are taken and the gate compares best-of-runs per op — on a
+# shared box, scheduler noise is one-sided, so only a real kernel
+# regression can drag all three runs below the floor.
+echo "== sgemm perf regression gate (<=10% vs committed BENCH_sgemm.json)"
+cargo build --release -q -p ct-bench --bin perf_snapshot
+perf_tmp=$(mktemp -d)
+for i in 1 2 3; do
+  mkdir -p "$perf_tmp/$i"
+  (cd "$perf_tmp/$i" && "$OLDPWD/target/release/perf_snapshot" > /dev/null)
+done
+python3 scripts/sgemm_gate.py BENCH_sgemm.json \
+  "$perf_tmp"/1/BENCH_sgemm.json "$perf_tmp"/2/BENCH_sgemm.json \
+  "$perf_tmp"/3/BENCH_sgemm.json
+rm -rf "$perf_tmp"
 
 # The public API surface must stay documented: ct-tensor and ct-core
 # carry #![warn(missing_docs)], and rustdoc must build without warnings

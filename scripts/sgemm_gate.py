@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_sgemm.json.
+
+Usage: sgemm_gate.py COMMITTED.json FRESH.json [FRESH2.json ...] [--tolerance 0.10]
+
+Compares per-op GFLOP/s of freshly regenerated snapshots against the
+committed artifact and fails (exit 1) when any op is more than
+``tolerance`` slower. When several fresh snapshots are given, the best
+(max) GFLOP/s per op across them is used: the snapshot binary already
+reports best-of-samples within a run, and best-of-runs on top absorbs
+whole-run interference bursts on shared machines — noise is strictly
+one-sided, so the max is the honest estimate of what the kernel can do.
+The op sets must match exactly, so adding or removing a kernel forces
+the committed artifact to be regenerated in the same change.
+"""
+
+import json
+import sys
+
+
+def ops(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {op["name"]: op["gflops"] for op in doc["ops"]}
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    tolerance = 0.10
+    if "--tolerance" in argv:
+        i = argv.index("--tolerance")
+        tolerance = float(argv[i + 1])
+        argv = argv[:i] + argv[i + 2 :]
+    committed = ops(argv[1])
+    fresh = {}
+    for path in argv[2:]:
+        for name, gf in ops(path).items():
+            fresh[name] = max(gf, fresh.get(name, 0.0))
+    if set(committed) != set(fresh):
+        sys.stderr.write(
+            "error: op sets differ (committed %s vs fresh %s) — "
+            "regenerate the committed BENCH_sgemm.json\n"
+            % (sorted(set(committed) - set(fresh)), sorted(set(fresh) - set(committed)))
+        )
+        return 1
+    status = 0
+    for name in sorted(committed):
+        old, new = committed[name], fresh[name]
+        floor = old * (1.0 - tolerance)
+        verdict = "ok" if new >= floor else "REGRESSED"
+        print(
+            "%-18s committed %8.3f GF  fresh %8.3f GF  floor %8.3f  %s"
+            % (name, old, new, floor, verdict)
+        )
+        if new < floor:
+            status = 1
+    if status:
+        sys.stderr.write(
+            "error: at least one sgemm op regressed more than %.0f%% "
+            "vs the committed snapshot\n" % (tolerance * 100)
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
