@@ -1,0 +1,451 @@
+//! Open-loop TCP load generator for the `ct-serve` network tier.
+//!
+//! Unlike the closed-loop clients in `serve_bench` (which wait for each
+//! response before sending the next request, so a slow server slows the
+//! offered load and hides queueing delay), this driver schedules request
+//! `i` at `start + i/rate` and measures latency **from that scheduled
+//! arrival time** — if the server falls behind, the lateness shows up in
+//! the tail instead of disappearing into a throttled client. That is
+//! the standard coordinated-omission-free methodology for
+//! latency-under-load curves.
+//!
+//! Two modes:
+//!
+//! - default: self-host the production-shaped fixture model (same
+//!   quick-scale 20NG corpus as `serve_bench`) behind a real
+//!   [`TcpServer`], sweep arrival rates, and splice a
+//!   `latency_under_load` curve plus a `p99_gate` verdict into
+//!   `BENCH_serve.json` (other keys untouched);
+//! - `--smoke`: a seconds-long variant on a tiny fixture with a
+//!   generous p99 bound, run by `scripts/check.sh` as a regression gate
+//!   (exit code 1 on violation).
+//!
+//! `--addr HOST:PORT` drives an already-running server instead of
+//! self-hosting (the fixture corpus vocabulary must match).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ct_bench::merge_top_level_json;
+use ct_corpus::{generate, train_embeddings, BowCorpus, DatasetPreset, Scale};
+use ct_models::testutil::{cluster_corpus, cluster_embeddings};
+use ct_models::{fit_etm, TrainConfig};
+use ct_serve::{
+    ModelRegistry, ModelSnapshot, ProtocolLimits, RegistryConfig, ServeConfig, TcpClient, TcpServer,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One rate point of the latency-under-load curve.
+struct RatePoint {
+    rate_qps: f64,
+    duration_s: f64,
+    sent: usize,
+    ok: usize,
+    rejected: usize,
+    errors: usize,
+    achieved_qps: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000_000.0
+}
+
+/// Drive `addr` open-loop at `rate_qps` for `duration` over
+/// `connections` persistent connections. Latency for request `i` is
+/// measured from its scheduled arrival `start + i/rate`, response
+/// classification from the JSON line (`"error":"backpressure"` counts
+/// as a rejection, any other error line as a failure).
+fn run_rate(
+    addr: &str,
+    rate_qps: f64,
+    duration: Duration,
+    connections: usize,
+    texts: &[String],
+) -> RatePoint {
+    let total = (rate_qps * duration.as_secs_f64()).round() as usize;
+    let next = Arc::new(AtomicUsize::new(0));
+    // Give every worker time to connect before the clock starts.
+    let start = Instant::now() + Duration::from_millis(100);
+    let texts = Arc::new(texts.to_vec());
+    let workers: Vec<_> = (0..connections)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let texts = Arc::clone(&texts);
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(&addr).expect("connect");
+                let mut latencies_ns = Vec::new();
+                let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let sched = start + Duration::from_secs_f64(i as f64 / rate_qps);
+                    let now = Instant::now();
+                    if sched > now {
+                        std::thread::sleep(sched - now);
+                    }
+                    let line = client.query_line(&texts[i % texts.len()]).expect("query");
+                    // Open-loop latency: completion minus *scheduled* start.
+                    let lat = Instant::now().saturating_duration_since(sched);
+                    if line.contains("\"error\": \"backpressure\"")
+                        || line.contains("\"error\":\"backpressure\"")
+                    {
+                        rejected += 1;
+                    } else if line.starts_with("{\"error\"") {
+                        errors += 1;
+                    } else {
+                        ok += 1;
+                        latencies_ns.push(lat.as_nanos() as u64);
+                    }
+                }
+                (latencies_ns, ok, rejected, errors)
+            })
+        })
+        .collect();
+    let mut latencies_ns = Vec::with_capacity(total);
+    let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+    for w in workers {
+        let (l, o, r, e) = w.join().expect("load worker");
+        latencies_ns.extend(l);
+        ok += o;
+        rejected += r;
+        errors += e;
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    latencies_ns.sort_unstable();
+    RatePoint {
+        rate_qps,
+        duration_s: duration.as_secs_f64(),
+        sent: total,
+        ok,
+        rejected,
+        errors,
+        achieved_qps: (ok + rejected + errors) as f64 / wall,
+        p50_ms: percentile_ms(&latencies_ns, 0.50),
+        p90_ms: percentile_ms(&latencies_ns, 0.90),
+        p99_ms: percentile_ms(&latencies_ns, 0.99),
+    }
+}
+
+/// Decode a corpus back into request-line texts (token id → word,
+/// repeated per count) so the wire path exercises the real encoder.
+fn corpus_texts(corpus: &BowCorpus, max_docs: usize) -> Vec<String> {
+    corpus
+        .docs
+        .iter()
+        .take(max_docs)
+        .map(|doc| {
+            let mut text = String::new();
+            for (id, count) in doc.iter() {
+                for _ in 0..(count as usize).max(1) {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(corpus.vocab.word(id));
+                }
+            }
+            text
+        })
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Self-host a registry-backed TCP server on an ephemeral port; the
+/// cache is disabled so every request pays for real inference.
+fn host_fixture(snapshot: ModelSnapshot) -> (TcpServer, Arc<ModelRegistry>, String) {
+    let registry: Arc<ModelRegistry> = Arc::new(ModelRegistry::new(RegistryConfig {
+        max_inflight: 256,
+        serve: ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+        trace: None,
+    }));
+    registry
+        .register_snapshot("default", snapshot)
+        .expect("register fixture model");
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry) as Arc<dyn ct_serve::Router>,
+        ProtocolLimits::default(),
+    )
+    .expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+    (server, registry, addr)
+}
+
+fn tiny_fixture() -> (ModelSnapshot, BowCorpus) {
+    let corpus = cluster_corpus(4, 6, 20);
+    let config = TrainConfig {
+        num_topics: 4,
+        hidden: 32,
+        embed_dim: 8,
+        epochs: 2,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    let model = fit_etm(&corpus, cluster_embeddings(&corpus), &config);
+    let snapshot = ModelSnapshot::from_model(&model, corpus.vocab.clone(), 5).expect("snapshot");
+    (snapshot, corpus)
+}
+
+fn production_fixture() -> (ModelSnapshot, BowCorpus) {
+    let spec = DatasetPreset::Ng20Like.spec(Scale::Quick);
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus = generate(&spec, &mut rng).corpus;
+    let embeddings = train_embeddings(&corpus, 300.min(corpus.vocab_size()), &mut rng);
+    let config = TrainConfig {
+        num_topics: 50,
+        hidden: 800,
+        embed_dim: 300,
+        epochs: 1,
+        batch_size: 256,
+        seed: 3,
+        ..TrainConfig::default()
+    };
+    eprintln!(
+        "training fixture model: {} docs, vocab {}",
+        corpus.num_docs(),
+        corpus.vocab_size()
+    );
+    let model = fit_etm(&corpus, embeddings, &config);
+    let snapshot = ModelSnapshot::from_model(&model, corpus.vocab.clone(), 10).expect("snapshot");
+    (snapshot, corpus)
+}
+
+struct Args {
+    smoke: bool,
+    addr: Option<String>,
+    rates: Vec<f64>,
+    duration: Duration,
+    connections: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        addr: None,
+        rates: vec![100.0, 200.0, 400.0, 800.0],
+        duration: Duration::from_secs(3),
+        connections: 8,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => args.addr = Some(value("--addr")),
+            "--rates" => {
+                args.rates = value("--rates")
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("--rates takes comma-separated QPS"))
+                    .collect();
+            }
+            "--duration-secs" => {
+                args.duration = Duration::from_secs_f64(
+                    value("--duration-secs").parse().expect("--duration-secs"),
+                );
+            }
+            "--connections" => {
+                args.connections = value("--connections").parse().expect("--connections");
+            }
+            "--out" => args.out = value("--out"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: load_gen [--smoke] [--addr HOST:PORT] \
+                     [--rates QPS,QPS,...] [--duration-secs S] [--connections N] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The p99 bound the check.sh gate enforces, in milliseconds. Generous
+/// for a shared 1-core container: the point is to catch pathological
+/// regressions (a stuck batcher, an accept-loop stall, lost responses),
+/// not to benchmark the hardware.
+const SMOKE_TARGET_QPS: f64 = 100.0;
+const SMOKE_P99_MS: f64 = 250.0;
+
+/// Full-mode gate recorded into BENCH_serve.json: p99 at the target
+/// arrival rate must stay under this bound.
+const GATE_TARGET_QPS: f64 = 200.0;
+const GATE_P99_MS: f64 = 100.0;
+
+fn main() {
+    let args = parse_args();
+
+    if args.smoke {
+        let (snapshot, corpus) = tiny_fixture();
+        let texts = corpus_texts(&corpus, 64);
+        let (server, registry, hosted) = host_fixture(snapshot);
+        let addr = args.addr.clone().unwrap_or(hosted);
+        let point = run_rate(&addr, SMOKE_TARGET_QPS, Duration::from_secs(2), 4, &texts);
+        eprintln!(
+            "smoke @ {:.0} QPS: {} ok / {} rejected / {} errors, \
+             p50 {:.2} ms p99 {:.2} ms (achieved {:.1} QPS)",
+            point.rate_qps,
+            point.ok,
+            point.rejected,
+            point.errors,
+            point.p50_ms,
+            point.p99_ms,
+            point.achieved_qps
+        );
+        let report = server.shutdown(Duration::from_secs(5));
+        drop(registry);
+        let mut failures = Vec::new();
+        if point.errors > 0 {
+            failures.push(format!("{} non-backpressure error responses", point.errors));
+        }
+        if point.ok + point.rejected + point.errors != point.sent {
+            failures.push(format!(
+                "lost responses: sent {} got {}",
+                point.sent,
+                point.ok + point.rejected + point.errors
+            ));
+        }
+        if (point.ok as f64) < 0.9 * point.sent as f64 {
+            failures.push(format!(
+                "only {}/{} requests succeeded",
+                point.ok, point.sent
+            ));
+        }
+        if point.p99_ms > SMOKE_P99_MS {
+            failures.push(format!(
+                "p99 {:.2} ms exceeds the {SMOKE_P99_MS:.0} ms smoke bound",
+                point.p99_ms
+            ));
+        }
+        if report.connections_aborted > 0 {
+            failures.push(format!(
+                "{} connections force-closed during drain",
+                report.connections_aborted
+            ));
+        }
+        if failures.is_empty() {
+            println!(
+                "load_gen --smoke: OK (p99 {:.2} ms @ {SMOKE_TARGET_QPS:.0} QPS)",
+                point.p99_ms
+            );
+        } else {
+            for f in &failures {
+                eprintln!("load_gen --smoke: FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Full mode: sweep rates against the production-shaped fixture and
+    // splice the curve into BENCH_serve.json.
+    let (texts, server_and_registry, addr) = match &args.addr {
+        Some(addr) => {
+            let (_, corpus) = tiny_fixture();
+            (corpus_texts(&corpus, 256), None, addr.clone())
+        }
+        None => {
+            let (snapshot, corpus) = production_fixture();
+            let texts = corpus_texts(&corpus, 256);
+            let (server, registry, addr) = host_fixture(snapshot);
+            (texts, Some((server, registry)), addr)
+        }
+    };
+
+    let mut points = Vec::new();
+    for &rate in &args.rates {
+        let point = run_rate(&addr, rate, args.duration, args.connections, &texts);
+        eprintln!(
+            "rate {:>6.0} QPS: p50 {:>7.2} ms  p90 {:>7.2} ms  p99 {:>7.2} ms  \
+             ({} ok, {} rejected, {} errors, achieved {:.1} QPS)",
+            point.rate_qps,
+            point.p50_ms,
+            point.p90_ms,
+            point.p99_ms,
+            point.ok,
+            point.rejected,
+            point.errors,
+            point.achieved_qps
+        );
+        points.push(point);
+    }
+    if let Some((server, registry)) = server_and_registry {
+        let report = server.shutdown(Duration::from_secs(5));
+        assert_eq!(
+            report.connections_aborted, 0,
+            "drain force-closed connections"
+        );
+        drop(registry);
+    }
+
+    let mut curve = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            curve.push_str(",\n");
+        }
+        let _ = write!(
+            curve,
+            "    {{\"rate_qps\": {:.0}, \"duration_s\": {:.1}, \"sent\": {}, \"ok\": {}, \
+             \"rejected\": {}, \"errors\": {}, \"achieved_qps\": {:.1}, \
+             \"p50_ms\": {:.2}, \"p90_ms\": {:.2}, \"p99_ms\": {:.2}}}",
+            p.rate_qps,
+            p.duration_s,
+            p.sent,
+            p.ok,
+            p.rejected,
+            p.errors,
+            p.achieved_qps,
+            p.p50_ms,
+            p.p90_ms,
+            p.p99_ms
+        );
+    }
+    curve.push_str("\n  ]");
+
+    // Gate: p99 at the slowest swept rate >= the target must hold.
+    let gated = points
+        .iter()
+        .filter(|p| p.rate_qps >= GATE_TARGET_QPS)
+        .min_by(|a, b| a.rate_qps.total_cmp(&b.rate_qps))
+        .or_else(|| points.last());
+    let (gate_rate, gate_p99, gate_pass) = match gated {
+        Some(p) => (p.rate_qps, p.p99_ms, p.p99_ms <= GATE_P99_MS),
+        None => (0.0, 0.0, false),
+    };
+    let gate = format!(
+        "{{\"target_qps\": {gate_rate:.0}, \"p99_ms\": {gate_p99:.2}, \
+         \"bound_ms\": {GATE_P99_MS:.0}, \"pass\": {gate_pass}}}"
+    );
+
+    let doc = std::fs::read_to_string(&args.out).unwrap_or_default();
+    let doc = merge_top_level_json(&doc, "latency_under_load", &curve);
+    let doc = merge_top_level_json(&doc, "p99_gate", &gate);
+    std::fs::write(&args.out, &doc).expect("write BENCH output");
+    println!("{doc}");
+    eprintln!(
+        "wrote {} (p99 {:.2} ms @ {:.0} QPS, gate {})",
+        args.out,
+        gate_p99,
+        gate_rate,
+        if gate_pass { "pass" } else { "FAIL" }
+    );
+    if !gate_pass {
+        std::process::exit(1);
+    }
+}

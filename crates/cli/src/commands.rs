@@ -280,11 +280,15 @@ fn npmi_over_model_vocab(path: &str, vocab: &ct_corpus::Vocab) -> Result<NpmiMat
     Ok(NpmiMatrix::from_corpus(&corpus))
 }
 
-/// `contratopic serve`: load a bundle and answer doc→topic queries over a
-/// Unix socket through the batched `ct-serve` engine.
+/// `contratopic serve`: load one or more bundles into a model registry
+/// and answer doc→topic queries over a Unix socket and/or TCP through
+/// the batched `ct-serve` engine.
 #[cfg(unix)]
 pub fn serve(args: &Args) -> Result<(), String> {
-    use ct_serve::{DocEncoder, ModelSnapshot, ServeConfig, ServeEngine, SharedSink, UnixServer};
+    use ct_serve::{
+        ModelRegistry, ModelSnapshot, ProtocolLimits, RegistryConfig, Router, ServeConfig,
+        SharedSink, TcpServer, UnixServer,
+    };
     use std::io::LineWriter;
     use std::sync::{Arc, Mutex};
     use std::time::Duration;
@@ -292,7 +296,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if let Some(f) = args
         .unknown_flags(&[
             "model",
+            "models",
             "socket",
+            "tcp",
             "corpus",
             "top",
             "max-batch",
@@ -301,28 +307,36 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "cache",
             "threads",
             "trace",
+            "max-inflight",
         ])
         .into_iter()
         .next()
     {
         return Err(format!("unknown flag --{f} for serve"));
     }
-    let prefix = args.require("model")?;
-    let socket = args.require("socket")?;
     let top: usize = args.get_or("top", 10)?;
     let max_batch: usize = args.get_or("max-batch", 32)?;
     let max_wait_ms: u64 = args.get_or("max-wait-ms", 2)?;
     let queue: usize = args.get_or("queue", 256)?;
     let cache: usize = args.get_or("cache", 1024)?;
     let threads: usize = args.get_or("threads", 0)?;
+    let max_inflight: usize = args.get_or("max-inflight", 256)?;
 
-    let mut snapshot = ModelSnapshot::load(prefix, top).map_err(|e| format!("{prefix}: {e}"))?;
-    if let Some(cpath) = args.get("corpus") {
-        let npmi = npmi_over_model_vocab(cpath, snapshot.vocab())?;
-        snapshot = snapshot.with_npmi(&npmi).map_err(|e| e.to_string())?;
-        eprintln!("nearest-topic annotations computed from {cpath}");
-    }
-    let encoder = DocEncoder::new(snapshot.vocab().clone());
+    // One `--model PREFIX` (registered as "default") or a roster of
+    // `--models name=prefix,name=prefix`; clients pick a model with an
+    // `@name ` prefix on the request line.
+    let roster: Vec<(String, String)> = match (args.get("model"), args.get("models")) {
+        (Some(prefix), None) => vec![("default".to_string(), prefix.to_string())],
+        (None, Some(spec)) => spec
+            .split(',')
+            .map(|pair| {
+                pair.split_once('=')
+                    .map(|(n, p)| (n.trim().to_string(), p.trim().to_string()))
+                    .ok_or_else(|| format!("--models: '{pair}' is not name=prefix"))
+            })
+            .collect::<Result<_, _>>()?,
+        _ => return Err("serve needs exactly one of --model or --models".into()),
+    };
 
     let trace: Option<SharedSink> = match args.get("trace") {
         None => None,
@@ -332,22 +346,83 @@ pub fn serve(args: &Args) -> Result<(), String> {
             Some(Arc::new(Mutex::new(JsonlSink::new(LineWriter::new(file)))))
         }
     };
-    let config = ServeConfig {
-        max_batch,
-        max_wait: Duration::from_millis(max_wait_ms),
-        queue_capacity: queue,
-        cache_capacity: cache,
-        infer_threads: (threads > 0).then_some(threads),
-        top_n: top,
+    let registry: Arc<ModelRegistry> = Arc::new(ModelRegistry::new(RegistryConfig {
+        max_inflight,
+        serve: ServeConfig {
+            max_batch,
+            max_wait: Duration::from_millis(max_wait_ms),
+            queue_capacity: queue,
+            cache_capacity: cache,
+            infer_threads: (threads > 0).then_some(threads),
+            top_n: top,
+        },
+        trace,
+    }));
+    for (name, prefix) in &roster {
+        let mut snapshot =
+            ModelSnapshot::load(prefix, top).map_err(|e| format!("{prefix}: {e}"))?;
+        if let Some(cpath) = args.get("corpus") {
+            let npmi = npmi_over_model_vocab(cpath, snapshot.vocab())?;
+            snapshot = snapshot.with_npmi(&npmi).map_err(|e| e.to_string())?;
+            eprintln!("{name}: nearest-topic annotations computed from {cpath}");
+        }
+        let topics = snapshot.num_topics();
+        registry
+            .register_snapshot(name, snapshot)
+            .map_err(|e| format!("{name}: {e}"))?;
+        eprintln!("registered model '{name}' ({topics} topics) from {prefix}");
+    }
+
+    let limits = ProtocolLimits::default();
+    let unix_server = match args.get("socket") {
+        Some(socket) => {
+            let server = UnixServer::bind_router(
+                socket,
+                Arc::clone(&registry) as Arc<dyn Router>,
+                limits.clone(),
+            )
+            .map_err(|e| format!("{socket}: {e}"))?;
+            eprintln!(
+                "serving {} model(s) on unix socket {socket} \
+                 (max batch {max_batch}, max wait {max_wait_ms}ms)",
+                roster.len()
+            );
+            Some(server)
+        }
+        None => None,
     };
-    let engine = ServeEngine::start_traced(snapshot, config, trace);
-    let server =
-        UnixServer::bind(socket, engine.handle(), encoder).map_err(|e| format!("{socket}: {e}"))?;
-    eprintln!(
-        "serving {} topics on {socket} (max batch {max_batch}, max wait {max_wait_ms}ms)",
-        engine.handle().num_topics()
-    );
-    server.join();
+    let tcp_server = match args.get("tcp") {
+        Some(addr) => {
+            let server = TcpServer::bind(addr, Arc::clone(&registry) as Arc<dyn Router>, limits)
+                .map_err(|e| format!("{addr}: {e}"))?;
+            eprintln!(
+                "serving {} model(s) on tcp {} (max batch {max_batch}, max wait {max_wait_ms}ms)",
+                roster.len(),
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+
+    // Foreground until a shutdown signal or listener error on each
+    // transport; with both up, the Unix side joins on a helper thread.
+    match (unix_server, tcp_server) {
+        (Some(unix), Some(tcp)) => {
+            let helper = std::thread::spawn(move || unix.join());
+            tcp.join();
+            helper
+                .join()
+                .map_err(|_| "unix join panicked".to_string())?;
+        }
+        (Some(unix), None) => {
+            unix.join();
+        }
+        (None, Some(tcp)) => {
+            tcp.join();
+        }
+        (None, None) => return Err("serve needs --socket PATH and/or --tcp HOST:PORT".into()),
+    }
     Ok(())
 }
 
@@ -356,14 +431,13 @@ pub fn serve(args: &Args) -> Result<(), String> {
 #[cfg(unix)]
 pub fn query(args: &Args) -> Result<(), String> {
     if let Some(f) = args
-        .unknown_flags(&["socket", "text", "file"])
+        .unknown_flags(&["socket", "tcp", "model", "text", "file"])
         .into_iter()
         .next()
     {
         return Err(format!("unknown flag --{f} for query"));
     }
-    let socket = args.require("socket")?;
-    let texts: Vec<String> = match (args.get("text"), args.get("file")) {
+    let mut texts: Vec<String> = match (args.get("text"), args.get("file")) {
         (Some(t), None) => vec![t.to_string()],
         (None, Some(path)) => fs::read_to_string(path)
             .map_err(|e| format!("{path}: {e}"))?
@@ -372,8 +446,23 @@ pub fn query(args: &Args) -> Result<(), String> {
             .collect(),
         _ => return Err("query needs exactly one of --text or --file".into()),
     };
+    // `--model NAME` routes to a named registry entry via the wire
+    // protocol's `@name ` prefix (default model otherwise).
+    if let Some(model) = args.get("model") {
+        for t in &mut texts {
+            *t = format!("@{model} {t}");
+        }
+    }
     let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let responses = ct_serve::query_unix(socket, &refs).map_err(|e| format!("{socket}: {e}"))?;
+    let responses = match (args.get("socket"), args.get("tcp")) {
+        (Some(socket), None) => {
+            ct_serve::query_unix(socket, &refs).map_err(|e| format!("{socket}: {e}"))?
+        }
+        (None, Some(addr)) => {
+            ct_serve::query_tcp(addr, &refs).map_err(|e| format!("{addr}: {e}"))?
+        }
+        _ => return Err("query needs exactly one of --socket or --tcp".into()),
+    };
     for line in responses {
         println!("{line}");
     }
@@ -382,12 +471,12 @@ pub fn query(args: &Args) -> Result<(), String> {
 
 #[cfg(not(unix))]
 pub fn serve(_args: &Args) -> Result<(), String> {
-    Err("serve requires Unix domain sockets (unix targets only)".into())
+    Err("serve is only wired up on unix targets in this build".into())
 }
 
 #[cfg(not(unix))]
 pub fn query(_args: &Args) -> Result<(), String> {
-    Err("query requires Unix domain sockets (unix targets only)".into())
+    Err("query is only wired up on unix targets in this build".into())
 }
 
 #[cfg(test)]

@@ -35,14 +35,16 @@ COMMANDS:
              --model model-prefix  [--corpus corpus.txt]  [--top N]
   eval       Score a trained model on a corpus (coherence/diversity/perplexity)
              --model model-prefix  --corpus corpus.txt
-  serve      Serve doc→topic queries from a trained model over a Unix socket
-             --model model-prefix  --socket /path/ct.sock
+  serve      Serve doc→topic queries over a Unix socket and/or TCP
+             (--model model-prefix | --models name=prefix,name=prefix,...)
+             (--socket /path/ct.sock and/or --tcp 127.0.0.1:7070)
              [--corpus corpus.txt]     nearest-topic-by-NPMI annotations
              [--top N] [--max-batch N] [--max-wait-ms N]
-             [--queue N] [--cache N] [--threads N]
+             [--queue N] [--cache N] [--threads N] [--max-inflight N]
              [--trace trace.jsonl]     per-batch serve telemetry as JSONL
   query      Send documents to a running serve instance, print JSON per doc
-             --socket /path/ct.sock  (--text \"...\" | --file docs.txt)
+             (--socket /path/ct.sock | --tcp HOST:PORT)
+             (--text \"...\" | --file docs.txt)  [--model NAME]
   experiment List, run and resume the paper experiments through the run ledger
              [--op list|status|run|resume]   (default: list)
              [--exp fig2,fig3,...]           comma-separated names (default: all)

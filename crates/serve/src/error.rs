@@ -34,6 +34,19 @@ pub enum ServeError {
     /// validation and was rejected; the engine keeps serving the previous
     /// snapshot. Carries the validator's reason.
     InvalidSnapshot(String),
+    /// The request named a model the registry does not host.
+    UnknownModel {
+        /// The model name the request asked for.
+        model: String,
+    },
+    /// A request line exceeded the transport's size limit. The oversized
+    /// line was discarded; the connection stays open for further
+    /// requests.
+    RequestTooLarge {
+        /// Configured per-line byte limit
+        /// ([`crate::ProtocolLimits::max_request_bytes`]).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -54,6 +67,12 @@ impl fmt::Display for ServeError {
             ServeError::InvalidSnapshot(reason) => {
                 write!(f, "rejected snapshot: {reason}")
             }
+            ServeError::UnknownModel { model } => {
+                write!(f, "no model named '{model}' is registered")
+            }
+            ServeError::RequestTooLarge { limit } => {
+                write!(f, "request line exceeds the {limit}-byte limit")
+            }
         }
     }
 }
@@ -70,6 +89,55 @@ impl ServeError {
             ServeError::VocabMismatch { .. } => "vocab_mismatch",
             ServeError::EmptyDocument => "empty_document",
             ServeError::InvalidSnapshot(_) => "invalid_snapshot",
+            ServeError::UnknownModel { .. } => "unknown_model",
+            ServeError::RequestTooLarge { .. } => "request_too_large",
         }
+    }
+
+    /// Render as the wire protocol's one-line error object,
+    /// `{"error":"<kind>","message":"..."}`, with the message properly
+    /// JSON-escaped (quotes, backslashes, and control characters survive
+    /// as valid JSON — see [`crate::json::push_json_str`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"error\":");
+        crate::json::push_json_str(&mut s, self.kind());
+        s.push_str(",\"message\":");
+        crate::json::push_json_str(&mut s, &self.to_string());
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_json_escapes_hostile_messages() {
+        // The historic bug: a backslash in an error message produced
+        // invalid JSON, and quotes were lossily flattened to apostrophes.
+        let e = ServeError::InvalidSnapshot("bad \"beta\" at C:\\models\\x\x01".into());
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"error\":\"invalid_snapshot\",\"message\":\"rejected snapshot: \
+             bad \\\"beta\\\" at C:\\\\models\\\\x\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn error_json_kind_tags_cover_new_variants() {
+        let unknown = ServeError::UnknownModel { model: "t1".into() };
+        assert!(unknown
+            .to_json()
+            .starts_with("{\"error\":\"unknown_model\""));
+        let huge = ServeError::RequestTooLarge { limit: 64 };
+        let json = huge.to_json();
+        assert!(
+            json.starts_with("{\"error\":\"request_too_large\""),
+            "{json}"
+        );
+        assert!(json.contains("64-byte limit"), "{json}");
     }
 }

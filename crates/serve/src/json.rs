@@ -1,0 +1,105 @@
+//! Minimal JSON string escaping, shared by every serve response path.
+//!
+//! The wire protocol hand-rolls its JSON (the workspace is
+//! dependency-free by policy), which makes a single correct string
+//! escaper load-bearing: both the success path
+//! ([`QueryResponse::to_json`](crate::QueryResponse::to_json)) and the
+//! error path ([`ServeError::to_json`](crate::ServeError::to_json)) must
+//! emit valid JSON for *any* message content — topic words with quotes,
+//! error messages carrying file paths with backslashes, control
+//! characters from hostile input echoed back in diagnostics.
+
+use std::fmt::Write as _;
+
+/// Append `value` to `out` as a JSON string literal (including the
+/// surrounding quotes), escaping `"`, `\`, and control characters per
+/// RFC 8259. Everything else is passed through unchanged — the output is
+/// UTF-8 JSON, not ASCII-armored.
+pub fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// [`push_json_str`] into a fresh `String`.
+pub fn json_str(value: &str) -> String {
+    let mut s = String::with_capacity(value.len() + 2);
+    push_json_str(&mut s, value);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Decode a JSON string literal back to its value — the test-side
+    /// inverse of [`push_json_str`], so escaping is verified by round
+    /// trip rather than by eyeballing backslash counts.
+    fn unescape(lit: &str) -> String {
+        let inner = lit
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .expect("quoted literal");
+        let mut out = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                assert!(c as u32 >= 0x20, "unescaped control char {:#x}", c as u32);
+                assert_ne!(c, '"', "unescaped quote inside literal");
+                out.push(c);
+                continue;
+            }
+            match chars.next().expect("escape payload") {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next().expect("hex digit")).collect();
+                    let code = u32::from_str_radix(&hex, 16).expect("hex escape");
+                    out.push(char::from_u32(code).expect("BMP scalar"));
+                }
+                other => panic!("unexpected escape \\{other}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_quotes_backslashes_and_control_chars() {
+        for value in [
+            "plain words",
+            "a \"quoted\" phrase",
+            "C:\\path\\to\\model",
+            "trailing backslash \\",
+            "newline\nand\ttab\rand\x01bell\x07",
+            "unicode: naïve café 日本語",
+            "mixed \\\" both \"\\ orders",
+            "",
+        ] {
+            let lit = json_str(value);
+            assert_eq!(unescape(&lit), value, "literal was {lit}");
+        }
+    }
+
+    #[test]
+    fn exact_escapes() {
+        assert_eq!(json_str(r#"say "hi""#), r#""say \"hi\"""#);
+        assert_eq!(json_str(r"back\slash"), r#""back\\slash""#);
+        assert_eq!(json_str("ctrl\x02"), r#""ctrl\u0002""#);
+        assert_eq!(json_str("nl\n"), r#""nl\n""#);
+    }
+}

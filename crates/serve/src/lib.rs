@@ -18,8 +18,15 @@
 //! - [`ModelSnapshot`] — precomputed `beta`, top-k words, exported
 //!   encoder weights; served θ is **bitwise identical** to the offline
 //!   `Backbone::infer_theta_batch` path for any thread count;
-//! - `server` (Unix) — a line-oriented Unix-socket front-end used by
-//!   `contratopic serve` / `contratopic query`.
+//! - [`ModelRegistry`] — many named snapshots (per-tenant models or
+//!   presets), each behind its own engine with its own generation
+//!   counter and hot promotion, plus fair-share admission control over a
+//!   global in-flight budget;
+//! - [`TcpServer`] / `server` (Unix) — two front-ends for the same
+//!   line-oriented wire protocol (shared framing, routing, and graceful
+//!   drain-with-deadline shutdown in [`net`]), used by
+//!   `contratopic serve` / `contratopic query` and the `load_gen`
+//!   open-loop benchmark driver.
 //!
 //! ## Serving a trained model in-process
 //!
@@ -92,7 +99,10 @@
 pub mod encode;
 pub mod engine;
 pub mod error;
+pub mod json;
 pub mod lru;
+pub mod net;
+pub mod registry;
 pub mod server;
 pub mod snapshot;
 
@@ -101,6 +111,10 @@ pub use engine::{
     InferenceModel, QueryOutcome, ServeConfig, ServeEngine, ServeHandle, ServeStats, SharedSink,
 };
 pub use error::ServeError;
+pub use net::{
+    query_tcp, ProtocolLimits, Router, Shutdown, ShutdownReport, SingleModel, TcpClient, TcpServer,
+};
+pub use registry::{ModelRegistry, RegistryConfig};
 pub use snapshot::{ModelSnapshot, QueryResponse, TopicHit};
 
 #[cfg(unix)]

@@ -1,116 +1,133 @@
 //! Unix-domain-socket front-end (and matching client) for the engine.
 //!
-//! Wire protocol, line-oriented in both directions:
-//!
-//! - **request**: one line of raw document text;
-//! - **response**: one line of JSON — either a
-//!   [`QueryResponse`](crate::QueryResponse) object or
-//!   `{"error":"<kind>","message":"..."}` with the
-//!   [`ServeError::kind`](crate::ServeError::kind) tag.
-//!
-//! A connection serves any number of request/response pairs; each
-//! accepted connection gets its own thread holding a cloned
-//! [`ServeHandle`], so concurrent connections naturally feed the
-//! engine's micro-batcher.
+//! Speaks the same line protocol as the TCP front end — see
+//! [`crate::net`] for the framing, routing, and shutdown machinery both
+//! transports share. A connection serves any number of request/response
+//! pairs on its own tracked thread; concurrent connections naturally
+//! feed the engine's micro-batcher.
 
 #![cfg(unix)]
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
-use std::thread::JoinHandle;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::encode::DocEncoder;
 use crate::engine::{InferenceModel, ServeHandle};
-use crate::error::ServeError;
+use crate::net::{ProtocolLimits, Router, ServerCore, Shutdown, ShutdownReport, SingleModel};
 
 /// A listening Unix-socket server bound to a path.
+///
+/// The transport twin of [`crate::TcpServer`]: same protocol, same
+/// routing, same graceful shutdown. Dropping the server (or calling
+/// [`UnixServer::shutdown`]) removes the socket file.
 pub struct UnixServer {
-    accept_thread: JoinHandle<()>,
+    core: Option<ServerCore<UnixStream>>,
+    path: PathBuf,
 }
 
 impl UnixServer {
-    /// Bind `path` (removing a stale socket file first) and start
-    /// accepting connections, answering queries through `handle` with
-    /// text encoded by `encoder`. Returns once the socket is bound and
-    /// listening; accepted connections are handled on background
-    /// threads.
+    /// Bind `path` and serve every request through `handle` with text
+    /// encoded by `encoder` — the single-model convenience over
+    /// [`UnixServer::bind_router`]. Returns once the socket is bound and
+    /// listening.
     pub fn bind<M: InferenceModel>(
         path: impl AsRef<Path>,
         handle: ServeHandle<M>,
         encoder: DocEncoder,
     ) -> io::Result<Self> {
-        let path = path.as_ref();
+        Self::bind_router(
+            path,
+            Arc::new(SingleModel::new(handle, encoder)),
+            ProtocolLimits::default(),
+        )
+    }
+
+    /// Bind `path` and route requests through `router` (e.g. a
+    /// [`crate::ModelRegistry`] for multi-tenant serving).
+    ///
+    /// A leftover socket file is only removed after probing it: if
+    /// something still accepts connections on `path`, binding fails with
+    /// [`io::ErrorKind::AddrInUse`] instead of silently clobbering a
+    /// live server (the historic behavior unconditionally deleted the
+    /// path, stranding the running server on an unlinked socket).
+    pub fn bind_router(
+        path: impl AsRef<Path>,
+        router: Arc<dyn Router>,
+        limits: ProtocolLimits,
+    ) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
         if path.exists() {
-            std::fs::remove_file(path)?;
-        }
-        let listener = UnixListener::bind(path)?;
-        let encoder = std::sync::Arc::new(encoder);
-        let accept_thread = std::thread::Builder::new()
-            .name("ct-serve-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    let Ok(stream) = stream else { break };
-                    let conn_handle = handle.clone();
-                    let conn_encoder = std::sync::Arc::clone(&encoder);
-                    let _ = std::thread::Builder::new()
-                        .name("ct-serve-conn".into())
-                        .spawn(move || {
-                            let _ = serve_connection(stream, &conn_handle, &conn_encoder);
-                        });
+            match UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!(
+                            "{} is already being served (a live listener accepted a probe \
+                             connection); refusing to clobber it",
+                            path.display()
+                        ),
+                    ));
                 }
-            })?;
-        Ok(Self { accept_thread })
+                Err(_) => std::fs::remove_file(&path)?,
+            }
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(Self {
+            core: Some(ServerCore::start(listener, router, limits)?),
+            path,
+        })
+    }
+
+    /// A cloneable [`Shutdown`] trigger for this server.
+    pub fn shutdown_handle(&self) -> Shutdown {
+        self.core
+            .as_ref()
+            .expect("server running")
+            .shutdown_handle()
+    }
+
+    /// Gracefully shut down: stop accepting, give in-flight connections
+    /// until `drain` to finish the request they are serving, force-close
+    /// stragglers, join every connection thread, and remove the socket
+    /// file.
+    pub fn shutdown(mut self, drain: Duration) -> ShutdownReport {
+        let report = match self.core.take() {
+            Some(core) => core.shutdown(drain),
+            None => ShutdownReport {
+                connections_drained: 0,
+                connections_aborted: 0,
+            },
+        };
+        std::fs::remove_file(&self.path).ok();
+        report
     }
 
     /// Block the calling thread for the lifetime of the server (the
-    /// `contratopic serve` foreground mode).
-    pub fn join(self) {
-        let _ = self.accept_thread.join();
-    }
-}
-
-fn serve_connection<M: InferenceModel>(
-    stream: UnixStream,
-    handle: &ServeHandle<M>,
-    encoder: &DocEncoder,
-) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let reply = match answer(&line, handle, encoder) {
-            Ok(json) => json,
-            Err(e) => error_json(&e),
+    /// `contratopic serve` foreground mode): returns only after a
+    /// [`Shutdown`] signal or a listener error, then drains.
+    pub fn join(mut self) -> ShutdownReport {
+        let report = match self.core.take() {
+            Some(core) => core.join(),
+            None => ShutdownReport {
+                connections_drained: 0,
+                connections_aborted: 0,
+            },
         };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        std::fs::remove_file(&self.path).ok();
+        report
     }
-    Ok(())
 }
 
-fn answer<M: InferenceModel>(
-    text: &str,
-    handle: &ServeHandle<M>,
-    encoder: &DocEncoder,
-) -> Result<String, ServeError> {
-    let doc = encoder.encode(text)?;
-    let outcome = handle.query(&doc)?;
-    Ok(outcome.response.to_json())
-}
-
-fn error_json(e: &ServeError) -> String {
-    let msg: String = e
-        .to_string()
-        .chars()
-        .map(|c| match c {
-            '"' => '\'',
-            c if (c as u32) < 0x20 => ' ',
-            c => c,
-        })
-        .collect();
-    format!("{{\"error\":\"{}\",\"message\":\"{msg}\"}}", e.kind())
+impl Drop for UnixServer {
+    fn drop(&mut self) {
+        if let Some(core) = self.core.take() {
+            drop(core); // signals, force-closes reads, joins threads
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
 }
 
 /// Client side of the wire protocol: connect to `path`, send each

@@ -456,16 +456,7 @@ impl QueryResponse {
                 if j > 0 {
                     s.push(',');
                 }
-                s.push('"');
-                for c in w.chars() {
-                    match c {
-                        '"' => s.push_str("\\\""),
-                        '\\' => s.push_str("\\\\"),
-                        c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => s.push(c),
-                    }
-                }
-                s.push('"');
+                crate::json::push_json_str(&mut s, w);
             }
             s.push(']');
             if let Some(n) = hit.nearest_topic {

@@ -71,7 +71,7 @@ fn bf16_beta_error_within_documented_tolerance() {
         let rounded = {
             let bits = v.to_bits();
             let round = ((bits >> 16) & 1).wrapping_add(0x7FFF);
-            f32::from_bits(((bits.wrapping_add(round) >> 16) << 16) as u32)
+            f32::from_bits((bits.wrapping_add(round) >> 16) << 16)
         };
         assert!(
             (rounded - v).abs() <= v.abs() * 2f32.powi(-8) + f32::MIN_POSITIVE,

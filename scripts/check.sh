@@ -26,6 +26,24 @@ echo "== serve determinism + backpressure tests"
 cargo test -q -p ct-serve --test determinism
 cargo test -q -p ct-serve --test backpressure
 
+# Network-tier invariants: hostile request lines (oversized, binary,
+# unknown-model, mid-line disconnect) come back as typed single-line
+# JSON errors on a surviving connection; TCP, Unix-socket and offline
+# inference serve identical bytes — including across mid-traffic hot
+# promotion; shutdown drains in-flight requests instead of dropping
+# them; and fair-share admission protects a tenant from a noisy
+# neighbor saturating the global budget.
+echo "== serve protocol + lifecycle tests"
+cargo test -q -p ct-serve --test protocol
+cargo test -q -p ct-serve --test lifecycle
+
+# Latency-under-load gate: open-loop TCP traffic against a self-hosted
+# fixture server must keep p99 under a generous bound and lose no
+# responses — this catches stuck batchers, accept-loop stalls and
+# drain regressions, not hardware speed.
+echo "== load_gen --smoke (open-loop p99 gate over TCP)"
+cargo run --release -q -p ct-bench --bin load_gen -- --smoke
+
 # Data-parallel training must be bitwise deterministic: trained params
 # may not depend on pool worker count or shard fan-out width.
 echo "== fit determinism (1 vs 4 workers, shard widths)"
