@@ -11,6 +11,7 @@
 mod args;
 mod commands;
 mod experiment;
+mod stream;
 
 use args::Args;
 
@@ -42,6 +43,20 @@ COMMANDS:
              [--top N] [--max-batch N] [--max-wait-ms N]
              [--queue N] [--cache N] [--threads N] [--max-inflight N]
              [--trace trace.jsonl]     per-batch serve telemetry as JSONL
+  stream     Run the streaming continual-learning pipeline: a drifting
+             synthetic document stream trains ContraTopic chunk by chunk
+             (incremental NPMI), with live snapshot promotion and resumable
+             checkpoints
+             [--topics K] [--extra-vocab N] [--start-vocab N] [--docs N]
+             [--chunk N] [--avg-len F] [--alpha F] [--seed N]
+             [--drift \"vocab:W@D,birth:K@D,death:K@D,alpha:F@D\"]
+             [--epochs N] [--batch N] [--lr F] [--lambda L] [--v N]
+             [--hidden N] [--embed-dim N]
+             [--checkpoint PREFIX] [--checkpoint-every N]   resumable state
+             [--tcp HOST:PORT] [--socket PATH]   serve live while training
+             [--promote-every N] [--model NAME] [--top N] [--hold-ms N]
+             [--trace trace.jsonl]   drift/coherence/promotion telemetry
+             [--max-chunks N]        stop early (checkpoint, then resume)
   query      Send documents to a running serve instance, print JSON per doc
              (--socket /path/ct.sock | --tcp HOST:PORT)
              (--text \"...\" | --file docs.txt)  [--model NAME]
@@ -76,6 +91,7 @@ fn main() {
         "topics" => commands::topics(&args),
         "eval" => commands::eval(&args),
         "serve" => commands::serve(&args),
+        "stream" => stream::stream(&args),
         "query" => commands::query(&args),
         "experiment" => experiment::experiment(&args),
         "help" | "--help" | "-h" => {

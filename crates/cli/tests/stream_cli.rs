@@ -1,0 +1,124 @@
+//! End-to-end test of `contratopic stream`: a run killed mid-stream (via
+//! `--max-chunks`) and resumed from its checkpoint must emit exactly the
+//! per-chunk coherence trajectory of one uninterrupted run — the
+//! kill-and-resume robustness contract of the continual-learning pipeline.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_stream(dir: &Path, trace: &str, checkpoint: &str, extra: &[&str]) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_contratopic"));
+    cmd.current_dir(dir).args([
+        "stream",
+        "--topics",
+        "3",
+        "--extra-vocab",
+        "30",
+        "--docs",
+        "500",
+        "--chunk",
+        "100",
+        "--avg-len",
+        "18.0",
+        "--epochs",
+        "1",
+        "--batch",
+        "64",
+        "--start-vocab",
+        "61",
+        "--drift",
+        "vocab:90@250,birth:2@250",
+        "--checkpoint-every",
+        "1",
+        "--trace",
+        trace,
+        "--checkpoint",
+        checkpoint,
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().expect("spawn contratopic stream");
+    assert!(
+        out.status.success(),
+        "stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn chunk_lines(dir: &Path, trace: &str) -> Vec<String> {
+    let body = std::fs::read_to_string(dir.join(trace)).expect("trace file");
+    body.lines()
+        .filter(|l| l.contains("\"event\":\"stream_chunk\""))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn kill_and_resume_replays_the_same_trajectory() {
+    let dir = std::env::temp_dir().join(format!("ct_stream_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Reference: one uninterrupted pass over all 5 chunks.
+    run_stream(&dir, "full.jsonl", "full/ckpt", &[]);
+    let full = chunk_lines(&dir, "full.jsonl");
+    assert_eq!(full.len(), 5, "expected one stream_chunk event per chunk");
+
+    // "Kill" after 2 chunks, then resume from the checkpoint; the trace
+    // file is appended to, so it accumulates the whole trajectory.
+    run_stream(&dir, "kr.jsonl", "kr/ckpt", &["--max-chunks", "2"]);
+    assert_eq!(chunk_lines(&dir, "kr.jsonl").len(), 2);
+    run_stream(&dir, "kr.jsonl", "kr/ckpt", &[]);
+
+    assert_eq!(chunk_lines(&dir, "kr.jsonl"), full);
+
+    // Drift markers survive the replay too: the interrupted run must
+    // report the same scripted events as the uninterrupted one.
+    let drift = |trace: &str| {
+        std::fs::read_to_string(dir.join(trace))
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains("\"event\":\"drift\""))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(drift("kr.jsonl"), drift("full.jsonl"));
+    assert!(!drift("full.jsonl").is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_flags() {
+    let dir = std::env::temp_dir().join(format!("ct_stream_cli_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    run_stream(&dir, "t.jsonl", "c/ckpt", &["--max-chunks", "1"]);
+    // Same checkpoint, different architecture: must fail loudly instead
+    // of silently training a different model.
+    let out = Command::new(env!("CARGO_BIN_EXE_contratopic"))
+        .current_dir(&dir)
+        .args([
+            "stream",
+            "--topics",
+            "4",
+            "--extra-vocab",
+            "30",
+            "--docs",
+            "500",
+            "--chunk",
+            "100",
+            "--epochs",
+            "1",
+            "--checkpoint",
+            "c/ckpt",
+        ])
+        .output()
+        .expect("spawn contratopic stream");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not match") || stderr.contains("vocabulary"),
+        "unexpected error: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

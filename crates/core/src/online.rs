@@ -3,15 +3,22 @@
 //! [`CoocAccumulator`] and the model warm-starts from the previous slice's
 //! parameters, in the spirit of on-line LDA (AlSumait et al. 2008).
 
-use ct_corpus::npmi::CoocAccumulator;
-use ct_corpus::BowCorpus;
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::path::Path;
+
+use ct_corpus::npmi::{CoocAccumulator, NpmiMatrix};
+use ct_corpus::{BowCorpus, Vocab};
 use ct_models::trace::{NoopSink, TraceEvent, TraceSink};
 use ct_models::{
-    train_backbone_regularized_traced, Backbone, EtmBackbone, TopicModel, TrainConfig, TrainStats,
+    atomic_write, train_backbone_regularized_traced, Backbone, EtmBackbone, ModelBundle,
+    TopicModel, TrainConfig, TrainStats,
 };
 use ct_tensor::{Params, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+const STATE_MAGIC: &str = "CTSTREAM01";
 
 use crate::kernel::SimilarityKernel;
 use crate::model::ContraTopicConfig;
@@ -105,6 +112,167 @@ impl OnlineContraTopic {
     pub fn docs_seen(&self) -> usize {
         self.accumulator.num_docs()
     }
+
+    /// The trained backbone (e.g. to export a serving snapshot).
+    pub fn backbone(&self) -> &EtmBackbone {
+        &self.backbone
+    }
+
+    /// The current parameter store.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The co-occurrence counts accumulated so far.
+    pub fn accumulator(&self) -> &CoocAccumulator {
+        &self.accumulator
+    }
+
+    /// Materialize the NPMI statistics over every document seen so far
+    /// (the same matrix the regularizer of the *next* slice will use).
+    ///
+    /// Panics if no slice has been consumed yet.
+    pub fn npmi(&self) -> NpmiMatrix {
+        self.accumulator.to_npmi()
+    }
+
+    /// Checkpoint the full online-training state under `prefix`.
+    ///
+    /// Layout: the model bundle and co-occurrence sidecar are written
+    /// under the *versioned* prefix `<prefix>-<slices_seen>` (each file
+    /// atomically), and only then is the pointer file `<prefix>.state`
+    /// atomically updated to name that version. A kill at any instant
+    /// therefore leaves `<prefix>.state` naming a complete, mutually
+    /// consistent set of files — the torn case "parameters advanced but
+    /// the pointer not yet" resolves to the previous version, never to a
+    /// mixed state that would break bitwise resume replay. Stale versions
+    /// are cleaned up (best-effort) after the pointer moves.
+    pub fn save_state(&self, prefix: &str, vocab: &Vocab) -> io::Result<()> {
+        let version = self.slices_seen;
+        let vp = format!("{prefix}-{version}");
+        ModelBundle::save(&vp, &self.base, vocab, &self.params)?;
+        atomic_write(&format!("{vp}.cooc"), |w| self.accumulator.write_to(w))?;
+        atomic_write(&format!("{prefix}.state"), |w| {
+            writeln!(w, "{STATE_MAGIC}")?;
+            writeln!(w, "slices_seen={version}")
+        })?;
+        self.clean_stale_versions(prefix, version);
+        Ok(())
+    }
+
+    /// Best-effort removal of checkpoint versions other than `keep`.
+    fn clean_stale_versions(&self, prefix: &str, keep: usize) {
+        let path = Path::new(prefix);
+        let (dir, stem) = match (path.parent(), path.file_name()) {
+            (Some(d), Some(s)) => (
+                if d.as_os_str().is_empty() {
+                    Path::new(".")
+                } else {
+                    d
+                },
+                s.to_string_lossy().into_owned(),
+            ),
+            _ => return,
+        };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        let keep_stem = format!("{stem}-{keep}.");
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(rest) = name.strip_prefix(&format!("{stem}-")) {
+                // `<stem>-<digits>.<ext>` from another version.
+                let is_versioned = rest
+                    .split_once('.')
+                    .is_some_and(|(v, _)| !v.is_empty() && v.chars().all(|c| c.is_ascii_digit()));
+                if is_versioned && !name.starts_with(&keep_stem) {
+                    fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
+    }
+
+    /// Restore a checkpoint written by [`Self::save_state`]. Neither the
+    /// optimizer schedule (epochs per slice, batch size, learning rate)
+    /// nor the regularizer configuration is part of the on-disk state, so
+    /// the caller must supply the same `base`/`config` used originally —
+    /// exact trajectory replay depends on it. The architecture fields of
+    /// `base` are cross-checked against the bundle and a mismatch is
+    /// rejected. Returns the model and the vocabulary it was trained over.
+    pub fn load_state(
+        prefix: &str,
+        base: TrainConfig,
+        config: ContraTopicConfig,
+    ) -> io::Result<(Self, Vocab)> {
+        let state_path = format!("{prefix}.state");
+        let file = BufReader::new(File::open(&state_path)?);
+        let mut lines = file.lines();
+        let magic = lines.next().transpose()?.unwrap_or_default();
+        if magic != STATE_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{state_path}: not a stream checkpoint (bad magic)"),
+            ));
+        }
+        let line = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated state file"))?;
+        let slices_seen: usize = line
+            .strip_prefix("slices_seen=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad state line '{line}'"),
+                )
+            })?;
+        let vp = format!("{prefix}-{slices_seen}");
+        let (bundle, backbone, params) = ModelBundle::load_model(&vp)?;
+        let b = &bundle.config;
+        if (b.num_topics, b.hidden, b.encoder_depth, b.embed_dim, b.seed)
+            != (
+                base.num_topics,
+                base.hidden,
+                base.encoder_depth,
+                base.embed_dim,
+                base.seed,
+            )
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint architecture (topics={}, hidden={}, depth={}, embed={}, seed={}) \
+                     does not match the supplied configuration",
+                    b.num_topics, b.hidden, b.encoder_depth, b.embed_dim, b.seed
+                ),
+            ));
+        }
+        let mut cooc = BufReader::new(File::open(format!("{vp}.cooc"))?);
+        let accumulator = CoocAccumulator::read_from(&mut cooc)?;
+        if accumulator.vocab_size() != bundle.vocab.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint vocab mismatch: accumulator over {} words, bundle over {}",
+                    accumulator.vocab_size(),
+                    bundle.vocab.len()
+                ),
+            ));
+        }
+        Ok((
+            Self {
+                backbone,
+                params,
+                accumulator,
+                base,
+                config,
+                slices_seen,
+                slice_stats: Vec::new(),
+            },
+            bundle.vocab,
+        ))
+    }
 }
 
 impl TopicModel for OnlineContraTopic {
@@ -180,6 +348,79 @@ mod tests {
             "coherence regressed across slices: {coherences:?}"
         );
         assert!(!online.beta().has_non_finite());
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_bitwise() {
+        let dir = std::env::temp_dir().join(format!("ct_online_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("stream").to_str().unwrap().to_string();
+
+        let corpus = cluster_corpus(2, 12, 90);
+        let emb = cluster_embeddings(&corpus);
+        let (mut base, cfg) = config();
+        base.epochs = 3;
+        let slices: Vec<_> = (0..3)
+            .map(|s| corpus.subset(&(s * 60..(s + 1) * 60).collect::<Vec<_>>()))
+            .collect();
+
+        // Uninterrupted run.
+        let mut straight =
+            OnlineContraTopic::new(corpus.vocab_size(), emb.clone(), base.clone(), cfg.clone());
+        for slice in &slices {
+            straight.fit_slice(slice);
+        }
+
+        // Interrupted run: checkpoint after slice 2, "kill", restore,
+        // finish. Only the files survive the kill.
+        let mut first = OnlineContraTopic::new(corpus.vocab_size(), emb, base.clone(), cfg.clone());
+        first.fit_slice(&slices[0]);
+        first.save_state(&prefix, &corpus.vocab).unwrap();
+        first.fit_slice(&slices[1]);
+        first.save_state(&prefix, &corpus.vocab).unwrap();
+        drop(first);
+        let (mut resumed, vocab) = OnlineContraTopic::load_state(&prefix, base, cfg).unwrap();
+        assert_eq!(resumed.slices_seen(), 2);
+        assert_eq!(vocab.len(), corpus.vocab_size());
+        resumed.fit_slice(&slices[2]);
+
+        // Bitwise: same parameters, same kernel counts.
+        assert_eq!(straight.beta(), resumed.beta());
+        let mut a = Vec::new();
+        straight.accumulator().write_to(&mut a).unwrap();
+        let mut b = Vec::new();
+        resumed.accumulator().write_to(&mut b).unwrap();
+        assert_eq!(a, b);
+
+        // The stale slice-1 checkpoint files were cleaned up once the
+        // pointer moved to slice 2.
+        let stale: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("stream-1."))
+            .collect();
+        assert!(stale.is_empty(), "stale checkpoint files remain: {stale:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_state_rejects_bad_pointer() {
+        let dir = std::env::temp_dir().join(format!("ct_online_badstate_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("stream").to_str().unwrap().to_string();
+        std::fs::write(format!("{prefix}.state"), "NOT A CHECKPOINT\n").unwrap();
+        let err = match OnlineContraTopic::load_state(
+            &prefix,
+            TrainConfig::default(),
+            ContraTopicConfig::default(),
+        ) {
+            Ok(_) => panic!("garbage state file loaded successfully"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl SparseDoc {
         self.counts.iter().sum()
     }
 
+    /// Whether the document has no terms at all.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
     }
@@ -109,12 +110,16 @@ impl SparseDoc {
 /// NYTimes-like dataset is not).
 #[derive(Clone, Debug, Default)]
 pub struct BowCorpus {
+    /// The shared vocabulary all document term ids index into.
     pub vocab: Vocab,
+    /// The documents, as sparse term-count vectors.
     pub docs: Vec<SparseDoc>,
+    /// Per-document class labels, when the dataset has them.
     pub labels: Option<Vec<usize>>,
 }
 
 impl BowCorpus {
+    /// An empty corpus over `vocab`.
     pub fn new(vocab: Vocab) -> Self {
         Self {
             vocab,
@@ -123,10 +128,12 @@ impl BowCorpus {
         }
     }
 
+    /// Number of documents.
     pub fn num_docs(&self) -> usize {
         self.docs.len()
     }
 
+    /// Number of words in the shared vocabulary.
     pub fn vocab_size(&self) -> usize {
         self.vocab.len()
     }
@@ -267,6 +274,8 @@ pub struct BatchIter {
 }
 
 impl BatchIter {
+    /// Shuffle `0..num_docs` with `rng` and yield batches of
+    /// `batch_size` indices (the last batch may be short).
     pub fn new<R: Rng>(num_docs: usize, batch_size: usize, rng: &mut R) -> Self {
         assert!(batch_size > 0, "batch_size must be positive");
         let mut order: Vec<usize> = (0..num_docs).collect();

@@ -198,11 +198,14 @@ pub fn cosine(emb: &Tensor, i: usize, j: usize) -> f32 {
 /// Convenience bundle: NPMI (for the regularizer / coherence) plus
 /// embeddings (for ETM-style decoders), computed once per dataset.
 pub struct CorpusStats {
+    /// Pairwise NPMI over the corpus vocabulary.
     pub npmi: NpmiMatrix,
+    /// PPMI-factorisation word embeddings, `(vocab_size, embed_dim)`.
     pub embeddings: Tensor,
 }
 
 impl CorpusStats {
+    /// Compute both statistics in one pass over `corpus`.
     pub fn compute<R: Rng>(corpus: &BowCorpus, embed_dim: usize, rng: &mut R) -> Self {
         Self {
             npmi: NpmiMatrix::from_corpus(corpus),

@@ -7,11 +7,14 @@
 //! similarity kernel and as the coherence metric, and PPMI-factorisation
 //! word embeddings (standing in for pretrained GloVe).
 
+#![warn(missing_docs)]
+
 pub mod bow;
 pub mod embed;
 pub mod npmi;
 pub mod pipeline;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 pub mod vocab;
 
@@ -19,6 +22,7 @@ pub use bow::{csr_batch_from_docs, BatchIter, BowCorpus, SparseDoc};
 pub use embed::{cosine, degrade_embeddings, train_embeddings, CorpusStats};
 pub use npmi::NpmiMatrix;
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use stream::{parse_drift_script, DocStream, DriftEvent, DriftKind, StreamChunk, StreamSpec};
 pub use synth::{
     generate, render_text_with_stopwords, DatasetPreset, Scale, SynthCorpus, SynthSpec,
 };

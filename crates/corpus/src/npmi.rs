@@ -7,9 +7,28 @@
 //! dense precomputed matrix costs `O(V^2)` memory — at our scales that is a
 //! few dozen megabytes, kept in one contiguous `Tensor`.
 
+use std::io::{self, Read, Write};
+
 use ct_tensor::Tensor;
 
 use crate::bow::BowCorpus;
+
+const COOC_MAGIC: &[u8; 8] = b"CTCOOC01";
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<u32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
 
 /// Dense symmetric NPMI matrix with value range `[-1, 1]`.
 ///
@@ -45,6 +64,7 @@ fn tri_index(v: usize, i: usize, j: usize) -> usize {
 }
 
 impl CoocAccumulator {
+    /// Empty counts over a `vocab_size`-word vocabulary.
     pub fn new(vocab_size: usize) -> Self {
         Self {
             vocab_size,
@@ -82,8 +102,73 @@ impl CoocAccumulator {
         }
     }
 
+    /// Documents counted so far.
     pub fn num_docs(&self) -> usize {
         self.num_docs
+    }
+
+    /// Vocabulary size the counts are indexed over.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Serialize the exact integer counts (little-endian, magic-prefixed).
+    ///
+    /// Counts are integers, so a round trip is lossless: an accumulator
+    /// restored by [`Self::read_from`] materializes a bitwise-identical
+    /// NPMI matrix — this is what makes kill-and-resume replay of the
+    /// streaming pipeline exact rather than merely close.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(COOC_MAGIC)?;
+        w.write_all(&(self.vocab_size as u64).to_le_bytes())?;
+        w.write_all(&(self.num_docs as u64).to_le_bytes())?;
+        let mut bytes = Vec::with_capacity(4 * (self.df.len() + self.pair.len()));
+        for &c in &self.df {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        for &c in &self.pair {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        w.write_all(&bytes)
+    }
+
+    /// Restore an accumulator written by [`Self::write_to`]. Rejects bad
+    /// magic, truncation, and trailing bytes with typed `InvalidData` /
+    /// `UnexpectedEof` errors rather than yielding corrupt counts.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != COOC_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a co-occurrence accumulator (bad magic)",
+            ));
+        }
+        let vocab_size = read_u64(r)? as usize;
+        let num_docs = read_u64(r)? as usize;
+        // Guard the triangle allocation against absurd headers before
+        // trusting `vocab_size * (vocab_size - 1) / 2`.
+        if vocab_size > (1 << 24) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible accumulator vocab_size {vocab_size}"),
+            ));
+        }
+        let df = read_u32s(r, vocab_size)?;
+        let pair = read_u32s(r, vocab_size * vocab_size.saturating_sub(1) / 2)?;
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after accumulator counts",
+            ));
+        }
+        Ok(Self {
+            vocab_size,
+            pair,
+            df,
+            num_docs,
+        })
     }
 
     /// Materialize the NPMI matrix from the current counts.
@@ -303,6 +388,44 @@ mod tests {
         let c = corpus_from_docs(4, &[&[0]]);
         let mut acc = CoocAccumulator::new(5);
         acc.add_corpus(&c);
+    }
+
+    #[test]
+    fn accumulator_serialization_roundtrips_bitwise() {
+        let c = corpus_from_docs(5, &[&[0, 1, 2, 3, 4], &[0, 2, 4], &[1, 3], &[0, 4]]);
+        let mut acc = CoocAccumulator::new(5);
+        acc.add_corpus(&c);
+        let mut bytes = Vec::new();
+        acc.write_to(&mut bytes).unwrap();
+        let restored = CoocAccumulator::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(restored.num_docs(), acc.num_docs());
+        assert_eq!(restored.vocab_size(), acc.vocab_size());
+        assert_eq!(restored.df, acc.df);
+        assert_eq!(restored.pair, acc.pair);
+        // Bitwise-identical NPMI, not just approximately equal.
+        let a = acc.to_npmi();
+        let b = restored.to_npmi();
+        assert_eq!(a.matrix().data(), b.matrix().data());
+    }
+
+    #[test]
+    fn accumulator_read_rejects_corruption() {
+        let c = corpus_from_docs(3, &[&[0, 1], &[1, 2]]);
+        let mut acc = CoocAccumulator::new(3);
+        acc.add_corpus(&c);
+        let mut bytes = Vec::new();
+        acc.write_to(&mut bytes).unwrap();
+
+        let err = CoocAccumulator::read_from(&mut &b"NOTCOOC0rest"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+
+        let err = CoocAccumulator::read_from(&mut &bytes[..bytes.len() - 2]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+        let mut long = bytes.clone();
+        long.push(0);
+        let err = CoocAccumulator::read_from(&mut long.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
     }
 
     #[test]

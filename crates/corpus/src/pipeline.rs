@@ -166,6 +166,7 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
+    /// A pipeline with `config` and the default English stopword list.
     pub fn new(config: PipelineConfig) -> Self {
         Self {
             config,

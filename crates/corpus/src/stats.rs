@@ -120,10 +120,12 @@ impl CatSampler {
         }
     }
 
+    /// Number of outcomes in the distribution.
     pub fn len(&self) -> usize {
         self.cdf.len()
     }
 
+    /// Whether the distribution has no outcomes.
     pub fn is_empty(&self) -> bool {
         self.cdf.is_empty()
     }

@@ -1,0 +1,786 @@
+//! Out-of-core synthetic document streams with scripted drift.
+//!
+//! The batch generator ([`crate::synth`]) materializes a whole corpus at
+//! once; a production deployment never sees one. This module turns the
+//! same planted-cluster generative process into an *unbounded* stream:
+//! documents are produced chunk by chunk, each chunk is generated on
+//! demand from a seed derived only from `(spec, chunk index)`, and
+//! nothing larger than one chunk is ever resident. A stream of millions
+//! of documents therefore costs `O(chunk_size)` memory — and any chunk
+//! can be regenerated bit-for-bit later, which is what makes
+//! kill-and-resume replay of the continual-learning pipeline exact.
+//!
+//! Drift is scripted, not random: a [`DriftEvent`] list pins vocabulary
+//! growth, topic births/deaths and document-mixture shifts to exact
+//! document offsets, so experiments can line trace output up against the
+//! moments the data actually changed.
+//!
+//! ```
+//! use ct_corpus::stream::{DocStream, StreamSpec, parse_drift_script};
+//!
+//! let spec = StreamSpec {
+//!     num_topics: 3,
+//!     vocab_size: 3 * ct_corpus::synth::CORE_SIZE + 80,
+//!     num_docs: 400,
+//!     chunk_size: 100,
+//!     // topic 2 is born (and its core words start appearing) at doc 200
+//!     events: parse_drift_script("vocab:140@200,birth:2@200").unwrap(),
+//!     start_vocab: 80, // before growth: topics 0-1 cores + some background
+//!     ..StreamSpec::default()
+//! };
+//! let stream = DocStream::new(spec).unwrap();
+//! assert_eq!(stream.num_chunks(), 4);
+//!
+//! // Chunks are generated on demand — memory stays O(chunk_size).
+//! let mut docs_seen = 0;
+//! for chunk in stream.clone() {
+//!     docs_seen += chunk.corpus.num_docs();
+//! }
+//! assert_eq!(docs_seen, 400);
+//!
+//! // Random access is deterministic: chunk 2 is the same bytes every time.
+//! let a = stream.chunk(2);
+//! let b = stream.chunk(2);
+//! assert_eq!(a.corpus.docs, b.corpus.docs);
+//! ```
+
+use ct_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bow::{BowCorpus, SparseDoc};
+use crate::stats::{dirichlet_sample, poisson_sample, CatSampler};
+use crate::synth::{self, CORE_SIZE};
+use crate::vocab::Vocab;
+
+/// What changes about the generative process at a drift point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DriftKind {
+    /// The active vocabulary prefix grows to `to_words` words: terms with
+    /// ids `>= to_words` never appear before this point and may appear
+    /// after. (The full vocabulary is fixed up front so word ids are
+    /// stable; growth activates a longer prefix of it.)
+    VocabGrowth {
+        /// New active-vocabulary length (words `0..to_words` may appear).
+        to_words: usize,
+    },
+    /// Planted topic `topic` starts contributing to document mixtures.
+    /// A topic named by any birth event is inactive from document 0
+    /// until its birth fires.
+    TopicBirth {
+        /// Index of the planted topic being born.
+        topic: usize,
+    },
+    /// Planted topic `topic` stops contributing to document mixtures.
+    TopicDeath {
+        /// Index of the planted topic dying.
+        topic: usize,
+    },
+    /// The symmetric Dirichlet concentration for document-topic mixtures
+    /// becomes `alpha` (smaller = purer documents).
+    MixtureShift {
+        /// New document-topic Dirichlet concentration.
+        alpha: f64,
+    },
+}
+
+/// One scripted change to the stream's generative process, pinned to an
+/// exact document offset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftEvent {
+    /// The first document index generated under the new regime.
+    pub at_doc: u64,
+    /// What changes.
+    pub kind: DriftKind,
+}
+
+impl DriftEvent {
+    /// Short machine-readable name of the event kind (trace `drift`
+    /// records carry it).
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            DriftKind::VocabGrowth { .. } => "vocab_growth",
+            DriftKind::TopicBirth { .. } => "topic_birth",
+            DriftKind::TopicDeath { .. } => "topic_death",
+            DriftKind::MixtureShift { .. } => "mixture_shift",
+        }
+    }
+
+    /// Human/trace-readable detail string, e.g. `to_words=900`.
+    pub fn detail(&self) -> String {
+        match self.kind {
+            DriftKind::VocabGrowth { to_words } => format!("to_words={to_words}"),
+            DriftKind::TopicBirth { topic } => format!("topic={topic}"),
+            DriftKind::TopicDeath { topic } => format!("topic={topic}"),
+            DriftKind::MixtureShift { alpha } => format!("alpha={alpha}"),
+        }
+    }
+}
+
+/// Parse a compact drift script: comma-separated `kind:value@doc` terms.
+///
+/// Supported terms (all offsets are absolute document indices):
+///
+/// - `vocab:W@D` — at doc `D` the active vocabulary grows to `W` words;
+/// - `birth:K@D` — planted topic `K` is born at doc `D` (inactive before);
+/// - `death:K@D` — planted topic `K` dies at doc `D`;
+/// - `alpha:F@D` — the document-mixture Dirichlet concentration becomes
+///   `F` at doc `D`.
+///
+/// An empty string parses to no events.
+pub fn parse_drift_script(script: &str) -> Result<Vec<DriftEvent>, String> {
+    let mut events = Vec::new();
+    for term in script.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let (head, at) = term
+            .split_once('@')
+            .ok_or_else(|| format!("drift term '{term}' is missing '@doc'"))?;
+        let at_doc: u64 = at
+            .trim()
+            .parse()
+            .map_err(|_| format!("drift term '{term}': bad doc offset '{at}'"))?;
+        let (kind, value) = head
+            .split_once(':')
+            .ok_or_else(|| format!("drift term '{term}' is not kind:value@doc"))?;
+        let value = value.trim();
+        let kind = match kind.trim() {
+            "vocab" => DriftKind::VocabGrowth {
+                to_words: value
+                    .parse()
+                    .map_err(|_| format!("drift term '{term}': bad word count '{value}'"))?,
+            },
+            "birth" => DriftKind::TopicBirth {
+                topic: value
+                    .parse()
+                    .map_err(|_| format!("drift term '{term}': bad topic '{value}'"))?,
+            },
+            "death" => DriftKind::TopicDeath {
+                topic: value
+                    .parse()
+                    .map_err(|_| format!("drift term '{term}': bad topic '{value}'"))?,
+            },
+            "alpha" => DriftKind::MixtureShift {
+                alpha: value
+                    .parse()
+                    .map_err(|_| format!("drift term '{term}': bad alpha '{value}'"))?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown drift kind '{other}' (vocab|birth|death|alpha)"
+                ))
+            }
+        };
+        events.push(DriftEvent { at_doc, kind });
+    }
+    Ok(events)
+}
+
+/// Parameters of a drifting document stream.
+///
+/// The planted topic-word structure is shared with [`crate::synth`]: the
+/// *full* vocabulary (themed core clusters first, background terms after)
+/// and the full `num_topics x vocab_size` planted beta are built once up
+/// front, so word and topic ids are stable across the whole stream; drift
+/// events only change which prefix of the vocabulary and which subset of
+/// the topics are *active* at a given document offset.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Full vocabulary size, including words only activated by later
+    /// [`DriftKind::VocabGrowth`] events. Must be at least
+    /// `num_topics * CORE_SIZE + 1` (background terms are required).
+    pub vocab_size: usize,
+    /// Total planted topics, including topics only born later.
+    pub num_topics: usize,
+    /// Active vocabulary length at document 0. Must cover the core
+    /// blocks of every initially active topic.
+    pub start_vocab: usize,
+    /// Total stream length in documents.
+    pub num_docs: u64,
+    /// Documents per generated chunk (the memory bound).
+    pub chunk_size: usize,
+    /// Mean document length (Poisson).
+    pub avg_doc_len: f64,
+    /// Initial symmetric Dirichlet concentration for document mixtures.
+    pub doc_topic_alpha: f64,
+    /// Fraction of each topic's mass on its core-word cluster.
+    pub core_mass: f64,
+    /// Zipf exponent for background word frequencies.
+    pub zipf_s: f64,
+    /// Stream seed. Chunk `c` is generated from a seed derived only from
+    /// `(seed, c)`, so chunks can be regenerated in any order.
+    pub seed: u64,
+    /// Scripted drift events (sorted internally; same-doc events apply
+    /// vocabulary growth before births so a birth can use words that
+    /// activate at the same offset).
+    pub events: Vec<DriftEvent>,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        Self {
+            vocab_size: 12 * CORE_SIZE + 120,
+            num_topics: 12,
+            start_vocab: 12 * CORE_SIZE + 120,
+            num_docs: 10_000,
+            chunk_size: 1_000,
+            avg_doc_len: 40.0,
+            doc_topic_alpha: 0.12,
+            core_mass: 0.65,
+            zipf_s: 1.05,
+            seed: 42,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// The generative regime in force for a span of documents: which prefix
+/// of the vocabulary and which planted topics are active, and the
+/// document-mixture concentration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regime {
+    /// Active vocabulary prefix length.
+    pub active_vocab: usize,
+    /// Per-planted-topic activity flags (full `num_topics` length).
+    pub active_topics: Vec<bool>,
+    /// Document-topic Dirichlet concentration.
+    pub alpha: f64,
+}
+
+impl Regime {
+    /// Indices of the active topics.
+    pub fn active_topic_ids(&self) -> Vec<usize> {
+        self.active_topics
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &a)| a.then_some(t))
+            .collect()
+    }
+}
+
+/// One generated chunk of the stream.
+#[derive(Clone, Debug)]
+pub struct StreamChunk {
+    /// Chunk index (0-based).
+    pub index: u64,
+    /// Document index of the chunk's first document.
+    pub start_doc: u64,
+    /// The chunk's documents over the stream's *full* vocabulary (labels
+    /// carry each document's dominant planted topic).
+    pub corpus: BowCorpus,
+    /// Drift events that fired inside this chunk's document range, in
+    /// order.
+    pub fired: Vec<DriftEvent>,
+}
+
+/// A deterministic, out-of-core document stream.
+///
+/// Cloning is cheap relative to the stream length (it copies the
+/// vocabulary and planted beta, never any documents); iteration yields
+/// [`StreamChunk`]s and holds no state beyond the next chunk index.
+#[derive(Clone, Debug)]
+pub struct DocStream {
+    spec: StreamSpec,
+    vocab: Vocab,
+    true_beta: Tensor,
+    topic_names: Vec<String>,
+    next: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates per-chunk seeds derived from
+/// `(stream seed, chunk index)`.
+fn mix_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DocStream {
+    /// Validate `spec` and prepare the (full) vocabulary and planted
+    /// topic-word matrix. Fails with a description of the first invalid
+    /// thing found — unsorted constraints, a topic whose core words are
+    /// outside the active vocabulary while it is active, etc.
+    pub fn new(mut spec: StreamSpec) -> Result<Self, String> {
+        if spec.num_docs == 0 {
+            return Err("stream must contain at least one document".into());
+        }
+        if spec.chunk_size == 0 {
+            return Err("chunk_size must be positive".into());
+        }
+        if spec.num_topics == 0 {
+            return Err("need at least one planted topic".into());
+        }
+        if spec.vocab_size <= spec.num_topics * CORE_SIZE {
+            return Err(format!(
+                "vocab_size {} too small for {} topics x {} core words (+ background)",
+                spec.vocab_size, spec.num_topics, CORE_SIZE
+            ));
+        }
+        if spec.start_vocab > spec.vocab_size {
+            return Err(format!(
+                "start_vocab {} exceeds vocab_size {}",
+                spec.start_vocab, spec.vocab_size
+            ));
+        }
+        if spec.doc_topic_alpha.is_nan() || spec.doc_topic_alpha <= 0.0 {
+            return Err("doc_topic_alpha must be positive".into());
+        }
+        // Same-doc ordering: vocabulary growth first, then deaths, then
+        // births, then mixture shifts — so `vocab:W@D,birth:K@D` is valid.
+        let order = |k: &DriftKind| match k {
+            DriftKind::VocabGrowth { .. } => 0,
+            DriftKind::TopicDeath { .. } => 1,
+            DriftKind::TopicBirth { .. } => 2,
+            DriftKind::MixtureShift { .. } => 3,
+        };
+        spec.events.sort_by_key(|e| (e.at_doc, order(&e.kind)));
+        for e in &spec.events {
+            if e.at_doc == 0 || e.at_doc >= spec.num_docs {
+                return Err(format!(
+                    "drift event {}@{} outside the stream (1..{})",
+                    e.kind_name(),
+                    e.at_doc,
+                    spec.num_docs
+                ));
+            }
+            match e.kind {
+                DriftKind::TopicBirth { topic } | DriftKind::TopicDeath { topic } => {
+                    if topic >= spec.num_topics {
+                        return Err(format!(
+                            "drift event names topic {topic} but the stream plants {}",
+                            spec.num_topics
+                        ));
+                    }
+                }
+                DriftKind::VocabGrowth { to_words } => {
+                    if to_words > spec.vocab_size {
+                        return Err(format!(
+                            "vocabulary cannot grow to {to_words} (full size {})",
+                            spec.vocab_size
+                        ));
+                    }
+                }
+                DriftKind::MixtureShift { alpha } => {
+                    if alpha.is_nan() || alpha <= 0.0 {
+                        return Err(format!("mixture shift to non-positive alpha {alpha}"));
+                    }
+                }
+            }
+        }
+
+        let synth_spec = synth::SynthSpec {
+            vocab_size: spec.vocab_size,
+            num_topics: spec.num_topics,
+            core_mass: spec.core_mass,
+            zipf_s: spec.zipf_s,
+            ..synth::SynthSpec::default()
+        };
+        let (vocab, topic_names) = synth::stream_vocab(&synth_spec);
+        let true_beta = synth::stream_true_beta(&synth_spec);
+
+        let stream = Self {
+            spec,
+            vocab,
+            true_beta,
+            topic_names,
+            next: 0,
+        };
+        // Walk every regime the script produces and reject impossible
+        // states up front (a silent all-zero sampler would panic deep in
+        // generation instead).
+        let mut boundaries: Vec<u64> = vec![0];
+        boundaries.extend(stream.spec.events.iter().map(|e| e.at_doc));
+        for &b in &boundaries {
+            let regime = stream.regime_at(b);
+            let active = regime.active_topic_ids();
+            if active.is_empty() {
+                return Err(format!("no planted topic is active at doc {b}"));
+            }
+            for t in active {
+                if (t + 1) * CORE_SIZE > regime.active_vocab {
+                    return Err(format!(
+                        "topic {t} is active at doc {b} but its core words \
+                         [{}..{}) are outside the active vocabulary ({})",
+                        t * CORE_SIZE,
+                        (t + 1) * CORE_SIZE,
+                        regime.active_vocab
+                    ));
+                }
+            }
+            if regime.active_vocab == 0 {
+                return Err(format!("active vocabulary is empty at doc {b}"));
+            }
+        }
+        // Vocabulary growth must be monotone (ids are stable prefixes).
+        let mut current = stream.spec.start_vocab;
+        for e in &stream.spec.events {
+            if let DriftKind::VocabGrowth { to_words } = e.kind {
+                if to_words < current {
+                    return Err(format!(
+                        "vocabulary shrinks at doc {} ({current} -> {to_words}); \
+                         growth must be monotone",
+                        e.at_doc
+                    ));
+                }
+                current = to_words;
+            }
+        }
+        Ok(stream)
+    }
+
+    /// Total number of chunks (`ceil(num_docs / chunk_size)`).
+    pub fn num_chunks(&self) -> u64 {
+        self.spec.num_docs.div_ceil(self.spec.chunk_size as u64)
+    }
+
+    /// The stream parameters (events sorted).
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// The full, fixed vocabulary (including not-yet-active words).
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The planted topic-word matrix over the full vocabulary.
+    pub fn true_beta(&self) -> &Tensor {
+        &self.true_beta
+    }
+
+    /// Human-readable names of the planted topics.
+    pub fn topic_names(&self) -> &[String] {
+        &self.topic_names
+    }
+
+    /// The generative regime in force for document `doc`.
+    pub fn regime_at(&self, doc: u64) -> Regime {
+        let mut active_topics = vec![true; self.spec.num_topics];
+        for e in &self.spec.events {
+            if let DriftKind::TopicBirth { topic } = e.kind {
+                active_topics[topic] = false; // inactive until born
+            }
+        }
+        let mut active_vocab = self.spec.start_vocab;
+        let mut alpha = self.spec.doc_topic_alpha;
+        for e in &self.spec.events {
+            if e.at_doc > doc {
+                break;
+            }
+            match e.kind {
+                DriftKind::VocabGrowth { to_words } => active_vocab = to_words,
+                DriftKind::TopicBirth { topic } => active_topics[topic] = true,
+                DriftKind::TopicDeath { topic } => active_topics[topic] = false,
+                DriftKind::MixtureShift { alpha: a } => alpha = a,
+            }
+        }
+        Regime {
+            active_vocab,
+            active_topics,
+            alpha,
+        }
+    }
+
+    /// Reposition the iterator (used by resume: the next call to
+    /// [`Iterator::next`] yields chunk `index`).
+    pub fn seek(&mut self, index: u64) {
+        self.next = index;
+    }
+
+    /// Generate chunk `index` (0-based). Deterministic in
+    /// `(spec, index)`: any chunk can be regenerated at any time, in any
+    /// order, on any host, and yields identical documents.
+    ///
+    /// Panics if `index >= num_chunks()`.
+    pub fn chunk(&self, index: u64) -> StreamChunk {
+        assert!(index < self.num_chunks(), "chunk {index} out of range");
+        let start_doc = index * self.spec.chunk_size as u64;
+        let end_doc = (start_doc + self.spec.chunk_size as u64).min(self.spec.num_docs);
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.spec.seed, index));
+        let mut corpus = BowCorpus::new(self.vocab.clone());
+        let mut labels = Vec::with_capacity((end_doc - start_doc) as usize);
+
+        // Segment the chunk at drift boundaries; the regime is constant
+        // within a segment, so per-topic word samplers are built once per
+        // segment.
+        let fired: Vec<DriftEvent> = self
+            .spec
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.at_doc > start_doc && e.at_doc < end_doc)
+            .collect();
+        let mut boundaries = vec![start_doc];
+        boundaries.extend(fired.iter().map(|e| e.at_doc));
+        boundaries.push(end_doc);
+        boundaries.dedup();
+
+        let mut tokens: Vec<u32> = Vec::new();
+        for seg in boundaries.windows(2) {
+            let (seg_start, seg_end) = (seg[0], seg[1]);
+            let regime = self.regime_at(seg_start);
+            let active = regime.active_topic_ids();
+            let samplers: Vec<CatSampler> = active
+                .iter()
+                .map(|&t| {
+                    let row = self.true_beta.row(t);
+                    let weights: Vec<f64> = row[..regime.active_vocab]
+                        .iter()
+                        .map(|&x| x as f64)
+                        .collect();
+                    CatSampler::new(&weights)
+                })
+                .collect();
+            for _ in seg_start..seg_end {
+                let theta = dirichlet_sample(regime.alpha, active.len(), &mut rng);
+                let len = poisson_sample(self.spec.avg_doc_len, &mut rng).max(3);
+                let topic_sampler = CatSampler::new(&theta);
+                tokens.clear();
+                for _ in 0..len {
+                    let z = topic_sampler.sample(&mut rng);
+                    tokens.push(samplers[z].sample(&mut rng) as u32);
+                }
+                corpus.docs.push(SparseDoc::from_tokens(&tokens));
+                let dominant = theta
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| active[i])
+                    .unwrap();
+                labels.push(dominant);
+            }
+        }
+        corpus.labels = Some(labels);
+        StreamChunk {
+            index,
+            start_doc,
+            corpus,
+            fired,
+        }
+    }
+
+    /// The drift events firing at exactly the first document of chunk
+    /// `index` (chunk-boundary events belong to the chunk they lead).
+    pub fn events_at_chunk_start(&self, index: u64) -> Vec<DriftEvent> {
+        let start_doc = index * self.spec.chunk_size as u64;
+        self.spec
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.at_doc == start_doc)
+            .collect()
+    }
+}
+
+impl Iterator for DocStream {
+    type Item = StreamChunk;
+
+    fn next(&mut self) -> Option<StreamChunk> {
+        if self.next >= self.num_chunks() {
+            return None;
+        }
+        let chunk = self.chunk(self.next);
+        self.next += 1;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> StreamSpec {
+        StreamSpec {
+            num_topics: 3,
+            vocab_size: 3 * CORE_SIZE + 30,
+            start_vocab: 3 * CORE_SIZE + 30,
+            num_docs: 250,
+            chunk_size: 100,
+            avg_doc_len: 20.0,
+            ..StreamSpec::default()
+        }
+    }
+
+    #[test]
+    fn chunks_cover_the_stream_exactly_once() {
+        let stream = DocStream::new(tiny_spec()).unwrap();
+        assert_eq!(stream.num_chunks(), 3);
+        let sizes: Vec<usize> = stream.clone().map(|c| c.corpus.num_docs()).collect();
+        assert_eq!(sizes, vec![100, 100, 50]);
+        let starts: Vec<u64> = stream.clone().map(|c| c.start_doc).collect();
+        assert_eq!(starts, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn chunk_generation_is_deterministic_and_order_free() {
+        let stream = DocStream::new(tiny_spec()).unwrap();
+        let late_first = stream.chunk(2);
+        let early = stream.chunk(0);
+        let late_again = stream.chunk(2);
+        assert_eq!(late_first.corpus.docs, late_again.corpus.docs);
+        assert_ne!(early.corpus.docs, late_first.corpus.docs);
+        // Iteration yields the same chunks as random access.
+        for (i, c) in stream.clone().enumerate() {
+            assert_eq!(c.corpus.docs, stream.chunk(i as u64).corpus.docs);
+        }
+    }
+
+    #[test]
+    fn seek_resumes_mid_stream() {
+        let stream = DocStream::new(tiny_spec()).unwrap();
+        let mut resumed = stream.clone();
+        resumed.seek(1);
+        let tail: Vec<u64> = resumed.map(|c| c.index).collect();
+        assert_eq!(tail, vec![1, 2]);
+    }
+
+    #[test]
+    fn vocab_growth_gates_word_ids() {
+        let grown = 3 * CORE_SIZE + 30;
+        let spec = StreamSpec {
+            start_vocab: 2 * CORE_SIZE + 10,
+            events: parse_drift_script(&format!("vocab:{grown}@100,birth:2@100")).unwrap(),
+            ..tiny_spec()
+        };
+        let stream = DocStream::new(spec).unwrap();
+        let before = stream.chunk(0);
+        let after = stream.chunk(2);
+        let max_id = |c: &StreamChunk| {
+            c.corpus
+                .docs
+                .iter()
+                .flat_map(|d| d.ids().iter().copied())
+                .max()
+                .unwrap() as usize
+        };
+        assert!(max_id(&before) < 2 * CORE_SIZE + 10);
+        // After growth + birth, topic 2's core words (and the new
+        // background terms) are reachable.
+        assert!(max_id(&after) >= 2 * CORE_SIZE + 10);
+        // Birth labels appear only after the event.
+        assert!(before
+            .corpus
+            .labels
+            .as_ref()
+            .unwrap()
+            .iter()
+            .all(|&l| l < 2));
+        assert!(after.corpus.labels.as_ref().unwrap().contains(&2));
+    }
+
+    #[test]
+    fn topic_death_removes_labels() {
+        let spec = StreamSpec {
+            events: parse_drift_script("death:0@100").unwrap(),
+            ..tiny_spec()
+        };
+        let stream = DocStream::new(spec).unwrap();
+        let before = stream.chunk(0);
+        let after = stream.chunk(1);
+        assert!(before.corpus.labels.as_ref().unwrap().contains(&0));
+        assert!(!after.corpus.labels.as_ref().unwrap().contains(&0));
+    }
+
+    #[test]
+    fn mid_chunk_event_splits_segments() {
+        let spec = StreamSpec {
+            events: parse_drift_script("death:0@150").unwrap(),
+            ..tiny_spec()
+        };
+        let stream = DocStream::new(spec).unwrap();
+        let chunk = stream.chunk(1); // docs 100..200, event at 150
+        assert_eq!(chunk.fired.len(), 1);
+        let labels = chunk.corpus.labels.as_ref().unwrap();
+        assert!(labels[..50].contains(&0));
+        assert!(!labels[50..].contains(&0));
+    }
+
+    #[test]
+    fn regime_walk_matches_script() {
+        let spec = StreamSpec {
+            start_vocab: 2 * CORE_SIZE + 10,
+            events: parse_drift_script(&format!(
+                "vocab:{}@100,birth:2@100,alpha:0.5@200,death:1@200",
+                3 * CORE_SIZE + 30
+            ))
+            .unwrap(),
+            ..tiny_spec()
+        };
+        let stream = DocStream::new(spec).unwrap();
+        let r0 = stream.regime_at(0);
+        assert_eq!(r0.active_topic_ids(), vec![0, 1]);
+        assert_eq!(r0.active_vocab, 2 * CORE_SIZE + 10);
+        let r1 = stream.regime_at(100);
+        assert_eq!(r1.active_topic_ids(), vec![0, 1, 2]);
+        let r2 = stream.regime_at(240);
+        assert_eq!(r2.active_topic_ids(), vec![0, 2]);
+        assert_eq!(r2.alpha, 0.5);
+    }
+
+    #[test]
+    fn parse_drift_script_roundtrips() {
+        let events =
+            parse_drift_script("vocab:900@50, birth:5@80,death:2@120,alpha:0.3@60").unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0],
+            DriftEvent {
+                at_doc: 50,
+                kind: DriftKind::VocabGrowth { to_words: 900 }
+            }
+        );
+        assert_eq!(parse_drift_script("").unwrap(), vec![]);
+        assert!(parse_drift_script("birth:1").is_err());
+        assert!(parse_drift_script("spawn:1@10").is_err());
+        assert!(parse_drift_script("alpha:x@10").is_err());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_reasons() {
+        // Active topic whose core lies beyond the active vocabulary.
+        let err = DocStream::new(StreamSpec {
+            start_vocab: CORE_SIZE, // topic 1's core starts at CORE_SIZE
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("outside the active vocabulary"), "{err}");
+
+        // All topics dead.
+        let err = DocStream::new(StreamSpec {
+            events: parse_drift_script("death:0@10,death:1@10,death:2@10").unwrap(),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("no planted topic is active"), "{err}");
+
+        // Shrinking vocabulary.
+        let err = DocStream::new(StreamSpec {
+            start_vocab: 3 * CORE_SIZE + 30,
+            events: parse_drift_script(&format!("vocab:{}@10", 3 * CORE_SIZE + 5)).unwrap(),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+
+        // Event outside the stream.
+        let err = DocStream::new(StreamSpec {
+            events: parse_drift_script("alpha:0.5@9999").unwrap(),
+            ..tiny_spec()
+        })
+        .unwrap_err();
+        assert!(err.contains("outside the stream"), "{err}");
+    }
+
+    #[test]
+    fn bounded_memory_signature_docs_never_exceed_chunk() {
+        // Not a true RSS check (stream_bench does that); asserts the
+        // iterator yields nothing larger than chunk_size.
+        let spec = StreamSpec {
+            num_docs: 1_000,
+            chunk_size: 64,
+            ..tiny_spec()
+        };
+        for chunk in DocStream::new(spec).unwrap() {
+            assert!(chunk.corpus.num_docs() <= 64);
+        }
+    }
+}

@@ -573,6 +573,7 @@ impl Default for SynthSpec {
 /// A generated corpus together with its planted ground truth.
 #[derive(Clone, Debug)]
 pub struct SynthCorpus {
+    /// The sampled documents (with planted labels).
     pub corpus: BowCorpus,
     /// Planted topic-word distributions, `(num_topics, vocab_size)`.
     pub true_beta: Tensor,
@@ -645,6 +646,19 @@ fn build_true_beta(spec: &SynthSpec) -> Tensor {
     }
     beta.normalize_rows_l1();
     beta
+}
+
+/// The planted vocabulary for `spec` (themed core words topic-major,
+/// background terms after), plus topic names — shared with the drifting
+/// stream generator ([`crate::stream`]), which needs the vocabulary and
+/// planted beta *without* materializing any documents.
+pub fn stream_vocab(spec: &SynthSpec) -> (Vocab, Vec<String>) {
+    build_vocab(spec)
+}
+
+/// The planted topic-word matrix for `spec` (see [`stream_vocab`]).
+pub fn stream_true_beta(spec: &SynthSpec) -> Tensor {
+    build_true_beta(spec)
 }
 
 /// Generate a corpus from `spec` using `rng`.
@@ -776,12 +790,14 @@ impl Scale {
 }
 
 impl DatasetPreset {
+    /// Every preset, in the paper's presentation order.
     pub const ALL: [DatasetPreset; 3] = [
         DatasetPreset::Ng20Like,
         DatasetPreset::YahooLike,
         DatasetPreset::NyTimesLike,
     ];
 
+    /// Human-readable dataset name (e.g. `"20NG-like"`).
     pub fn name(self) -> &'static str {
         match self {
             DatasetPreset::Ng20Like => "20NG-like",

@@ -10,6 +10,7 @@ pub struct Vocab {
 }
 
 impl Vocab {
+    /// An empty vocabulary.
     pub fn new() -> Self {
         Self::default()
     }
@@ -54,6 +55,7 @@ impl Vocab {
         self.words.len()
     }
 
+    /// Whether the vocabulary has no words.
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
     }
@@ -63,6 +65,7 @@ impl Vocab {
         &self.words
     }
 
+    /// Whether `word` is in the vocabulary.
     pub fn contains(&self, word: &str) -> bool {
         self.index.contains_key(word)
     }

@@ -1,0 +1,147 @@
+//! Property tests for the streaming co-occurrence path: feeding a drifting
+//! [`DocStream`] chunk-by-chunk through a [`CoocAccumulator`] must be
+//! *bitwise* indistinguishable from one batch pass over the concatenated
+//! chunks — including across a serialize/restore cycle mid-stream, which is
+//! the invariant kill-and-resume replay of the continual-learning pipeline
+//! rests on.
+
+use ct_corpus::npmi::CoocAccumulator;
+use ct_corpus::stream::{DocStream, DriftEvent, DriftKind, StreamSpec};
+use ct_corpus::synth::CORE_SIZE;
+use ct_corpus::BowCorpus;
+use proptest::prelude::*;
+
+/// A valid drifting stream spec: 2-4 planted topics, optional topic birth
+/// and/or vocabulary growth halfway through (packed in `flags` bits 0/1),
+/// varied chunking and seeds.
+fn make_spec(
+    num_topics: usize,
+    extra: usize,
+    num_docs: u64,
+    chunk_size: usize,
+    seed: u64,
+    flags: u64,
+) -> StreamSpec {
+    let (with_birth, with_growth) = (flags & 1 != 0, flags & 2 != 0);
+    let vocab_size = num_topics * CORE_SIZE + extra;
+    let mid = num_docs / 2;
+    let mut events = Vec::new();
+    let mut start_vocab = vocab_size;
+    if with_birth {
+        // The last planted topic is born halfway through.
+        events.push(DriftEvent {
+            at_doc: mid,
+            kind: DriftKind::TopicBirth {
+                topic: num_topics - 1,
+            },
+        });
+    }
+    if with_growth {
+        // Before growth only the cores of the initially active topics need
+        // to fit in the active prefix.
+        let initially_active = if with_birth {
+            num_topics - 1
+        } else {
+            num_topics
+        };
+        start_vocab = initially_active * CORE_SIZE + 1;
+        events.push(DriftEvent {
+            at_doc: mid,
+            kind: DriftKind::VocabGrowth {
+                to_words: vocab_size,
+            },
+        });
+    }
+    StreamSpec {
+        vocab_size,
+        num_topics,
+        start_vocab,
+        num_docs,
+        chunk_size,
+        avg_doc_len: 15.0,
+        seed,
+        events,
+        ..StreamSpec::default()
+    }
+}
+
+fn accumulate_all(stream: &DocStream) -> (CoocAccumulator, BowCorpus) {
+    let mut all = BowCorpus::new(stream.vocab().clone());
+    let mut inc = CoocAccumulator::new(stream.vocab().len());
+    for chunk in stream.clone() {
+        inc.add_corpus(&chunk.corpus);
+        all.docs.extend(chunk.corpus.docs.iter().cloned());
+    }
+    (inc, all)
+}
+
+fn bytes_of(acc: &CoocAccumulator) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    acc.write_to(&mut bytes).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The headline property: N chunk-wise updates == one batch pass,
+    // bitwise, over exact counts and over the materialized NPMI matrix.
+    #[test]
+    fn incremental_chunks_match_batch_bitwise(
+        num_topics in 2usize..5,
+        extra in 10usize..40,
+        num_docs in 50u64..250,
+        chunk_size in 20usize..120,
+        seed in 0u64..1_000,
+        flags in 0u64..4,
+    ) {
+        let spec = make_spec(num_topics, extra, num_docs, chunk_size, seed, flags);
+        let stream = DocStream::new(spec).unwrap();
+        let (incremental, all) = accumulate_all(&stream);
+        prop_assert_eq!(incremental.num_docs() as u64, stream.spec().num_docs);
+
+        let mut batch = CoocAccumulator::new(stream.vocab().len());
+        batch.add_corpus(&all);
+
+        prop_assert_eq!(bytes_of(&incremental), bytes_of(&batch));
+        let a = incremental.to_npmi();
+        let b = batch.to_npmi();
+        prop_assert_eq!(a.matrix().data(), b.matrix().data());
+    }
+
+    // A checkpoint/restore cycle mid-stream is invisible: serialize after
+    // an arbitrary chunk prefix, restore, finish the stream — bitwise
+    // equal to never having stopped.
+    #[test]
+    fn checkpoint_restore_midstream_is_invisible(
+        num_topics in 2usize..5,
+        extra in 10usize..40,
+        num_docs in 50u64..250,
+        chunk_size in 20usize..120,
+        seed in 0u64..1_000,
+        flags in 0u64..4,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let spec = make_spec(num_topics, extra, num_docs, chunk_size, seed, flags);
+        let stream = DocStream::new(spec).unwrap();
+        let cut = ((stream.num_chunks() as f64 * cut_frac) as u64).min(stream.num_chunks());
+
+        let (uninterrupted, _) = accumulate_all(&stream);
+
+        let mut acc = CoocAccumulator::new(stream.vocab().len());
+        for index in 0..cut {
+            acc.add_corpus(&stream.chunk(index).corpus);
+        }
+        // "Kill": only the serialized bytes survive.
+        let checkpoint = bytes_of(&acc);
+        drop(acc);
+        let mut resumed = CoocAccumulator::read_from(&mut checkpoint.as_slice()).unwrap();
+        let mut rest = stream.clone();
+        rest.seek(cut);
+        for chunk in rest {
+            resumed.add_corpus(&chunk.corpus);
+        }
+
+        prop_assert_eq!(bytes_of(&resumed), bytes_of(&uninterrupted));
+    }
+}

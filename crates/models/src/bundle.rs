@@ -29,7 +29,8 @@ fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> io::Result<T> {
 /// Write `path` atomically: stream into a sibling temp file, fsync, then
 /// rename over the target. A crash mid-save leaves either the old file or
 /// no file — never a torn half-write that a later load would misparse.
-fn atomic_write(
+/// Shared with the streaming pipeline's checkpoint sidecars (`ct-core`).
+pub fn atomic_write(
     path: &str,
     write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
 ) -> io::Result<()> {

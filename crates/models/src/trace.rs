@@ -122,6 +122,44 @@ pub enum TraceEvent {
         /// Wall time of the batched encoder forward pass, nanoseconds.
         infer_ns: u64,
     },
+    /// One stream chunk absorbed by the continual-learning pipeline:
+    /// coherence is measured against the NPMI statistics accumulated over
+    /// every document seen so far, so plotting `coherence` over
+    /// `docs_seen` is the coherence-over-stream-time curve.
+    StreamChunk {
+        /// Chunk index (0-based).
+        chunk: u64,
+        /// Total documents absorbed including this chunk.
+        docs_seen: u64,
+        /// Mean topic coherence over the top-10% most coherent topics.
+        coherence10: f64,
+        /// Mean topic coherence over all topics.
+        coherence: f64,
+    },
+    /// A snapshot promotion attempt against the live registry. `ok` is
+    /// `false` when validation rejected the snapshot (the previous
+    /// generation keeps serving); `generation` is the serving generation
+    /// after the attempt either way.
+    Promotion {
+        /// Registry model name the snapshot was promoted into.
+        model: String,
+        /// Serving generation after the attempt.
+        generation: u64,
+        /// Whether the validated swap was accepted.
+        ok: bool,
+    },
+    /// A scripted drift event fired in the document stream; `kind` is a
+    /// `ct_corpus::stream::DriftEvent::kind_name` tag (`vocab_growth`,
+    /// `topic_birth`, `topic_death`, `mixture_shift`) and `detail` its
+    /// parameters.
+    Drift {
+        /// Machine-readable event kind.
+        kind: String,
+        /// Document offset the event fired at.
+        at_doc: u64,
+        /// Event parameters, e.g. `to_words=900`.
+        detail: String,
+    },
 }
 
 use crate::common::DivergencePolicy;
@@ -295,6 +333,32 @@ pub fn event_to_json(event: &TraceEvent) -> String {
             "{{\"event\":\"serve_batch\",\"size\":{size},\"queue_ns\":{queue_ns},\
              \"infer_ns\":{infer_ns}}}"
         ),
+        TraceEvent::StreamChunk {
+            chunk,
+            docs_seen,
+            coherence10,
+            coherence,
+        } => format!(
+            "{{\"event\":\"stream_chunk\",\"chunk\":{chunk},\"docs_seen\":{docs_seen},\
+             \"coherence10\":{coherence10:.6},\"coherence\":{coherence:.6}}}"
+        ),
+        TraceEvent::Promotion {
+            model,
+            generation,
+            ok,
+        } => format!(
+            "{{\"event\":\"promotion\",\"model\":{},\"generation\":{generation},\"ok\":{ok}}}",
+            json_str(model)
+        ),
+        TraceEvent::Drift {
+            kind,
+            at_doc,
+            detail,
+        } => format!(
+            "{{\"event\":\"drift\",\"kind\":{},\"at_doc\":{at_doc},\"detail\":{}}}",
+            json_str(kind),
+            json_str(detail)
+        ),
     }
 }
 
@@ -453,6 +517,54 @@ mod tests {
         assert!(lines[1].contains("\"arena_miss\":3"));
         // Non-finite floats must be quoted, or the line is invalid JSON.
         assert!(lines[2].contains("\"loss\":\"NaN\""));
+    }
+
+    #[test]
+    fn stream_events_serialize_as_single_line_json() {
+        let events = [
+            TraceEvent::StreamChunk {
+                chunk: 3,
+                docs_seen: 4_000,
+                coherence10: 0.31,
+                coherence: 0.12,
+            },
+            TraceEvent::Promotion {
+                model: "live".to_string(),
+                generation: 2,
+                ok: true,
+            },
+            TraceEvent::Drift {
+                kind: "vocab_growth".to_string(),
+                at_doc: 2_000,
+                detail: "to_words=900".to_string(),
+            },
+        ];
+        let lines: Vec<String> = events.iter().map(event_to_json).collect();
+        for l in &lines {
+            assert!(
+                l.starts_with('{') && l.ends_with('}') && !l.contains('\n'),
+                "{l}"
+            );
+        }
+        assert!(
+            lines[0].contains("\"event\":\"stream_chunk\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"docs_seen\":4000"), "{}", lines[0]);
+        assert!(lines[1].contains("\"event\":\"promotion\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+        assert!(lines[2].contains("\"event\":\"drift\""), "{}", lines[2]);
+        assert!(
+            lines[2].contains("\"kind\":\"vocab_growth\""),
+            "{}",
+            lines[2]
+        );
+        assert!(
+            lines[2].contains("\"detail\":\"to_words=900\""),
+            "{}",
+            lines[2]
+        );
     }
 
     #[test]

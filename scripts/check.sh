@@ -19,6 +19,13 @@ echo "== checkpoint corruption tests"
 cargo test -q -p ct-tensor checkpoint
 cargo test -q -p ct-models bundle
 
+# Incremental NPMI must be exact: feeding a drifting stream chunk by
+# chunk through CoocAccumulator (including a serialize/restore cycle
+# mid-stream) must be bitwise identical to one batch pass — this is the
+# invariant the streaming pipeline's kill-and-resume replay rests on.
+echo "== incremental-NPMI property suite"
+cargo test -q -p ct-corpus --test stream_npmi
+
 # Serving-path invariants: served theta must stay bitwise identical to
 # offline inference, and a saturated queue must degrade to a typed
 # backpressure error rather than a panic or a silent drop.
@@ -43,6 +50,18 @@ cargo test -q -p ct-serve --test lifecycle
 # drain regressions, not hardware speed.
 echo "== load_gen --smoke (open-loop p99 gate over TCP)"
 cargo run --release -q -p ct-bench --bin load_gen -- --smoke
+
+# Streaming-pipeline gates: the generator must sweep a drifting stream
+# out-of-core, a concurrent client must see zero failed queries across
+# every hot promotion, and a NaN-poisoned snapshot must be rejected as
+# a typed InvalidSnapshot while the old generation keeps serving.
+echo "== stream_bench --smoke (zero-dropped-queries + poisoned promotion)"
+cargo build --release -q -p ct-bench --bin stream_bench
+smoke_tmp=$(mktemp -d)
+# Run in a scratch directory: the smoke run writes a BENCH_stream.json
+# of its own and must not clobber the committed full-run artifact.
+(cd "$smoke_tmp" && "$OLDPWD/target/release/stream_bench" --smoke > /dev/null)
+rm -rf "$smoke_tmp"
 
 # Data-parallel training must be bitwise deterministic: trained params
 # may not depend on pool worker count or shard fan-out width.
@@ -140,5 +159,56 @@ if ! grep -q "smoke: 0 trained, 4 from ledger" <<< "$rerun"; then
   echo "$rerun" >&2
   exit 1
 fi
+
+# Streaming continual-learning smoke: a bounded drifting stream killed
+# after 2 chunks and resumed from its checkpoint must replay the exact
+# per-chunk coherence trajectory of an uninterrupted run, and a live
+# run must hot-promote snapshots while a concurrent query loop sees no
+# failures for as long as the server is up.
+echo "== contratopic stream smoke (kill/resume replay + live promotion)"
+stream_tmp=$(mktemp -d)
+stream_args=(stream --topics 3 --extra-vocab 30 --docs 600 --chunk 100
+  --avg-len 18.0 --epochs 1 --batch 64 --start-vocab 61
+  --drift "vocab:90@300,birth:2@300" --checkpoint-every 1)
+./target/release/contratopic "${stream_args[@]}" \
+  --checkpoint "$stream_tmp/full/ckpt" --trace "$stream_tmp/full.jsonl" 2> /dev/null
+./target/release/contratopic "${stream_args[@]}" --max-chunks 2 \
+  --checkpoint "$stream_tmp/kr/ckpt" --trace "$stream_tmp/kr.jsonl" 2> /dev/null
+./target/release/contratopic "${stream_args[@]}" \
+  --checkpoint "$stream_tmp/kr/ckpt" --trace "$stream_tmp/kr.jsonl" 2> /dev/null
+if ! cmp -s <(grep '"event":"stream_chunk"' "$stream_tmp/full.jsonl") \
+            <(grep '"event":"stream_chunk"' "$stream_tmp/kr.jsonl"); then
+  echo "error: resumed stream trajectory differs from uninterrupted run" >&2
+  diff <(grep '"event":"stream_chunk"' "$stream_tmp/full.jsonl") \
+       <(grep '"event":"stream_chunk"' "$stream_tmp/kr.jsonl") >&2 || true
+  exit 1
+fi
+./target/release/contratopic "${stream_args[@]}" --tcp 127.0.0.1:7461 \
+  --promote-every 2 --hold-ms 2000 --trace "$stream_tmp/live.jsonl" 2> /dev/null &
+stream_pid=$!
+sleep 0.4
+stream_qok=0
+stream_qfail=0
+while kill -0 "$stream_pid" 2> /dev/null; do
+  if ./target/release/contratopic query --tcp 127.0.0.1:7461 \
+      --text "space nasa orbit launch" > /dev/null 2>&1; then
+    stream_qok=$((stream_qok + 1))
+  elif kill -0 "$stream_pid" 2> /dev/null; then
+    # Only a failure while the pipeline is still up counts as a drop;
+    # refusals after it drains and exits are the expected end of life.
+    stream_qfail=$((stream_qfail + 1))
+  fi
+  sleep 0.05
+done
+wait "$stream_pid"
+if [ "$stream_qfail" -ne 0 ] || [ "$stream_qok" -eq 0 ]; then
+  echo "error: live stream dropped queries (ok=$stream_qok failed=$stream_qfail)" >&2
+  exit 1
+fi
+if ! grep -q '"event":"promotion".*"ok":true' "$stream_tmp/live.jsonl"; then
+  echo "error: live stream run recorded no successful promotion" >&2
+  exit 1
+fi
+rm -rf "$stream_tmp"
 
 echo "== check.sh: all gates passed"
