@@ -1,21 +1,32 @@
 //! Serving-path benchmark: micro-batched engine vs unbatched baseline.
 //!
-//! Writes `BENCH_serve.json` into the current directory: per-query p50/p99
-//! latency and throughput for the raw single-threaded, unbatched forward
-//! pass, and for the `ct-serve` engine under 1, 4 and 8 concurrent client
-//! threads. The response cache is disabled so every query pays for real
-//! inference — the point is to measure what micro-batching buys, not what
-//! memoization hides. `speedup_4t` is the batched 4-client throughput
-//! over the unbatched baseline; note the CSR storage backend made the
-//! single-document baseline itself ~2.4x faster (it only touches the
-//! encoder rows for terms present in the doc), so this ratio is an
-//! honest measure of queueing amortization on top of an already-sparse
-//! forward pass, not of batching papering over a dense one.
+//! Updates `BENCH_serve.json` in the current directory (its own keys
+//! only — `load_gen`'s latency/fan-in keys are preserved): per-query
+//! p50/p99 latency and throughput for the raw single-threaded,
+//! unbatched forward pass, and for the `ct-serve` engine under 1, 4 and
+//! 8 concurrent client threads. The response cache is disabled so every
+//! query pays for real inference — the point is to measure what
+//! micro-batching buys, not what memoization hides. `speedup_4t` is the
+//! batched 4-client throughput over the unbatched baseline; note the
+//! CSR storage backend made the single-document baseline itself ~2.4x
+//! faster (it only touches the encoder rows for terms present in the
+//! doc), so this ratio is an honest measure of queueing amortization on
+//! top of an already-sparse forward pass, not of batching papering over
+//! a dense one.
+//!
+//! The gate on that ratio is calibrated to the floor hardware: on a
+//! 1-core container, 4 clients only buy batching amortization (one
+//! memory pass over the encoder weights instead of four), not parallel
+//! compute, so the enforced floor is ≥ 1.1×. Multi-core hosts should
+//! see ≥ 2× (batching plus the pool's data parallelism) — that figure
+//! is an expectation to eyeball in the committed numbers, not a gate a
+//! 1-core CI box would always fail.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ct_bench::merge_top_level_json;
 use ct_corpus::train_embeddings;
 use ct_corpus::{generate, DatasetPreset, Scale};
 use ct_models::{fit_etm, TrainConfig};
@@ -27,6 +38,12 @@ use rand::SeedableRng;
 const QUERIES_PER_CLIENT: usize = 400;
 /// Queries in the unbatched baseline run.
 const BASELINE_QUERIES: usize = 400;
+/// Enforced floor on `speedup_4t_vs_unbatched` — what batching
+/// amortization alone must buy on a single core (see module docs;
+/// observed 1.2–1.45× on the 1-core reference container, so the floor
+/// leaves headroom for scheduler noise; a multi-core host is *expected*
+/// to clear 2×, but that is not gated).
+const SPEEDUP_4T_FLOOR: f64 = 1.1;
 
 struct RunResult {
     name: String,
@@ -219,30 +236,47 @@ fn main() {
         .unwrap_or(0.0);
     let speedup_4t = engine_4t_qps / baseline_qps;
 
-    let mut json = String::new();
-    json.push_str("{\n  \"runs\": [\n");
+    let mut runs = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
-            json.push_str(",\n");
+            runs.push_str(",\n");
         }
         let _ = write!(
-            json,
+            runs,
             "    {{\"name\": \"{}\", \"clients\": {}, \"queries\": {}, \
              \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"qps\": {:.1}}}",
             r.name, r.clients, r.queries, r.p50_us, r.p99_us, r.qps
         );
     }
-    let _ = write!(
-        json,
-        "\n  ],\n  \"speedup_4t_vs_unbatched\": {speedup_4t:.2},\n  \
-         \"bf16_scoring\": {{\"score_f32_ns\": {score_f32_ns}, \
+    runs.push_str("\n  ]");
+    let bf16 = format!(
+        "{{\"score_f32_ns\": {score_f32_ns}, \
          \"score_bf16_ns\": {score_bf16_ns}, \
          \"speedup\": {bf16_speedup:.2}, \
          \"topk_set_overlap\": {topk_set_overlap:.3}, \
          \"theta_max_abs_err\": {theta_max_abs_err}, \
-         \"beta_rel_tolerance\": 0.00390625}}\n}}\n"
+         \"beta_rel_tolerance\": 0.00390625}}"
     );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("{json}");
-    eprintln!("wrote BENCH_serve.json (speedup_4t = {speedup_4t:.2}x)");
+    let speedup_pass = speedup_4t >= SPEEDUP_4T_FLOOR;
+    let speedup_gate = format!(
+        "{{\"floor\": {SPEEDUP_4T_FLOOR}, \"multi_core_expectation\": 2.0, \
+         \"pass\": {speedup_pass}}}"
+    );
+
+    // Splice this bench's keys into the existing file so load_gen's
+    // latency_under_load / p99_gate / fan_in keys survive a rerun.
+    let doc = std::fs::read_to_string("BENCH_serve.json").unwrap_or_default();
+    let doc = merge_top_level_json(&doc, "runs", &runs);
+    let doc = merge_top_level_json(&doc, "speedup_4t_vs_unbatched", &format!("{speedup_4t:.2}"));
+    let doc = merge_top_level_json(&doc, "speedup_4t_gate", &speedup_gate);
+    let doc = merge_top_level_json(&doc, "bf16_scoring", &bf16);
+    std::fs::write("BENCH_serve.json", &doc).expect("write BENCH_serve.json");
+    println!("{doc}");
+    eprintln!(
+        "wrote BENCH_serve.json (speedup_4t = {speedup_4t:.2}x, floor {SPEEDUP_4T_FLOOR}x: {})",
+        if speedup_pass { "pass" } else { "FAIL" }
+    );
+    if !speedup_pass {
+        std::process::exit(1);
+    }
 }

@@ -308,6 +308,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
             "threads",
             "trace",
             "max-inflight",
+            "transport",
         ])
         .into_iter()
         .next()
@@ -391,12 +392,28 @@ pub fn serve(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
+    // `--transport reactor` (default on Linux) multiplexes every TCP
+    // client onto the epoll event loop; `--transport threaded` keeps
+    // the tracked thread-per-connection core on any platform.
+    let transport = match args.get("transport") {
+        None => ct_serve::Transport::default_for_host(),
+        Some("threaded") => ct_serve::Transport::Threaded,
+        #[cfg(target_os = "linux")]
+        Some("reactor") => ct_serve::Transport::Reactor,
+        Some(other) => return Err(format!("--transport: '{other}' is not threaded|reactor")),
+    };
     let tcp_server = match args.get("tcp") {
         Some(addr) => {
-            let server = TcpServer::bind(addr, Arc::clone(&registry) as Arc<dyn Router>, limits)
-                .map_err(|e| format!("{addr}: {e}"))?;
+            let server = TcpServer::bind_with(
+                addr,
+                Arc::clone(&registry) as Arc<dyn Router>,
+                limits,
+                transport,
+            )
+            .map_err(|e| format!("{addr}: {e}"))?;
             eprintln!(
-                "serving {} model(s) on tcp {} (max batch {max_batch}, max wait {max_wait_ms}ms)",
+                "serving {} model(s) on tcp {} via {transport:?} transport \
+                 (max batch {max_batch}, max wait {max_wait_ms}ms)",
                 roster.len(),
                 server.local_addr()
             );

@@ -42,6 +42,8 @@ COMMANDS:
              [--corpus corpus.txt]     nearest-topic-by-NPMI annotations
              [--top N] [--max-batch N] [--max-wait-ms N]
              [--queue N] [--cache N] [--threads N] [--max-inflight N]
+             [--transport reactor|threaded]  TCP connection handling
+             (reactor: epoll fan-in, default on Linux)
              [--trace trace.jsonl]     per-batch serve telemetry as JSONL
   stream     Run the streaming continual-learning pipeline: a drifting
              synthetic document stream trains ContraTopic chunk by chunk

@@ -102,6 +102,8 @@ pub mod error;
 pub mod json;
 pub mod lru;
 pub mod net;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod snapshot;
@@ -112,8 +114,11 @@ pub use engine::{
 };
 pub use error::ServeError;
 pub use net::{
-    query_tcp, ProtocolLimits, Router, Shutdown, ShutdownReport, SingleModel, TcpClient, TcpServer,
+    query_tcp, Frame, LineAssembler, ProtocolLimits, Router, Shutdown, ShutdownReport, SingleModel,
+    TcpClient, TcpServer, Transport,
 };
+#[cfg(target_os = "linux")]
+pub use reactor::ReactorConfig;
 pub use registry::{ModelRegistry, RegistryConfig};
 pub use snapshot::{ModelSnapshot, QueryResponse, TopicHit};
 

@@ -23,6 +23,7 @@
 //! discarded in constant memory, answered with a typed
 //! `request_too_large` error, and the connection stays usable.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -121,81 +122,142 @@ pub(crate) fn answer_line(router: &dyn Router, line: &str) -> String {
 }
 
 /// One parsed frame off a connection.
-pub(crate) enum Frame {
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
     /// A complete request line (newline stripped, lossy UTF-8).
     Line(String),
     /// A line that exceeded the size cap; its bytes were discarded.
     TooLarge,
 }
 
-/// Incremental, bounded line framing over any [`Read`].
+/// Incremental, bounded line assembly: the transport-independent core of
+/// the wire framing.
 ///
-/// Unlike `BufReader::lines`, a line that never ends cannot grow memory
-/// without limit: once the cap is crossed the reader switches to a
-/// constant-memory discard of the rest of the line and reports
-/// [`Frame::TooLarge`]. Read timeouts (`WouldBlock`/`TimedOut`) surface
-/// as errors with all partial state preserved — call again to resume,
-/// which is what lets connection threads poll a shutdown flag while
-/// blocked on idle clients.
-pub(crate) struct LineReader<R: Read> {
-    reader: BufReader<R>,
+/// Bytes are pushed in with [`LineAssembler::feed`] in chunks of *any*
+/// size — a line may be split across arbitrarily many feeds (down to one
+/// byte each) — and completed frames are popped with
+/// [`LineAssembler::next_frame`]. Unlike `BufReader::lines`, a line that
+/// never ends cannot grow memory without limit: once the cap is crossed
+/// the assembler switches to a constant-memory discard of the rest of
+/// the line and reports [`Frame::TooLarge`] when the terminator finally
+/// arrives.
+///
+/// The blocking [`LineReader`] (threaded transport) and the epoll
+/// reactor's nonblocking read path both frame through this one type, so
+/// the 64 KiB cap, CR stripping, and lossy UTF-8 decoding are identical
+/// by construction across transports.
+pub struct LineAssembler {
     line: Vec<u8>,
+    ready: VecDeque<Frame>,
     discarding: bool,
     max: usize,
 }
 
-impl<R: Read> LineReader<R> {
-    pub(crate) fn new(inner: R, max: usize) -> Self {
+impl LineAssembler {
+    /// An empty assembler with a `max`-byte line cap (excluding the
+    /// newline).
+    pub fn new(max: usize) -> Self {
         Self {
-            reader: BufReader::new(inner),
             line: Vec::new(),
+            ready: VecDeque::new(),
             discarding: false,
             max,
         }
     }
 
-    /// Next frame; `Ok(None)` is end-of-stream (a partial unterminated
-    /// line at EOF is dropped — the client is gone and cannot receive a
-    /// response anyway).
-    pub(crate) fn next_frame(&mut self) -> io::Result<Option<Frame>> {
-        loop {
-            let available = self.reader.fill_buf()?;
-            if available.is_empty() {
-                return Ok(None);
-            }
-            match available.iter().position(|&b| b == b'\n') {
+    /// Feed one chunk of received bytes; any frames completed by the
+    /// chunk become available via [`LineAssembler::next_frame`].
+    pub fn feed(&mut self, mut chunk: &[u8]) {
+        while !chunk.is_empty() {
+            match chunk.iter().position(|&b| b == b'\n') {
                 Some(pos) => {
                     let over = self.discarding || self.line.len() + pos > self.max;
                     if !over {
-                        let chunk = &available[..pos];
-                        self.line.extend_from_slice(chunk);
+                        self.line.extend_from_slice(&chunk[..pos]);
                     }
-                    self.reader.consume(pos + 1);
+                    chunk = &chunk[pos + 1..];
                     self.discarding = false;
                     if over {
                         self.line.clear();
-                        return Ok(Some(Frame::TooLarge));
+                        self.ready.push_back(Frame::TooLarge);
+                        continue;
                     }
                     if self.line.last() == Some(&b'\r') {
                         self.line.pop();
                     }
                     let text = String::from_utf8_lossy(&self.line).into_owned();
                     self.line.clear();
-                    return Ok(Some(Frame::Line(text)));
+                    self.ready.push_back(Frame::Line(text));
                 }
                 None => {
-                    let n = available.len();
                     if !self.discarding {
-                        if self.line.len() + n > self.max {
+                        if self.line.len() + chunk.len() > self.max {
                             self.line.clear();
                             self.discarding = true;
                         } else {
-                            self.line.extend_from_slice(available);
+                            self.line.extend_from_slice(chunk);
                         }
                     }
-                    self.reader.consume(n);
+                    chunk = &[];
                 }
             }
+        }
+    }
+
+    /// Pop the next completed frame, if any.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.ready.pop_front()
+    }
+
+    /// Whether an unterminated partial line (or a discard in progress)
+    /// is buffered — at EOF such a tail is dropped, since the peer is
+    /// gone and cannot receive a response anyway.
+    pub fn has_partial(&self) -> bool {
+        !self.line.is_empty() || self.discarding
+    }
+
+    /// Bytes currently held for the partial line — bounded by the cap
+    /// even while discarding an arbitrarily long oversized line (the
+    /// constant-memory contract, pinned by tests).
+    pub fn partial_capacity(&self) -> usize {
+        self.line.capacity()
+    }
+}
+
+/// Blocking line framing over any [`Read`]: a [`LineAssembler`] fed from
+/// a `BufReader`.
+///
+/// Read timeouts (`WouldBlock`/`TimedOut`) surface as errors with all
+/// partial state preserved — call again to resume, which is what lets
+/// threaded connection loops poll a shutdown flag while blocked on idle
+/// clients.
+pub(crate) struct LineReader<R: Read> {
+    reader: BufReader<R>,
+    asm: LineAssembler,
+}
+
+impl<R: Read> LineReader<R> {
+    pub(crate) fn new(inner: R, max: usize) -> Self {
+        Self {
+            reader: BufReader::new(inner),
+            asm: LineAssembler::new(max),
+        }
+    }
+
+    /// Next frame; `Ok(None)` is end-of-stream (a partial unterminated
+    /// line at EOF is dropped).
+    pub(crate) fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        loop {
+            if let Some(frame) = self.asm.next_frame() {
+                return Ok(Some(frame));
+            }
+            let available = self.reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(None);
+            }
+            let n = available.len();
+            self.asm.feed(available);
+            self.reader.consume(n);
         }
     }
 }
@@ -278,6 +340,12 @@ pub struct Shutdown {
 }
 
 impl Shutdown {
+    /// Wrap a shared flag (used by both the threaded core and the epoll
+    /// reactor, so one handle type controls every transport).
+    pub(crate) fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        Self { flag }
+    }
+
     /// Ask the server to stop accepting and start draining.
     pub fn signal(&self) {
         self.flag.store(true, Ordering::Release);
@@ -514,8 +582,62 @@ fn write_response_line<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
     writer.flush()
 }
 
-/// A TCP front end for the serving engine: accept loop on a background
-/// thread, one tracked thread per connection, graceful shutdown.
+/// Connection-handling strategy for the TCP front end.
+///
+/// Both strategies speak the identical wire protocol through the same
+/// [`Router`] and [`LineAssembler`] framing; they differ only in how
+/// connections map to OS threads:
+///
+/// - [`Transport::Threaded`] — one tracked thread per connection (the
+///   historic model, retained for the Unix-socket server and non-Linux
+///   hosts). Simple, but fan-in is capped by thread count: 10k idle
+///   clients cost 10k parked threads.
+/// - [`Transport::Reactor`] — a poll-based epoll reactor
+///   ([`crate::reactor`], Linux only): all connections multiplex onto a
+///   handful of event-loop threads plus a bounded router-worker pool, so
+///   resident threads stay O(cores) no matter how many clients are
+///   attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Transport {
+    /// One tracked OS thread per connection.
+    Threaded,
+    /// Epoll event loop + bounded worker pool (Linux only).
+    #[cfg(target_os = "linux")]
+    Reactor,
+}
+
+impl Transport {
+    /// The best available strategy for this host: the epoll reactor on
+    /// Linux, thread-per-connection elsewhere.
+    pub fn default_for_host() -> Self {
+        #[cfg(target_os = "linux")]
+        {
+            Transport::Reactor
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Transport::Threaded
+        }
+    }
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        Self::default_for_host()
+    }
+}
+
+/// The running machinery behind a [`TcpServer`], selected by
+/// [`Transport`].
+enum TcpEngine {
+    Threaded(ServerCore<TcpStream>),
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::Reactor),
+}
+
+/// A TCP front end for the serving engine: epoll reactor (Linux default)
+/// or one tracked thread per connection, graceful shutdown either way.
 ///
 /// ```no_run
 /// # use std::sync::Arc;
@@ -531,24 +653,45 @@ fn write_response_line<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub struct TcpServer {
-    core: ServerCore<TcpStream>,
+    engine: TcpEngine,
     local_addr: SocketAddr,
 }
 
 impl TcpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// accepting connections routed through `router`.
+    /// accepting connections routed through `router`, using
+    /// [`Transport::default_for_host`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         router: Arc<dyn Router>,
         limits: ProtocolLimits,
     ) -> io::Result<Self> {
+        Self::bind_with(addr, router, limits, Transport::default_for_host())
+    }
+
+    /// [`TcpServer::bind`] with an explicit connection-handling
+    /// strategy.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        router: Arc<dyn Router>,
+        limits: ProtocolLimits,
+        transport: Transport,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        Ok(Self {
-            core: ServerCore::start(listener, router, limits)?,
-            local_addr,
-        })
+        let engine = match transport {
+            Transport::Threaded => {
+                TcpEngine::Threaded(ServerCore::start(listener, router, limits)?)
+            }
+            #[cfg(target_os = "linux")]
+            Transport::Reactor => TcpEngine::Reactor(crate::reactor::Reactor::start(
+                listener,
+                router,
+                limits,
+                crate::reactor::ReactorConfig::default(),
+            )?),
+        };
+        Ok(Self { engine, local_addr })
     }
 
     /// The bound address (resolves the actual port when bound to port 0).
@@ -556,22 +699,44 @@ impl TcpServer {
         self.local_addr
     }
 
+    /// The connection-handling strategy this server runs.
+    pub fn transport(&self) -> Transport {
+        match &self.engine {
+            TcpEngine::Threaded(_) => Transport::Threaded,
+            #[cfg(target_os = "linux")]
+            TcpEngine::Reactor(_) => Transport::Reactor,
+        }
+    }
+
     /// A cloneable [`Shutdown`] trigger for this server.
     pub fn shutdown_handle(&self) -> Shutdown {
-        self.core.shutdown_handle()
+        match &self.engine {
+            TcpEngine::Threaded(core) => core.shutdown_handle(),
+            #[cfg(target_os = "linux")]
+            TcpEngine::Reactor(reactor) => reactor.shutdown_handle(),
+        }
     }
 
     /// Gracefully shut down: stop accepting, give in-flight connections
     /// until `drain` to finish, force-close stragglers, join every
-    /// connection thread.
+    /// server thread. Idle connections with no request in flight are
+    /// closed (and counted as drained) immediately.
     pub fn shutdown(self, drain: Duration) -> ShutdownReport {
-        self.core.shutdown(drain)
+        match self.engine {
+            TcpEngine::Threaded(core) => core.shutdown(drain),
+            #[cfg(target_os = "linux")]
+            TcpEngine::Reactor(reactor) => reactor.shutdown(drain),
+        }
     }
 
     /// Block for the lifetime of the server (foreground mode): returns
     /// only after a [`Shutdown`] signal or a listener error, then drains.
     pub fn join(self) -> ShutdownReport {
-        self.core.join()
+        match self.engine {
+            TcpEngine::Threaded(core) => core.join(),
+            #[cfg(target_os = "linux")]
+            TcpEngine::Reactor(reactor) => reactor.join(),
+        }
     }
 }
 
@@ -702,12 +867,82 @@ mod tests {
             Some(Frame::TooLarge)
         ));
         // The accumulator never held more than the cap while discarding.
-        assert!(reader.line.capacity() <= 16, "{}", reader.line.capacity());
+        assert!(
+            reader.asm.partial_capacity() <= 16,
+            "{}",
+            reader.asm.partial_capacity()
+        );
         assert!(matches!(
             reader.next_frame().unwrap(),
             Some(Frame::Line(l)) if l == "ok"
         ));
         assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_is_feed_boundary_invariant() {
+        // The same byte stream must produce the same frames no matter
+        // how it is sliced into feeds — including one byte at a time.
+        let data = b"first line\r\nsecond\n\nthird one\n";
+        let expected = [
+            Frame::Line("first line".into()),
+            Frame::Line("second".into()),
+            Frame::Line("".into()),
+            Frame::Line("third one".into()),
+        ];
+        for chunk_size in [1usize, 2, 3, 7, data.len()] {
+            let mut asm = LineAssembler::new(64);
+            for chunk in data.chunks(chunk_size) {
+                asm.feed(chunk);
+            }
+            let frames: Vec<Frame> = std::iter::from_fn(|| asm.next_frame()).collect();
+            assert_eq!(frames, expected, "chunk_size {chunk_size}");
+            assert!(!asm.has_partial());
+        }
+    }
+
+    #[test]
+    fn assembler_discards_oversized_line_spanning_many_feeds() {
+        let mut asm = LineAssembler::new(8);
+        for _ in 0..10_000 {
+            asm.feed(b"x");
+            // Constant memory while discarding, no frame until newline.
+            assert!(asm.partial_capacity() <= 16, "{}", asm.partial_capacity());
+            assert!(asm.next_frame().is_none());
+        }
+        asm.feed(b"\nok\n");
+        assert_eq!(asm.next_frame(), Some(Frame::TooLarge));
+        assert_eq!(asm.next_frame(), Some(Frame::Line("ok".into())));
+        assert_eq!(asm.next_frame(), None);
+    }
+
+    #[test]
+    fn assembler_multiple_frames_in_one_feed_and_partial_tail() {
+        let mut asm = LineAssembler::new(64);
+        asm.feed(b"a\nb\nc");
+        assert_eq!(asm.next_frame(), Some(Frame::Line("a".into())));
+        assert_eq!(asm.next_frame(), Some(Frame::Line("b".into())));
+        assert_eq!(asm.next_frame(), None);
+        assert!(asm.has_partial(), "unterminated 'c' must be held back");
+        asm.feed(b"d\n");
+        assert_eq!(asm.next_frame(), Some(Frame::Line("cd".into())));
+    }
+
+    #[test]
+    fn assembler_binary_garbage_decodes_lossily() {
+        let mut asm = LineAssembler::new(64);
+        asm.feed(&[0xff, 0xfe, b'o', b'k', 0x80]);
+        asm.feed(b"\n");
+        match asm.next_frame() {
+            Some(Frame::Line(l)) => {
+                assert!(l.contains("ok"), "{l:?}");
+                assert!(
+                    l.contains('\u{fffd}'),
+                    "invalid bytes must map to U+FFFD: {l:?}"
+                );
+            }
+            other => panic!("expected a lossy line, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,876 @@
+//! Poll-based connection reactor: 10k-connection fan-in without 10k
+//! threads (Linux only).
+//!
+//! The threaded [`ServerCore`](crate::net) costs one parked OS thread
+//! per connected client — tens of kilobytes of stack and a 25 ms wakeup
+//! each, even for a client that never sends a byte. This module
+//! multiplexes *every* TCP connection onto a small, fixed set of
+//! threads instead:
+//!
+//! - **event-loop shards** (default 1, scaling with cores): each shard
+//!   owns a raw `epoll` instance and the nonblocking accept / read /
+//!   write lifecycle for its connections. Incoming bytes feed the same
+//!   incremental [`LineAssembler`] the threaded transport frames with,
+//!   so the 64 KiB cap and the typed `request_too_large` reply are
+//!   identical by construction.
+//! - **router workers** (default `max(2, cores)`): complete parsed
+//!   request lines against the shared [`Router`] — admission, encoding,
+//!   the micro-batching engine's blocking reply wait — and post the
+//!   response back to the owning shard through a completion queue plus
+//!   an `eventfd` wakeup. The thread-per-core inference pool underneath
+//!   is untouched.
+//!
+//! Responses go out through a per-connection write queue: the reply is
+//! appended, flushed as far as the socket allows, and `EPOLLOUT`
+//! interest is registered only while bytes remain — interest masks are
+//! re-registered (`EPOLL_CTL_MOD`) whenever the desired read/write set
+//! changes, including dropping read interest from a connection that
+//! pipelines far ahead of the engine or stops draining its responses.
+//!
+//! Requests on one connection are answered strictly in order: a
+//! connection dispatches at most one line to the workers at a time, and
+//! further complete lines wait in its `pending` queue (oversized-line
+//! errors are answered inline in arrival order). Graceful shutdown
+//! mirrors the threaded core: parked idle connections close immediately
+//! (counted as drained), a connection whose request is already at the
+//! workers gets its response written and flushed before closing, and
+//! only connections still busy at the drain deadline are force-closed
+//! (counted as aborted).
+//!
+//! The `epoll`/`eventfd` calls are raw libc-level syscalls declared
+//! locally — the same no-new-deps pattern as `ct_tensor::simd`'s
+//! runtime dispatch — so this module builds with nothing beyond `std`.
+
+#![cfg(target_os = "linux")]
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::net::{
+    answer_line, Frame, LineAssembler, ProtocolLimits, Router, Shutdown, ShutdownReport,
+};
+
+/// Raw syscall surface: exactly what the reactor needs, declared
+/// locally so no crate dependency is added (std already links libc).
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    /// Mirror of `struct epoll_event`; packed on x86 per the kernel ABI.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Owned epoll instance.
+struct EpollFd(RawFd);
+
+impl EpollFd {
+    fn new() -> io::Result<Self> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self(fd))
+    }
+
+    fn ctl(&self, op: std::ffi::c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.0, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Wait for events; `EINTR` and errors report as zero events.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout: Duration) -> usize {
+        let ms = timeout.as_millis().clamp(1, 60_000) as std::ffi::c_int;
+        let rc = unsafe { sys::epoll_wait(self.0, events.as_mut_ptr(), events.len() as _, ms) };
+        if rc < 0 {
+            0
+        } else {
+            rc as usize
+        }
+    }
+}
+
+impl Drop for EpollFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// Owned nonblocking eventfd used as a cross-thread wakeup doorbell.
+struct EventFd(RawFd);
+
+impl EventFd {
+    fn new() -> io::Result<Self> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self(fd))
+    }
+
+    fn signal(&self) {
+        let one: u64 = 1;
+        unsafe { sys::write(self.0, (&one as *const u64).cast(), 8) };
+    }
+
+    fn drain(&self) {
+        let mut counter: u64 = 0;
+        unsafe { sys::read(self.0, (&mut counter as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// Event token of the shard's wakeup eventfd.
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Event token of the listening socket (shard 0 only).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+/// Events fetched per `epoll_wait`.
+const MAX_EVENTS: usize = 256;
+/// Connections accepted per listener event before yielding to other
+/// connections (level-triggered epoll re-reports a non-empty backlog).
+const ACCEPT_BURST: usize = 256;
+/// Parsed-but-undispatched request lines a connection may pipeline
+/// before the reactor stops reading from it until the engine catches up.
+const MAX_PIPELINE: usize = 32;
+/// Unflushed response bytes a connection may accumulate before the
+/// reactor stops reading new requests from it.
+const MAX_OUTBUF: usize = 256 * 1024;
+
+/// Pack a connection identity into an epoll token: slot index in the
+/// low 32 bits, a per-shard generation in the high 32 so a stale event
+/// (or a late worker completion) can never touch a recycled slot.
+fn conn_token(gen: u32, idx: usize) -> u64 {
+    ((gen as u64) << 32) | (idx as u64 & 0xffff_ffff)
+}
+
+/// Sizing knobs for the reactor; zeros mean "pick for this host".
+#[derive(Clone, Debug, Default)]
+pub struct ReactorConfig {
+    /// Event-loop threads. `0` scales with cores (1 per 4, capped at 4);
+    /// connections are assigned round-robin at accept.
+    pub shards: usize,
+    /// Router worker threads completing requests against the engine.
+    /// `0` means `max(2, cores)` — these block in the engine's batched
+    /// reply wait, so a couple per core keeps micro-batches forming.
+    pub workers: usize,
+}
+
+impl ReactorConfig {
+    fn shard_count(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / 4).clamp(1, 4)
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        cores.clamp(2, 16)
+    }
+}
+
+/// A request line travelling from a shard to the router workers.
+struct Job {
+    shard: usize,
+    token: u64,
+    line: String,
+}
+
+/// A finished response travelling back to the owning shard.
+struct Completion {
+    token: u64,
+    reply: String,
+}
+
+/// Bounded-thread work queue feeding the router workers.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.state.lock().unwrap().jobs.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-shard mailboxes reachable from other threads, paired with the
+/// eventfd that wakes the shard when something lands in them.
+struct ShardShared {
+    wake: EventFd,
+    completions: Mutex<Vec<Completion>>,
+    incoming: Mutex<Vec<TcpStream>>,
+}
+
+/// State shared by every reactor thread.
+struct ReactorShared {
+    shutdown: Arc<AtomicBool>,
+    /// Drain deadline, set by `shutdown(drain)`; `None` while only the
+    /// asynchronous `Shutdown::signal` has fired (shards then drain
+    /// in-flight work without force-closing anything).
+    deadline: Mutex<Option<Instant>>,
+    /// Set once shards have exited: workers skip (rather than answer)
+    /// any leftover jobs whose connections are already gone.
+    discard: AtomicBool,
+    router: Arc<dyn Router>,
+    limits: ProtocolLimits,
+    queue: WorkQueue,
+    shards: Vec<Arc<ShardShared>>,
+    next_conn: AtomicUsize,
+    drained: AtomicUsize,
+    aborted: AtomicUsize,
+}
+
+/// One live connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    asm: LineAssembler,
+    /// Complete frames not yet dispatched (order preserved).
+    pending: VecDeque<Frame>,
+    /// Whether one line is currently at the router workers.
+    busy: bool,
+    /// Per-connection write queue: `out[out_pos..]` awaits the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Currently registered epoll interest mask.
+    interest: u32,
+    /// Read side saw EOF (the peer half-closed or disconnected).
+    peer_closed: bool,
+}
+
+impl Conn {
+    fn out_done(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+
+    fn push_reply(&mut self, line: &str) {
+        self.out.extend_from_slice(line.as_bytes());
+        self.out.push(b'\n');
+    }
+}
+
+/// Everything a slab operation needs from its surroundings this loop
+/// iteration.
+struct Ctx<'a> {
+    ep: &'a EpollFd,
+    shared: &'a ReactorShared,
+    shard: usize,
+    draining: bool,
+}
+
+/// The shard's connection table: slot-indexed with generation tags, so
+/// tokens in stale epoll events or late completions never alias a
+/// recycled slot.
+#[derive(Default)]
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_gen: u32,
+}
+
+impl Slab {
+    fn adopt(&mut self, ctx: &Ctx, stream: TcpStream) {
+        if ctx.draining {
+            return; // accepted after shutdown: dropped (closed) unserved
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if ctx
+            .ep
+            .add(stream.as_raw_fd(), interest, conn_token(gen, idx))
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            gen,
+            asm: LineAssembler::new(ctx.shared.limits.max_request_bytes),
+            pending: VecDeque::new(),
+            busy: false,
+            out: Vec::new(),
+            out_pos: 0,
+            interest,
+            peer_closed: false,
+        });
+        self.live += 1;
+    }
+
+    fn handle_event(&mut self, ctx: &Ctx, token: u64, mask: u32) {
+        let idx = (token & 0xffff_ffff) as usize;
+        let gen = (token >> 32) as u32;
+        let valid = matches!(self.conns.get(idx), Some(Some(c)) if c.gen == gen);
+        if !valid {
+            return; // stale event for a slot already closed or recycled
+        }
+        if mask & sys::EPOLLERR != 0 {
+            self.close(ctx, idx, false);
+            return;
+        }
+        if mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0 {
+            let ok = read_into(self.conns[idx].as_mut().unwrap());
+            if !ok {
+                self.close(ctx, idx, false);
+                return;
+            }
+        }
+        self.service(ctx, idx);
+    }
+
+    fn complete(&mut self, ctx: &Ctx, completion: Completion) {
+        let idx = (completion.token & 0xffff_ffff) as usize;
+        let gen = (completion.token >> 32) as u32;
+        let valid = matches!(self.conns.get(idx), Some(Some(c)) if c.gen == gen && c.busy);
+        if !valid {
+            return; // the connection died while its request was in flight
+        }
+        {
+            let conn = self.conns[idx].as_mut().unwrap();
+            conn.busy = false;
+            conn.push_reply(&completion.reply);
+        }
+        self.service(ctx, idx);
+    }
+
+    /// Dispatch/flush/close/re-register after any state change.
+    fn service(&mut self, ctx: &Ctx, idx: usize) {
+        let closable = {
+            let conn = self.conns[idx].as_mut().unwrap();
+            while let Some(frame) = conn.asm.next_frame() {
+                conn.pending.push_back(frame);
+            }
+            pump(ctx, idx, conn);
+            let broken = flush(conn).is_err();
+            let done = !conn.busy
+                && conn.pending.is_empty()
+                && conn.out_done()
+                && (conn.peer_closed || ctx.draining);
+            if broken || done {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        match closable {
+            Some(forced) => self.close(ctx, idx, forced),
+            None => {
+                let conn = self.conns[idx].as_mut().unwrap();
+                update_interest(ctx, idx, conn);
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &Ctx, idx: usize, forced: bool) {
+        if let Some(conn) = self.conns[idx].take() {
+            ctx.ep.delete(conn.stream.as_raw_fd());
+            drop(conn); // closes the socket
+            self.free.push(idx);
+            self.live -= 1;
+            if ctx.draining {
+                let counter = if forced {
+                    &ctx.shared.aborted
+                } else {
+                    &ctx.shared.drained
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Shutdown transition: park-and-close every connection with no
+    /// request in flight and nothing left to write (counted as drained);
+    /// busy connections stay to receive their response.
+    fn begin_drain(&mut self, ctx: &Ctx) {
+        for idx in 0..self.conns.len() {
+            let idle = matches!(&self.conns[idx], Some(c) if !c.busy && c.out_done());
+            if idle {
+                self.close(ctx, idx, false);
+            }
+        }
+    }
+
+    /// Drain deadline passed: force-close everything left (aborted).
+    fn abort_all(&mut self, ctx: &Ctx) {
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.close(ctx, idx, true);
+            }
+        }
+    }
+}
+
+/// Pull whatever the socket has ready into the line assembler, bounded
+/// per event so one chatty client cannot starve the loop (level
+/// triggering re-reports the remainder). `false` means a hard error.
+fn read_into(conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    let mut rounds = 0;
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.asm.feed(&buf[..n]);
+                rounds += 1;
+                if rounds >= 4 {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Answer oversized-line frames inline and hand at most one request
+/// line to the workers — strict per-connection FIFO keeps responses in
+/// request order without sequence numbers. After shutdown no *new*
+/// request is started (parsed-but-undispatched lines are dropped, same
+/// as the threaded transport's post-signal behavior).
+fn pump(ctx: &Ctx, idx: usize, conn: &mut Conn) {
+    loop {
+        if conn.busy {
+            return;
+        }
+        if ctx.draining {
+            conn.pending.clear();
+            return;
+        }
+        match conn.pending.pop_front() {
+            Some(Frame::Line(text)) => {
+                conn.busy = true;
+                ctx.shared.queue.push(Job {
+                    shard: ctx.shard,
+                    token: conn_token(conn.gen, idx),
+                    line: text,
+                });
+                return;
+            }
+            Some(Frame::TooLarge) => {
+                let err = ServeError::RequestTooLarge {
+                    limit: ctx.shared.limits.max_request_bytes,
+                };
+                conn.push_reply(&err.to_json());
+            }
+            None => return,
+        }
+    }
+}
+
+/// Write as much of the out-queue as the socket accepts right now.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.out_pos >= conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    } else if conn.out_pos > 8 * 1024 {
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    Ok(())
+}
+
+/// Re-register epoll interest when the desired mask changed: `EPOLLOUT`
+/// only while the write queue is non-empty, `EPOLLIN` only while we are
+/// willing to take more input (not draining, peer still open, and the
+/// connection is not backlogged past the pipeline/outbuf caps).
+fn update_interest(ctx: &Ctx, idx: usize, conn: &mut Conn) {
+    let mut want = sys::EPOLLRDHUP;
+    let backlogged =
+        conn.pending.len() >= MAX_PIPELINE || conn.out.len() - conn.out_pos >= MAX_OUTBUF;
+    if !ctx.draining && !conn.peer_closed && !backlogged {
+        want |= sys::EPOLLIN;
+    }
+    if !conn.out_done() {
+        want |= sys::EPOLLOUT;
+    }
+    if want != conn.interest
+        && ctx
+            .ep
+            .modify(conn.stream.as_raw_fd(), want, conn_token(conn.gen, idx))
+            .is_ok()
+    {
+        conn.interest = want;
+    }
+}
+
+/// Accept a burst of connections and deal them round-robin across
+/// shards; remote shards get the stream through their mailbox plus an
+/// eventfd knock.
+fn accept_burst(listener: &TcpListener, slab: &mut Slab, ctx: &Ctx) {
+    for _ in 0..ACCEPT_BURST {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let n = ctx.shared.shards.len();
+                let target = if n <= 1 {
+                    ctx.shard
+                } else {
+                    ctx.shared.next_conn.fetch_add(1, Ordering::Relaxed) % n
+                };
+                if target == ctx.shard {
+                    slab.adopt(ctx, stream);
+                } else {
+                    ctx.shared.shards[target]
+                        .incoming
+                        .lock()
+                        .unwrap()
+                        .push(stream);
+                    ctx.shared.shards[target].wake.signal();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        }
+    }
+}
+
+fn shard_loop(shard_id: usize, mut listener: Option<TcpListener>, shared: Arc<ReactorShared>) {
+    let mailbox = Arc::clone(&shared.shards[shard_id]);
+    let Ok(ep) = EpollFd::new() else { return };
+    if ep.add(mailbox.wake.0, sys::EPOLLIN, WAKE_TOKEN).is_err() {
+        return;
+    }
+    if let Some(l) = &listener {
+        if l.set_nonblocking(true).is_err() {
+            return;
+        }
+        if ep.add(l.as_raw_fd(), sys::EPOLLIN, LISTENER_TOKEN).is_err() {
+            return;
+        }
+    }
+    let mut slab = Slab::default();
+    let mut draining = false;
+    let mut events = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+    loop {
+        let n = ep.wait(&mut events, shared.limits.poll_interval);
+        if shared.shutdown.load(Ordering::Acquire) && !draining {
+            draining = true;
+            if let Some(l) = listener.take() {
+                ep.delete(l.as_raw_fd());
+                drop(l); // stop accepting; frees the port for rebinding
+            }
+            let ctx = Ctx {
+                ep: &ep,
+                shared: &shared,
+                shard: shard_id,
+                draining,
+            };
+            slab.begin_drain(&ctx);
+        }
+        let ctx = Ctx {
+            ep: &ep,
+            shared: &shared,
+            shard: shard_id,
+            draining,
+        };
+        for ev in events.iter().take(n) {
+            let ev = *ev; // copy out of the packed array before field reads
+            let (mask, token) = (ev.events, ev.data);
+            match token {
+                WAKE_TOKEN => {
+                    mailbox.wake.drain();
+                    let incoming: Vec<TcpStream> =
+                        std::mem::take(&mut *mailbox.incoming.lock().unwrap());
+                    for stream in incoming {
+                        slab.adopt(&ctx, stream);
+                    }
+                    let completions: Vec<Completion> =
+                        std::mem::take(&mut *mailbox.completions.lock().unwrap());
+                    for completion in completions {
+                        slab.complete(&ctx, completion);
+                    }
+                }
+                LISTENER_TOKEN => {
+                    if let Some(l) = &listener {
+                        accept_burst(l, &mut slab, &ctx);
+                    }
+                }
+                token => slab.handle_event(&ctx, token, mask),
+            }
+        }
+        if draining {
+            if slab.live == 0 {
+                return;
+            }
+            let deadline = *shared.deadline.lock().unwrap();
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    let ctx = Ctx {
+                        ep: &ep,
+                        shared: &shared,
+                        shard: shard_id,
+                        draining,
+                    };
+                    slab.abort_all(&ctx);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<ReactorShared>) {
+    while let Some(job) = shared.queue.pop() {
+        if shared.discard.load(Ordering::Relaxed) {
+            continue; // shards are gone; the connection no longer exists
+        }
+        let reply = answer_line(shared.router.as_ref(), &job.line);
+        let shard = &shared.shards[job.shard];
+        shard.completions.lock().unwrap().push(Completion {
+            token: job.token,
+            reply,
+        });
+        shard.wake.signal();
+    }
+}
+
+/// A running epoll reactor: the [`Transport::Reactor`](crate::Transport)
+/// engine behind [`TcpServer`](crate::TcpServer) on Linux.
+pub struct Reactor {
+    shared: Arc<ReactorShared>,
+    shard_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Reactor {
+    pub(crate) fn start(
+        listener: TcpListener,
+        router: Arc<dyn Router>,
+        limits: ProtocolLimits,
+        config: ReactorConfig,
+    ) -> io::Result<Self> {
+        let shard_count = config.shard_count();
+        let worker_count = config.worker_count();
+        let mut mailboxes = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            mailboxes.push(Arc::new(ShardShared {
+                wake: EventFd::new()?,
+                completions: Mutex::new(Vec::new()),
+                incoming: Mutex::new(Vec::new()),
+            }));
+        }
+        let shared = Arc::new(ReactorShared {
+            shutdown: Arc::new(AtomicBool::new(false)),
+            deadline: Mutex::new(None),
+            discard: AtomicBool::new(false),
+            router,
+            limits,
+            queue: WorkQueue::new(),
+            shards: mailboxes,
+            next_conn: AtomicUsize::new(0),
+            drained: AtomicUsize::new(0),
+            aborted: AtomicUsize::new(0),
+        });
+        let mut reactor = Self {
+            shared: Arc::clone(&shared),
+            shard_threads: Vec::with_capacity(shard_count),
+            worker_threads: Vec::with_capacity(worker_count),
+        };
+        let mut listener = Some(listener);
+        for i in 0..shard_count {
+            let shared = Arc::clone(&shared);
+            let listener = listener.take(); // shard 0 owns the listener
+            let spawned = std::thread::Builder::new()
+                .name(format!("ct-reactor-{i}"))
+                .spawn(move || shard_loop(i, listener, shared));
+            match spawned {
+                Ok(handle) => reactor.shard_threads.push(handle),
+                Err(e) => {
+                    reactor.stop(Duration::ZERO);
+                    return Err(e);
+                }
+            }
+        }
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ct-serve-worker-{i}"))
+                .spawn(move || worker_loop(shared));
+            match spawned {
+                Ok(handle) => reactor.worker_threads.push(handle),
+                Err(e) => {
+                    reactor.stop(Duration::ZERO);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(reactor)
+    }
+
+    pub(crate) fn shutdown_handle(&self) -> Shutdown {
+        Shutdown::from_flag(Arc::clone(&self.shared.shutdown))
+    }
+
+    fn stop(&mut self, drain: Duration) -> ShutdownReport {
+        *self.shared.deadline.lock().unwrap() = Some(Instant::now() + drain);
+        self.shared.shutdown.store(true, Ordering::Release);
+        for mailbox in &self.shared.shards {
+            mailbox.wake.signal();
+        }
+        for handle in self.shard_threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Shards are gone: leftover queued jobs have no connection to
+        // answer — let the workers skip them and exit.
+        self.shared.discard.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        ShutdownReport {
+            connections_drained: self.shared.drained.load(Ordering::Relaxed),
+            connections_aborted: self.shared.aborted.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn shutdown(mut self, drain: Duration) -> ShutdownReport {
+        self.stop(drain)
+    }
+
+    pub(crate) fn join(mut self) -> ShutdownReport {
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            if self.shard_threads.iter().all(|t| t.is_finished()) {
+                break; // listener error or all shards gone
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.stop(Duration::from_secs(5))
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        // A dropped reactor must not leak threads: immediate-deadline
+        // drain (idle connections close, busy ones are force-closed,
+        // in-flight engine queries still complete) and join everything.
+        if !self.shard_threads.is_empty() || !self.worker_threads.is_empty() {
+            self.stop(Duration::ZERO);
+        }
+    }
+}

@@ -13,8 +13,23 @@ use ct_models::{fit_etm, TrainConfig};
 use ct_serve::{
     query_tcp, DocEncoder, InferenceModel, ModelRegistry, ModelSnapshot, ProtocolLimits,
     QueryResponse, RegistryConfig, Router, ServeConfig, ServeError, TcpClient, TcpServer,
+    Transport,
 };
 use ct_tensor::Tensor;
+
+/// Every transport the host supports: the lifecycle contracts (bitwise
+/// equivalence, hot promotion, drain, routing) must hold identically on
+/// the threaded core and the epoll reactor.
+fn transports() -> Vec<Transport> {
+    #[cfg(target_os = "linux")]
+    {
+        vec![Transport::Threaded, Transport::Reactor]
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        vec![Transport::Threaded]
+    }
+}
 
 fn trained_with(clusters: usize, seed: u64) -> (BowCorpus, ModelSnapshot) {
     let corpus = cluster_corpus(clusters, 5, 12);
@@ -46,11 +61,12 @@ fn offline_response(snapshot: &ModelSnapshot, vocab: &ct_corpus::Vocab, text: &s
         .to_json()
 }
 
-fn registry_server(registry: Arc<ModelRegistry>) -> (TcpServer, String) {
-    let server = TcpServer::bind(
+fn registry_server(registry: Arc<ModelRegistry>, transport: Transport) -> (TcpServer, String) {
+    let server = TcpServer::bind_with(
         "127.0.0.1:0",
         registry as Arc<dyn Router>,
         ProtocolLimits::default(),
+        transport,
     )
     .expect("bind");
     let addr = server.local_addr().to_string();
@@ -59,6 +75,12 @@ fn registry_server(registry: Arc<ModelRegistry>) -> (TcpServer, String) {
 
 #[test]
 fn tcp_unix_and_offline_paths_serve_identical_bytes() {
+    for transport in transports() {
+        tcp_unix_and_offline_case(transport);
+    }
+}
+
+fn tcp_unix_and_offline_case(transport: Transport) {
     let (corpus, snapshot) = trained_with(3, 5);
     let texts = ["w0 w1 w2 w0", "w5 w6", "w10 w11 w12 w13 w14"];
     let expected: Vec<String> = texts
@@ -68,7 +90,7 @@ fn tcp_unix_and_offline_paths_serve_identical_bytes() {
 
     let registry: Arc<ModelRegistry> = Arc::new(ModelRegistry::new(RegistryConfig::default()));
     registry.register_snapshot("m", snapshot).expect("register");
-    let (server, addr) = registry_server(Arc::clone(&registry));
+    let (server, addr) = registry_server(Arc::clone(&registry), transport);
 
     let over_tcp = query_tcp(&addr, &texts).expect("tcp");
     assert_eq!(over_tcp, expected, "TCP responses must match offline bytes");
@@ -103,6 +125,12 @@ fn tcp_unix_and_offline_paths_serve_identical_bytes() {
 
 #[test]
 fn registry_routes_concurrent_clients_to_differently_shaped_models() {
+    for transport in transports() {
+        registry_routing_case(transport);
+    }
+}
+
+fn registry_routing_case(transport: Transport) {
     // Two tenants with *different vocabularies and topic counts*: any
     // cross-routing produces either a vocab error or a wrong-length θ,
     // so exact-bytes assertions catch it.
@@ -121,7 +149,7 @@ fn registry_routes_concurrent_clients_to_differently_shaped_models() {
     registry
         .register_snapshot("beta", snap_b)
         .expect("register beta");
-    let (server, addr) = registry_server(Arc::clone(&registry));
+    let (server, addr) = registry_server(Arc::clone(&registry), transport);
 
     let clients: Vec<_> = (0..4)
         .map(|c| {
@@ -160,6 +188,12 @@ fn registry_routes_concurrent_clients_to_differently_shaped_models() {
 
 #[test]
 fn hot_promotion_mid_traffic_drops_nothing_and_serves_old_or_new_exactly() {
+    for transport in transports() {
+        hot_promotion_case(transport);
+    }
+}
+
+fn hot_promotion_case(transport: Transport) {
     let (corpus, snap_old) = trained_with(3, 5);
     let (_, snap_new) = trained_with(3, 21); // same vocab/shape, different weights
     let text = "w0 w1 w2 w5 w6";
@@ -177,7 +211,7 @@ fn hot_promotion_mid_traffic_drops_nothing_and_serves_old_or_new_exactly() {
     }));
     registry.register_snapshot("m", snap_old).expect("register");
     let gen_before = registry.stats("m").expect("stats").generation;
-    let (server, addr) = registry_server(Arc::clone(&registry));
+    let (server, addr) = registry_server(Arc::clone(&registry), transport);
 
     let stop = Arc::new(AtomicUsize::new(0));
     let clients: Vec<_> = (0..3)
@@ -301,6 +335,12 @@ fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
 
 #[test]
 fn shutdown_drains_the_request_in_flight_instead_of_dropping_it() {
+    for transport in transports() {
+        shutdown_drain_case(transport);
+    }
+}
+
+fn shutdown_drain_case(transport: Transport) {
     let (corpus, snapshot) = trained_with(3, 5);
     let (gated, gate, entered) = GatedModel::new(snapshot);
     let registry: Arc<ModelRegistry<GatedModel>> =
@@ -308,10 +348,11 @@ fn shutdown_drains_the_request_in_flight_instead_of_dropping_it() {
     registry
         .register("m", gated, DocEncoder::new(corpus.vocab.clone()))
         .expect("register");
-    let server = TcpServer::bind(
+    let server = TcpServer::bind_with(
         "127.0.0.1:0",
         Arc::clone(&registry) as Arc<dyn Router>,
         ProtocolLimits::default(),
+        transport,
     )
     .expect("bind");
     let addr = server.local_addr().to_string();

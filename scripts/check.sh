@@ -34,22 +34,27 @@ cargo test -q -p ct-serve --test determinism
 cargo test -q -p ct-serve --test backpressure
 
 # Network-tier invariants: hostile request lines (oversized, binary,
-# unknown-model, mid-line disconnect) come back as typed single-line
-# JSON errors on a surviving connection; TCP, Unix-socket and offline
-# inference serve identical bytes — including across mid-traffic hot
-# promotion; shutdown drains in-flight requests instead of dropping
-# them; and fair-share admission protects a tenant from a noisy
-# neighbor saturating the global budget.
-echo "== serve protocol + lifecycle tests"
+# unknown-model, mid-line disconnect, byte-at-a-time framing) come back
+# as typed single-line JSON errors on a surviving connection; TCP,
+# Unix-socket and offline inference serve identical bytes — including
+# across mid-traffic hot promotion; shutdown drains in-flight requests
+# instead of dropping them; and fair-share admission protects a tenant
+# from a noisy neighbor saturating the global budget. Both suites run
+# every socket case against the threaded AND the epoll-reactor
+# transports (`transports()` in each test file).
+echo "== serve protocol + lifecycle tests (threaded + reactor transports)"
 cargo test -q -p ct-serve --test protocol
 cargo test -q -p ct-serve --test lifecycle
 
-# Latency-under-load gate: open-loop TCP traffic against a self-hosted
-# fixture server must keep p99 under a generous bound and lose no
-# responses — this catches stuck batchers, accept-loop stalls and
-# drain regressions, not hardware speed.
-echo "== load_gen --smoke (open-loop p99 gate over TCP)"
-cargo run --release -q -p ct-bench --bin load_gen -- --smoke
+# Latency-under-load + fan-in gate: open-loop TCP traffic against a
+# self-hosted fixture server (epoll reactor transport) must keep p99
+# under a generous bound with zero lost/errored responses while 1000
+# idle connections sit parked on it — and the server's resident thread
+# count must stay O(cores), not O(connections). This catches stuck
+# batchers, accept-loop stalls, drain regressions, and any slide back
+# toward thread-per-connection, not hardware speed.
+echo "== load_gen --smoke --idle-conns 1000 (open-loop p99 + fan-in gate)"
+cargo run --release -q -p ct-bench --bin load_gen -- --smoke --idle-conns 1000
 
 # Streaming-pipeline gates: the generator must sweep a drifting stream
 # out-of-core, a concurrent client must see zero failed queries across
