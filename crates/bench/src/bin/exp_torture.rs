@@ -1,0 +1,379 @@
+//! `exp_torture` — fault-injection harness for the distributed experiment
+//! runner (DESIGN.md §12).
+//!
+//! Each scenario breaks a worker fleet mid-sweep in a different way —
+//! SIGKILL mid-trial, trials-ledger truncation, lease-log truncation,
+//! checkpoint corruption — at randomized-but-seeded points, then resumes
+//! and asserts the durability contract:
+//!
+//! 1. the resumed aggregate report is **byte-identical** to an
+//!    uninterrupted single-process run's;
+//! 2. no settled trial ever retrains (the resume pass executes 0 trials
+//!    whenever the ledger survived);
+//! 3. lease accounting bounds training: every trial's ledger records are
+//!    covered by claims, and without ledger loss a trial trains at most
+//!    `1 + reclaims` times.
+//!
+//! Usage: `exp_torture [--smoke] [--seed N]`. `--smoke` (the check.sh
+//! gate) runs the SIGKILL and trials-ledger-truncation scenarios; the
+//! default runs all four. The binary re-execs itself with
+//! `--worker-child` to get real, killable worker processes.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ct_corpus::Scale;
+use ct_exp::lease::{log_path_in, replay_log};
+use ct_exp::{
+    faults, load_beta_checkpoint, run_grid, run_worker, ContextCache, ExperimentDef,
+    ExperimentReport, Ledger, RunSummary, SchedulerConfig, TrialRecord, TrialSpec, WorkerConfig,
+};
+
+/// Seeds per model in the torture grid (2 models × 2 seeds = 4 trials).
+const SEEDS: usize = 2;
+/// Lease ttl for torture workers: short enough that survivors reclaim a
+/// killed worker's trial within one scenario, long enough that a live
+/// heartbeat (ttl/3) never lapses.
+const TTL_MS: u64 = 800;
+
+fn torture_grid() -> Vec<TrialSpec> {
+    ExperimentDef::find("smoke")
+        .expect("smoke experiment registered")
+        .grid(Scale::Tiny, SEEDS)
+}
+
+fn report_json(records: &[TrialRecord]) -> String {
+    ExperimentReport::build("torture", "Torture sweep", records).to_json()
+}
+
+/// Scenario directories all share this layout.
+fn ledger_path(dir: &Path) -> PathBuf {
+    dir.join("ledger/trials.jsonl")
+}
+fn lease_dir(dir: &Path) -> PathBuf {
+    dir.join("ledger")
+}
+
+/// In-process aggregation pass over a scenario's ledger: serves settled
+/// trials, trains anything lost, returns the report bytes and counters.
+fn aggregate(dir: &Path, contexts: &ContextCache) -> (String, RunSummary) {
+    let mut ledger = Ledger::open(ledger_path(dir)).unwrap_or_else(|e| panic!("open ledger: {e}"));
+    let (records, summary) = run_grid(
+        &torture_grid(),
+        &mut ledger,
+        contexts,
+        &SchedulerConfig::default(),
+        &|_| {},
+    )
+    .unwrap_or_else(|e| panic!("aggregate: {e}"));
+    (report_json(&records), summary)
+}
+
+fn spawn_fleet(dir: &Path, n: usize, export: bool) -> Vec<Child> {
+    let exe = std::env::current_exe().expect("current_exe");
+    (0..n)
+        .map(|i| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--worker-child")
+                .arg("--dir")
+                .arg(dir)
+                .arg("--id")
+                .arg(format!("t{i}"))
+                .arg("--ttl")
+                .arg(TTL_MS.to_string())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null());
+            if export {
+                cmd.arg("--export").arg(dir.join("models"));
+            }
+            cmd.spawn().unwrap_or_else(|e| panic!("spawn worker: {e}"))
+        })
+        .collect()
+}
+
+fn wait_all(children: Vec<Child>) {
+    for mut child in children {
+        let _ = child.wait();
+    }
+}
+
+/// Per-key count of *all* records in the trials ledger (replay collapses
+/// to last-per-key; the invariant needs every append).
+fn records_per_key(dir: &Path) -> std::collections::BTreeMap<String, u32> {
+    let mut counts = std::collections::BTreeMap::new();
+    let contents = std::fs::read(ledger_path(dir)).unwrap_or_default();
+    for line in String::from_utf8_lossy(&contents).lines() {
+        if let Ok(rec) = TrialRecord::from_line(line.trim()) {
+            *counts.entry(rec.key).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// Check the lease-accounting bound. `strict` additionally enforces
+/// trained ≤ 1 + reclaims — valid only when no ledger bytes were lost
+/// (a truncated ledger legitimately forces claimed retrains).
+fn check_lease_invariant(dir: &Path, strict: bool) -> Result<(), String> {
+    let stats = replay_log(&log_path_in(&lease_dir(dir))).map_err(|e| format!("lease log: {e}"))?;
+    for (key, &trained) in &records_per_key(dir) {
+        let claims = stats.claims.get(key).copied().unwrap_or(0);
+        let reclaims = stats.reclaims.get(key).copied().unwrap_or(0);
+        if trained > claims {
+            return Err(format!(
+                "trial {key}: {trained} record(s) but only {claims} claim(s)"
+            ));
+        }
+        if strict && trained > 1 + reclaims {
+            return Err(format!(
+                "trial {key}: trained {trained} times with {reclaims} reclaim(s)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+struct Scenario {
+    name: &'static str,
+    detail: String,
+}
+
+/// S1: SIGKILL one of three workers at a seeded point mid-sweep. The
+/// survivors reclaim its lease and finish; the resume pass trains nothing.
+fn scenario_sigkill(root: &Path, rng: &mut StdRng) -> Scenario {
+    let dir = root.join("sigkill");
+    let children = spawn_fleet(&dir, 3, false);
+    let delay = rng.gen_range(30u64..300);
+    let victim = rng.gen_range(0usize..children.len());
+    std::thread::sleep(Duration::from_millis(delay));
+    let mut children = children;
+    let _ = children[victim].kill(); // SIGKILL on unix; may already be done
+    wait_all(children);
+    Scenario {
+        name: "S1 worker-sigkill",
+        detail: format!("killed t{victim} at {delay} ms"),
+    }
+}
+
+/// S2: run a fleet to completion, truncate the trials ledger at a seeded
+/// byte offset, resume with a fresh fleet — lost trials retrain under new
+/// claims, surviving settled trials don't.
+fn scenario_trials_truncation(root: &Path, rng: &mut StdRng) -> Scenario {
+    let dir = root.join("trials-trunc");
+    wait_all(spawn_fleet(&dir, 2, false));
+    let settled_before = Ledger::open(ledger_path(&dir))
+        .map(|l| l.distinct_trials())
+        .unwrap_or(0);
+    let path = ledger_path(&dir);
+    let len = faults::file_len(&path);
+    let cut = faults::truncate_at(&path, rng.gen_range(1..len.max(2))).unwrap();
+    wait_all(spawn_fleet(&dir, 2, false));
+    Scenario {
+        name: "S2 trials-ledger-truncation",
+        detail: format!("{settled_before} settled, cut {len}→{cut} bytes, fleet resumed"),
+    }
+}
+
+/// S3: kill a worker early to strand a claim, truncate the *lease log* at
+/// a seeded offset (losing claims/renews mid-record), resume with a fresh
+/// fleet — replay tolerates the damage, the stranded claim is judged by
+/// what's left, and the sweep completes.
+fn scenario_lease_truncation(root: &Path, rng: &mut StdRng) -> Scenario {
+    let dir = root.join("lease-trunc");
+    let mut children = spawn_fleet(&dir, 2, false);
+    std::thread::sleep(Duration::from_millis(rng.gen_range(30u64..200)));
+    for child in &mut children {
+        let _ = child.kill();
+    }
+    wait_all(children);
+    let log = log_path_in(&lease_dir(&dir));
+    let len = faults::file_len(&log);
+    let cut = if len > 1 {
+        faults::truncate_at(&log, rng.gen_range(1..len)).unwrap()
+    } else {
+        len
+    };
+    // The stranded claim's lease must lapse before the new fleet can
+    // reclaim it (renew records may have been truncated away, but the
+    // claim file's own deadline still stands).
+    std::thread::sleep(Duration::from_millis(TTL_MS + 100));
+    wait_all(spawn_fleet(&dir, 2, false));
+    Scenario {
+        name: "S3 lease-log-truncation",
+        detail: format!("killed fleet, cut lease log {len}→{cut} bytes, fleet resumed"),
+    }
+}
+
+/// S4: run a fleet with `--export-models`, corrupt one exported beta
+/// checkpoint at a seeded offset. The checksummed loader rejects it with
+/// a typed error (no panic, no over-allocation), intact sibling
+/// checkpoints still load, and the report — which never reads checkpoints
+/// — is unchanged with zero retraining.
+fn scenario_checkpoint_corruption(root: &Path, rng: &mut StdRng) -> Scenario {
+    let dir = root.join("ckpt-corrupt");
+    wait_all(spawn_fleet(&dir, 2, true));
+    let mut ckpts: Vec<PathBuf> = std::fs::read_dir(dir.join("models"))
+        .unwrap_or_else(|e| panic!("models dir: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    ckpts.sort();
+    assert!(
+        !ckpts.is_empty(),
+        "fleet with --export-models wrote no checkpoints"
+    );
+    let victim = ckpts.remove(rng.gen_range(0..ckpts.len()));
+    let len = faults::file_len(&victim);
+    let offset = faults::corrupt_byte_at(&victim, rng.gen_range(0..len))
+        .unwrap()
+        .expect("checkpoint is not empty");
+    assert!(
+        load_beta_checkpoint(&victim).is_err(),
+        "corrupted checkpoint must be rejected"
+    );
+    for intact in &ckpts {
+        load_beta_checkpoint(intact)
+            .unwrap_or_else(|e| panic!("intact checkpoint {} rejected: {e}", intact.display()));
+    }
+    Scenario {
+        name: "S4 checkpoint-corruption",
+        detail: format!(
+            "flipped byte {offset}/{len} of {}; loader rejected it, siblings intact",
+            victim.file_name().unwrap().to_string_lossy()
+        ),
+    }
+}
+
+fn worker_child(mut args: std::env::Args) -> ! {
+    let (mut dir, mut id, mut ttl, mut export) = (None, None, TTL_MS, None);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().expect("flag value");
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(val())),
+            "--id" => id = Some(val()),
+            "--ttl" => ttl = val().parse().expect("--ttl"),
+            "--export" => export = Some(PathBuf::from(val())),
+            _ => {}
+        }
+    }
+    let dir = dir.expect("--dir required");
+    let cfg = WorkerConfig {
+        worker_id: id.expect("--id required"),
+        lease_ttl_ms: ttl,
+        poll_ms: 50,
+        export_dir: export,
+        ..Default::default()
+    };
+    let result = run_worker(
+        &torture_grid(),
+        &ledger_path(&dir),
+        &lease_dir(&dir),
+        &ContextCache::new(),
+        &cfg,
+        &|_| {},
+    );
+    std::process::exit(if result.is_ok() { 0 } else { 1 });
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    let mut smoke = false;
+    let mut seed = 0xC0FFEEu64; // seeded default; overridable with --seed
+    let mut worker_mode = false;
+    let _ = argv.next();
+    let args: Vec<String> = argv.collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
+            "--worker-child" => worker_mode = true,
+            _ => {}
+        }
+    }
+    if worker_mode {
+        worker_child(std::env::args());
+    }
+
+    let root = std::env::temp_dir().join(format!("ct-exp-torture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("scratch root");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let contexts = ContextCache::new();
+
+    // The uninterrupted single-process reference every scenario's resumed
+    // aggregate must match byte for byte.
+    let (reference, ref_summary) = aggregate(&root.join("reference"), &contexts);
+    println!(
+        "reference: {} trial(s) trained single-process",
+        ref_summary.executed
+    );
+
+    type ScenarioFn = fn(&Path, &mut StdRng) -> Scenario;
+    let scenarios: Vec<(ScenarioFn, bool)> = if smoke {
+        vec![
+            (scenario_sigkill, true),
+            (scenario_trials_truncation, false),
+        ]
+    } else {
+        vec![
+            (scenario_sigkill, true),
+            (scenario_trials_truncation, false),
+            (scenario_lease_truncation, false),
+            (scenario_checkpoint_corruption, true),
+        ]
+    };
+
+    let mut failures = 0usize;
+    for (run, strict) in scenarios {
+        let outcome = run(&root, &mut rng);
+        let dir = root.join(match outcome.name {
+            "S1 worker-sigkill" => "sigkill",
+            "S2 trials-ledger-truncation" => "trials-trunc",
+            "S3 lease-log-truncation" => "lease-trunc",
+            _ => "ckpt-corrupt",
+        });
+        let (resumed, summary) = aggregate(&dir, &contexts);
+        let mut errors = Vec::new();
+        if resumed != reference {
+            errors.push("resumed report differs from reference".to_string());
+        }
+        if summary.executed != 0 {
+            errors.push(format!(
+                "aggregate retrained {} trial(s) the fleet should have settled",
+                summary.executed
+            ));
+        }
+        // S3 truncates the evidence itself; claims accounting only binds
+        // where the lease log survived intact.
+        if outcome.name != "S3 lease-log-truncation" {
+            if let Err(e) = check_lease_invariant(&dir, strict) {
+                errors.push(e);
+            }
+        }
+        if errors.is_empty() {
+            println!("{}: PASS ({})", outcome.name, outcome.detail);
+        } else {
+            failures += 1;
+            println!("{}: FAIL ({})", outcome.name, outcome.detail);
+            for e in &errors {
+                println!("  error: {e}");
+            }
+        }
+    }
+
+    if failures == 0 {
+        let _ = std::fs::remove_dir_all(&root);
+        println!("exp_torture: all scenarios passed");
+    } else {
+        println!(
+            "exp_torture: {failures} scenario(s) failed (state kept in {})",
+            root.display()
+        );
+        std::process::exit(1);
+    }
+}

@@ -56,6 +56,15 @@ pub fn num_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Soft per-trial wall-clock budget for the harness binaries
+/// (`CT_TIMEOUT_MS`; unset or unparsable = no budget). See
+/// `SchedulerConfig::timeout_ms` for the determinism trade-off.
+pub fn timeout_ms() -> Option<u64> {
+    std::env::var("CT_TIMEOUT_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
 /// Render one scheduler progress event as a human-readable line, or
 /// `None` for events the harnesses don't surface. Pure formatting — the
 /// binaries own the actual stderr write (library crates never print).
@@ -90,6 +99,7 @@ pub fn run_trials(
     let contexts = ContextCache::new();
     let config = ct_exp::SchedulerConfig {
         jobs: num_jobs(),
+        timeout_ms: timeout_ms(),
         ..Default::default()
     };
     let (records, _) = ct_exp::run_grid(grid, &mut ledger, &contexts, &config, progress)

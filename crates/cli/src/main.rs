@@ -63,11 +63,18 @@ COMMANDS:
              (--socket /path/ct.sock | --tcp HOST:PORT)
              (--text \"...\" | --file docs.txt)  [--model NAME]
   experiment List, run and resume the paper experiments through the run ledger
-             [--op list|status|run|resume]   (default: list)
+             [--op list|status|run|resume|worker]   (default: list)
              [--exp fig2,fig3,...]           comma-separated names (default: all)
              [--scale tiny|quick|full] [--seeds N]
              [--ledger results/ledger/trials.jsonl] [--out results]
              [--jobs N] [--limit N] [--timeout-ms N] [--on-diverged skip|retry]
+             [--workers N]    run/resume on N worker processes leasing trials
+                              through <ledger dir>/leases.jsonl + claim files;
+                              the parent aggregates once the fleet drains
+             [--lease-ttl-ms N] [--poll-ms N]   lease duration / scan back-off
+             [--export-models DIR]   save each ok trial's beta as DIR/<key>.ckpt
+             [--strict true]  status only: exit nonzero on malformed lines
+             (--op worker runs one fleet member by hand: [--worker-id ID])
   help       Show this message
 ";
 

@@ -1,0 +1,79 @@
+//! Fault injection for the durability story: the primitives `exp_torture`
+//! uses to break ledgers, lease logs, and checkpoints on purpose.
+//!
+//! Everything here is deterministic given its inputs (offsets come from
+//! the harness's seeded RNG, not from this module), library-pure, and
+//! silent — the harness binary does the printing and asserting.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Truncate `path` to `len` bytes (a crash mid-write, or a hostile edit).
+/// Truncating past the current length is clamped to the current length,
+/// so a random offset is always a valid fault.
+pub fn truncate_at(path: &Path, len: u64) -> std::io::Result<u64> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    let cur = file.metadata()?.len();
+    let len = len.min(cur);
+    file.set_len(len)?;
+    file.sync_all()?;
+    Ok(len)
+}
+
+/// Flip every bit of the byte at `offset` (clamped into the file), the
+/// classic single-byte corruption. Returns the offset actually hit, or
+/// `None` when the file is empty.
+pub fn corrupt_byte_at(path: &Path, offset: u64) -> std::io::Result<Option<u64>> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(None);
+    }
+    let offset = offset.min(len - 1);
+    file.seek(SeekFrom::Start(offset))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0xff;
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&byte)?;
+    file.sync_all()?;
+    Ok(Some(offset))
+}
+
+/// File length, zero when absent — for picking fault offsets.
+pub fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("ct-exp-faults-{tag}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn truncate_clamps_and_cuts() {
+        let path = temp_file("trunc", b"hello world\n");
+        assert_eq!(truncate_at(&path, 5).unwrap(), 5);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        assert_eq!(truncate_at(&path, 999).unwrap(), 5, "clamped to length");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_flips_one_byte() {
+        let path = temp_file("corrupt", b"abcdef");
+        let hit = corrupt_byte_at(&path, 2).unwrap().unwrap();
+        assert_eq!(hit, 2);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[2], b'c' ^ 0xff);
+        assert_eq!(&bytes[..2], b"ab");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -17,11 +17,24 @@
 //! and is dropped on replay — the trial simply re-runs. [`TrialOutcome`]
 //! encodes the resume policy per outcome: `ok`, `diverged`, and `timeout`
 //! are settled; `failed` (a panic) is retried on the next resume.
+//!
+//! **Multi-writer safety** (the worker-fleet mode, DESIGN.md §12): every
+//! append is one `O_APPEND` `write_all` of a single `\n`-terminated line,
+//! which POSIX serializes per call, so concurrent workers interleave at
+//! line granularity and replay never sees a torn *read*. A crash can still
+//! leave a torn *write* — an unterminated fragment at end of file — so the
+//! ledger distinguishes an unterminated [`torn tail`](Ledger::torn_tail_len)
+//! from [`malformed`](Ledger::malformed_lines) interior lines, and
+//! [`Ledger::append`] *seals* any fragment with a leading newline before
+//! writing, turning the dead writer's fragment into one malformed line
+//! instead of corrupting the next record. [`Ledger::refresh`] picks up
+//! records appended by other processes incrementally (re-replaying from
+//! scratch if the file shrank or vanished).
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::json::{self, Json};
@@ -236,17 +249,32 @@ impl TrialRecord {
 
 /// The on-disk ledger: an append-only JSONL file plus the replayed
 /// last-record-per-key index.
+///
+/// Safe for concurrent append from many processes (see the module docs);
+/// each in-memory instance tracks how far into the file it has replayed
+/// and [`refresh`](Ledger::refresh) catches up on peers' appends.
 pub struct Ledger {
     path: PathBuf,
-    latest: HashMap<String, TrialRecord>,
+    latest: HashMap<String, (TrialRecord, u64)>,
     records_on_disk: usize,
     malformed: usize,
+    /// Byte offset of the first unconsumed byte: everything before it is
+    /// complete `\n`-terminated lines already replayed.
+    consumed: u64,
+    /// Length in bytes of an unterminated fragment after `consumed` — a
+    /// write torn by a crash (or a truncation landing mid-record). Not
+    /// counted as malformed: it is sealed by the next append instead.
+    torn_tail: usize,
+    /// Monotone per-instance sequence, assigned to records as they are
+    /// replayed. Never reset (even on truncation re-replays) so a stored
+    /// seq can always tell "same record" from "re-written since".
+    next_seq: u64,
 }
 
 impl Ledger {
     /// Open (or create) the ledger at `path`, replaying existing records.
-    /// Malformed lines — e.g. a final line truncated by a crash — are
-    /// counted and skipped, never fatal.
+    /// Malformed lines — e.g. a fragment another crash left behind, since
+    /// sealed — are counted and skipped, never fatal.
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
@@ -254,34 +282,73 @@ impl Ledger {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let mut latest = HashMap::new();
-        let mut records_on_disk = 0usize;
-        let mut malformed = 0usize;
-        match File::open(&path) {
-            Ok(file) => {
-                for line in BufReader::new(file).lines() {
-                    let line = line?;
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    match TrialRecord::from_line(&line) {
-                        Ok(rec) => {
-                            records_on_disk += 1;
-                            latest.insert(rec.key.clone(), rec);
-                        }
-                        Err(_) => malformed += 1,
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-        Ok(Self {
+        let mut ledger = Self {
             path,
-            latest,
-            records_on_disk,
-            malformed,
-        })
+            latest: HashMap::new(),
+            records_on_disk: 0,
+            malformed: 0,
+            consumed: 0,
+            torn_tail: 0,
+            next_seq: 0,
+        };
+        ledger.refresh()?;
+        Ok(ledger)
+    }
+
+    fn reset(&mut self) {
+        self.latest.clear();
+        self.records_on_disk = 0;
+        self.malformed = 0;
+        self.consumed = 0;
+        self.torn_tail = 0;
+        // next_seq stays monotone across resets on purpose.
+    }
+
+    /// Catch up on anything appended (by this or any other process) since
+    /// the last replay. Complete lines are consumed and indexed; an
+    /// unterminated tail is measured but left unconsumed, so a later
+    /// refresh re-reads it if it grows or gets sealed. If the file shrank
+    /// or vanished (a truncation fault), the whole index is rebuilt from
+    /// what remains.
+    pub fn refresh(&mut self) -> std::io::Result<()> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.reset();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if file.metadata()?.len() < self.consumed {
+            self.reset();
+        }
+        file.seek(SeekFrom::Start(self.consumed))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut start = 0usize;
+        while let Some(nl) = buf[start..].iter().position(|&b| b == b'\n') {
+            let line_bytes = &buf[start..start + nl];
+            start += nl + 1;
+            self.consumed += (nl + 1) as u64;
+            // Corrupt bytes need not be UTF-8; decode lossily and let the
+            // record parser reject them.
+            let line = String::from_utf8_lossy(line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match TrialRecord::from_line(line) {
+                Ok(rec) => {
+                    self.records_on_disk += 1;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.latest.insert(rec.key.clone(), (rec, seq));
+                }
+                Err(_) => self.malformed += 1,
+            }
+        }
+        self.torn_tail = buf.len() - start;
+        Ok(())
     }
 
     /// The file this ledger appends to.
@@ -291,16 +358,27 @@ impl Ledger {
 
     /// The latest record for a trial key, if any.
     pub fn get(&self, key: &str) -> Option<&TrialRecord> {
-        self.latest.get(key)
+        self.latest.get(key).map(|(rec, _)| rec)
+    }
+
+    /// Replay sequence number of the latest record for a trial key. Two
+    /// reads returning the same seq saw the same record; a higher seq
+    /// means the key was re-written in between (the worker loop uses this
+    /// to retry a `failed` record exactly once per fleet run).
+    pub fn latest_seq(&self, key: &str) -> Option<u64> {
+        self.latest.get(key).map(|(_, seq)| *seq)
     }
 
     /// The latest *settled* record for a trial key (the resume check).
     pub fn settled(&self, key: &str) -> Option<&TrialRecord> {
-        self.latest.get(key).filter(|r| r.outcome.is_settled())
+        self.latest
+            .get(key)
+            .map(|(rec, _)| rec)
+            .filter(|r| r.outcome.is_settled())
     }
 
-    /// Number of records replayed from disk at open time (including ones
-    /// later superseded by retries).
+    /// Number of complete records replayed from the file so far (including
+    /// ones later superseded by retries, and this instance's own appends).
     pub fn records_on_disk(&self) -> usize {
         self.records_on_disk
     }
@@ -310,25 +388,48 @@ impl Ledger {
         self.latest.len()
     }
 
-    /// Malformed lines skipped at open time.
+    /// Complete lines that failed to parse — interior corruption or a
+    /// sealed fragment. Never fatal; `experiment status --strict` turns a
+    /// nonzero count into a hard error.
     pub fn malformed_lines(&self) -> usize {
         self.malformed
     }
 
+    /// Bytes of unterminated fragment at end of file as of the last
+    /// replay: a write torn by a crash, or a truncation mid-record. Zero
+    /// on a healthy ledger; the next append seals it into a malformed
+    /// line.
+    pub fn torn_tail_len(&self) -> usize {
+        self.torn_tail
+    }
+
     /// Append one record and flush it to disk before returning, so a
     /// completed trial survives any later crash.
+    ///
+    /// The record is written as one `O_APPEND` `write_all` (atomic with
+    /// respect to concurrent appenders), prefixed by a newline when the
+    /// file currently ends in a torn fragment — sealing the dead writer's
+    /// partial line so it parses as (one) malformed line instead of
+    /// merging with this record.
     pub fn append(&mut self, record: TrialRecord) -> std::io::Result<()> {
-        let file = OpenOptions::new()
+        // Catch up first so the seal check sees the file's real tail.
+        self.refresh()?;
+        let body = record.to_line();
+        let mut line = String::with_capacity(body.len() + 2);
+        if self.torn_tail > 0 {
+            line.push('\n');
+        }
+        line.push_str(&body);
+        line.push('\n');
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&self.path)?;
-        let mut w = BufWriter::new(file);
-        writeln!(w, "{}", record.to_line())?;
-        w.flush()?;
-        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
-        self.records_on_disk += 1;
-        self.latest.insert(record.key.clone(), record);
-        Ok(())
+        file.write_all(line.as_bytes())?;
+        file.sync_all()?;
+        // Re-replay picks up our record (and any peer's) — keeping the
+        // index, counters, and seq numbers single-sourced from the file.
+        self.refresh()
     }
 }
 
@@ -418,9 +519,68 @@ mod tests {
 
         let ledger = Ledger::open(&path).unwrap();
         assert_eq!(ledger.records_on_disk(), 1);
-        assert_eq!(ledger.malformed_lines(), 1);
+        assert_eq!(ledger.malformed_lines(), 0, "a torn tail is not malformed");
+        assert_eq!(ledger.torn_tail_len(), half_line.len() / 2);
         assert!(ledger.settled(&full.key).is_some());
         assert!(ledger.settled(&half.key).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_seals_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("ct-exp-ledger-s-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seal.jsonl");
+        let dead = record(42, TrialOutcome::Ok);
+        let dead_line = dead.to_line();
+        std::fs::write(&path, &dead_line[..dead_line.len() / 3]).unwrap();
+
+        let mut ledger = Ledger::open(&path).unwrap();
+        assert!(ledger.torn_tail_len() > 0);
+        let next = record(43, TrialOutcome::Ok);
+        ledger.append(next.clone()).unwrap();
+        // The fragment became one malformed line; the new record is intact.
+        assert_eq!(ledger.torn_tail_len(), 0);
+        assert_eq!(ledger.malformed_lines(), 1);
+        assert_eq!(ledger.settled(&next.key), Some(&next));
+        assert!(ledger.settled(&dead.key).is_none());
+
+        // A cold replay agrees.
+        let reopened = Ledger::open(&path).unwrap();
+        assert_eq!(reopened.records_on_disk(), 1);
+        assert_eq!(reopened.malformed_lines(), 1);
+        assert_eq!(reopened.settled(&next.key), Some(&next));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refresh_sees_peer_appends_and_truncation() {
+        let dir = std::env::temp_dir().join(format!("ct-exp-ledger-r-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("refresh.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut a = Ledger::open(&path).unwrap();
+        let mut b = Ledger::open(&path).unwrap();
+
+        let first = record(42, TrialOutcome::Ok);
+        a.append(first.clone()).unwrap();
+        assert!(b.get(&first.key).is_none(), "b has not refreshed yet");
+        b.refresh().unwrap();
+        assert_eq!(b.settled(&first.key), Some(&first));
+        let seq_first = b.latest_seq(&first.key).unwrap();
+
+        // A retry by the peer bumps the key's seq on refresh.
+        let mut retried = first.clone();
+        retried.attempt = 1;
+        a.append(retried).unwrap();
+        b.refresh().unwrap();
+        assert!(b.latest_seq(&first.key).unwrap() > seq_first);
+
+        // Truncation under b's feet forces a full re-replay.
+        std::fs::write(&path, "").unwrap();
+        b.refresh().unwrap();
+        assert_eq!(b.distinct_trials(), 0);
+        assert_eq!(b.records_on_disk(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 

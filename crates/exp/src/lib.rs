@@ -23,18 +23,29 @@
 //! The named paper experiments live in [`registry::EXPERIMENTS`]; their
 //! grids overlap deliberately so a full schedule trains each distinct
 //! trial once.
+//!
+//! Multi-process execution (DESIGN.md §12) rides on the same ledger:
+//! [`lease`] arbitrates trial ownership between worker processes through
+//! `O_EXCL` claim files plus an append-only lease log, [`run_worker`] is
+//! one fleet member's claim–train–publish–release loop, and [`faults`]
+//! holds the fault-injection primitives the `exp_torture` harness uses to
+//! prove the crash story (kill, truncate, corrupt — resumed aggregates
+//! stay bitwise identical).
 
 #![warn(missing_docs)]
 
 pub mod agg;
 pub mod context;
+pub mod faults;
 pub mod json;
+pub mod lease;
 pub mod ledger;
 pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod sched;
 pub mod spec;
+pub mod worker;
 
 pub use agg::{
     aggregate_groups, mean_std, paired_bootstrap, GroupAggregate, MeanStd, PairedBootstrap,
@@ -43,9 +54,13 @@ pub use context::{
     cluster_counts, embedding_noise, evaluate_clustering, evaluate_interpretability, fit_trial,
     num_seeds, num_seeds_or, ContextCache, ExperimentContext, InterpretabilityResult,
 };
+pub use lease::{ClaimOutcome, LeaseManager, LeaseRecord};
 pub use ledger::{Ledger, TopicRecord, TrialOutcome, TrialRecord};
 pub use registry::{ExperimentDef, EXPERIMENTS};
 pub use report::{group_label, parse_group_means, ExperimentReport, SignificanceRow};
-pub use runner::{run_trial, trained_count};
+pub use runner::{execute_trial, run_trial, trained_count};
 pub use sched::{run_grid, DivergedTrialPolicy, Progress, RunSummary, SchedulerConfig};
 pub use spec::{default_lambda, CtParams, ModelKind, TrialSpec};
+pub use worker::{
+    load_beta_checkpoint, run_worker, save_beta_checkpoint, WorkerConfig, WorkerSummary,
+};

@@ -10,11 +10,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use ct_eval::{top_topics, PERCENTAGES};
+use ct_tensor::Tensor;
 
 use crate::context::{
     cluster_counts, evaluate_clustering, evaluate_interpretability, fit_trial, ExperimentContext,
 };
 use crate::ledger::{TopicRecord, TrialOutcome, TrialRecord};
+use crate::sched::DivergedTrialPolicy;
 use crate::spec::TrialSpec;
 
 /// Process-wide count of trials that actually trained (as opposed to being
@@ -42,6 +44,18 @@ pub fn run_trial(
     attempt: u32,
     fallback_seed: Option<u64>,
 ) -> TrialRecord {
+    run_trial_full(spec, ctx, attempt, fallback_seed).0
+}
+
+/// [`run_trial`], additionally returning the trained topic-word
+/// distribution on an `ok` outcome so callers (the worker fleet's
+/// `--export-models`) can checkpoint it without refitting.
+pub fn run_trial_full(
+    spec: &TrialSpec,
+    ctx: &ExperimentContext,
+    attempt: u32,
+    fallback_seed: Option<u64>,
+) -> (TrialRecord, Option<Tensor>) {
     let started = Instant::now();
     TRIALS_TRAINED.fetch_add(1, Ordering::Relaxed);
     let mut trained = spec.clone();
@@ -68,7 +82,7 @@ pub fn run_trial(
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            return base(TrialOutcome::Failed { message }, 0);
+            return (base(TrialOutcome::Failed { message }, 0), None);
         }
     };
 
@@ -78,16 +92,19 @@ pub fn run_trial(
         .unwrap_or(0);
     if let Some(stats) = model.train_stats() {
         if let Err(detail) = stats.check_diverged() {
-            return base(TrialOutcome::Diverged { detail }, skipped);
+            return (base(TrialOutcome::Diverged { detail }, skipped), None);
         }
     }
     let beta = model.beta();
     if !beta.data().iter().all(|x| x.is_finite()) {
-        return base(
-            TrialOutcome::Diverged {
-                detail: "non-finite topic-word distribution".to_string(),
-            },
-            skipped,
+        return (
+            base(
+                TrialOutcome::Diverged {
+                    detail: "non-finite topic-word distribution".to_string(),
+                },
+                skipped,
+            ),
+            None,
         );
     }
 
@@ -124,7 +141,7 @@ pub fn run_trial(
     })
     .collect();
 
-    TrialRecord {
+    let record = TrialRecord {
         key: spec.key(),
         spec: spec.clone(),
         outcome: TrialOutcome::Ok,
@@ -134,7 +151,54 @@ pub fn run_trial(
         skipped_batches: skipped,
         metrics,
         topics,
+    };
+    (record, Some(beta))
+}
+
+/// Execute one trial end to end under the scheduler's semantics: run it,
+/// apply the divergence-retry `policy`, and post-hoc discard a result that
+/// blew the soft `timeout_ms` budget (the trial is never interrupted —
+/// that would make outcomes machine-speed dependent). Returns the record
+/// to append plus the trained beta when the final outcome is `ok`.
+///
+/// This is the single execution path shared by the in-process scheduler
+/// ([`crate::sched::run_grid`]) and the multi-process worker loop
+/// ([`crate::worker::run_worker`]), so both modes settle identical records
+/// for identical specs.
+pub fn execute_trial(
+    spec: &TrialSpec,
+    ctx: &ExperimentContext,
+    policy: DivergedTrialPolicy,
+    timeout_ms: Option<u64>,
+) -> (TrialRecord, Option<Tensor>) {
+    let started = Instant::now();
+    let (mut record, mut beta) = run_trial_full(spec, ctx, 0, None);
+    if let DivergedTrialPolicy::RetryFallbackSeed {
+        offset,
+        max_retries,
+    } = policy
+    {
+        let mut attempt = 0u32;
+        while matches!(record.outcome, TrialOutcome::Diverged { .. }) && attempt < max_retries {
+            attempt += 1;
+            let fallback = spec.seed.wrapping_add(offset.wrapping_mul(attempt as u64));
+            (record, beta) = run_trial_full(spec, ctx, attempt, Some(fallback));
+        }
     }
+    if let Some(budget_ms) = timeout_ms {
+        let elapsed = started.elapsed().as_millis() as u64;
+        if elapsed > budget_ms {
+            record = TrialRecord {
+                outcome: TrialOutcome::TimedOut { budget_ms },
+                wall_ms: elapsed,
+                metrics: Default::default(),
+                topics: Vec::new(),
+                ..record
+            };
+            beta = None;
+        }
+    }
+    (record, beta)
 }
 
 #[cfg(test)]

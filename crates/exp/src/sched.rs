@@ -16,13 +16,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use ct_tensor::pool;
 
 use crate::context::ContextCache;
 use crate::ledger::{Ledger, TrialOutcome, TrialRecord};
-use crate::runner::run_trial;
+use crate::runner::execute_trial;
 use crate::spec::TrialSpec;
 
 /// What to do when a trial diverges.
@@ -107,6 +106,19 @@ pub enum Progress {
         outcome: &'static str,
         /// Wall-clock milliseconds spent.
         wall_ms: u64,
+    },
+    /// A worker took over another worker's expired lease (fleet mode).
+    Reclaimed {
+        /// The trial's key.
+        key: String,
+        /// The worker id whose lease expired.
+        from_worker: String,
+    },
+    /// A worker found every pending trial leased by live peers and is
+    /// backing off before rescanning (fleet mode).
+    Waiting {
+        /// Trials still pending but leased elsewhere.
+        held: usize,
     },
 }
 
@@ -193,32 +205,7 @@ pub fn run_grid(
             pending: total,
         });
         let ctx = contexts.get(spec);
-        let started = Instant::now();
-        let mut record = run_trial(spec, &ctx, 0, None);
-        if let DivergedTrialPolicy::RetryFallbackSeed {
-            offset,
-            max_retries,
-        } = config.policy
-        {
-            let mut attempt = 0u32;
-            while matches!(record.outcome, TrialOutcome::Diverged { .. }) && attempt < max_retries {
-                attempt += 1;
-                let fallback = spec.seed.wrapping_add(offset.wrapping_mul(attempt as u64));
-                record = run_trial(spec, &ctx, attempt, Some(fallback));
-            }
-        }
-        if let Some(budget_ms) = config.timeout_ms {
-            let elapsed = started.elapsed().as_millis() as u64;
-            if elapsed > budget_ms {
-                record = TrialRecord {
-                    outcome: TrialOutcome::TimedOut { budget_ms },
-                    wall_ms: elapsed,
-                    metrics: Default::default(),
-                    topics: Vec::new(),
-                    ..record
-                };
-            }
-        }
+        let (record, _beta) = execute_trial(spec, &ctx, config.policy, config.timeout_ms);
         progress(Progress::Finished {
             key: record.key.clone(),
             label: spec.label(),

@@ -1,0 +1,140 @@
+//! Multi-writer ledger integration tests: concurrent appenders through
+//! separate `Ledger` instances (standing in for separate processes) must
+//! interleave at line granularity — replay never sees a torn read — and a
+//! record split across a truncation boundary is sealed by the next append
+//! instead of corrupting it.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use ct_corpus::{DatasetPreset, Scale};
+use ct_exp::{Ledger, ModelKind, TopicRecord, TrialOutcome, TrialRecord, TrialSpec};
+
+fn record(seed: u64) -> TrialRecord {
+    let spec = TrialSpec::baseline(ModelKind::Etm, DatasetPreset::Ng20Like, Scale::Tiny, seed);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("coh@100".to_string(), 0.125 + seed as f64);
+    TrialRecord {
+        key: spec.key(),
+        spec,
+        outcome: TrialOutcome::Ok,
+        attempt: 0,
+        fallback_seed: None,
+        wall_ms: 1,
+        skipped_batches: 0,
+        metrics,
+        topics: vec![TopicRecord {
+            npmi: 0.25,
+            words: vec!["alpha".into(), "beta".into()],
+        }],
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ct-exp-mw-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn concurrent_writers_interleave_without_torn_reads() {
+    let path = temp_path("concurrent");
+    let _ = std::fs::remove_file(&path);
+    // 4 "processes" (separate Ledger instances), 8 appends each, all
+    // racing the same file.
+    let writers = 4u64;
+    let per_writer = 8u64;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut ledger = Ledger::open(&path).unwrap();
+                for i in 0..per_writer {
+                    ledger.append(record(1000 + w * per_writer + i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let ledger = Ledger::open(&path).unwrap();
+    assert_eq!(ledger.records_on_disk(), (writers * per_writer) as usize);
+    assert_eq!(ledger.malformed_lines(), 0, "no torn reads on replay");
+    assert_eq!(ledger.torn_tail_len(), 0);
+    assert_eq!(ledger.distinct_trials(), (writers * per_writer) as usize);
+    for w in 0..writers {
+        for i in 0..per_writer {
+            let rec = record(1000 + w * per_writer + i);
+            assert_eq!(ledger.settled(&rec.key), Some(&rec), "record intact");
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn record_split_across_truncation_boundary_is_sealed_not_merged() {
+    let path = temp_path("boundary");
+    let _ = std::fs::remove_file(&path);
+    let survivor = record(1);
+    let split = record(2);
+    let after = record(3);
+
+    let mut writer_a = Ledger::open(&path).unwrap();
+    writer_a.append(survivor.clone()).unwrap();
+    writer_a.append(split.clone()).unwrap();
+    // A truncation fault lands mid-way through the second record.
+    let contents = std::fs::read(&path).unwrap();
+    let split_start = survivor.to_line().len() + 1;
+    let cut = split_start + (contents.len() - split_start) / 2;
+    std::fs::write(&path, &contents[..cut]).unwrap();
+
+    // A second writer (which replayed the pre-truncation file) appends:
+    // its stale in-memory view must reset, and its append must seal the
+    // fragment rather than glue its record onto it.
+    let mut writer_b = Ledger::open(&path).unwrap();
+    assert!(writer_b.torn_tail_len() > 0);
+    writer_b.append(after.clone()).unwrap();
+    assert_eq!(writer_b.torn_tail_len(), 0);
+
+    let replayed = Ledger::open(&path).unwrap();
+    assert_eq!(replayed.records_on_disk(), 2);
+    assert_eq!(
+        replayed.malformed_lines(),
+        1,
+        "the sealed fragment is one malformed line"
+    );
+    assert_eq!(replayed.settled(&survivor.key), Some(&survivor));
+    assert_eq!(replayed.settled(&after.key), Some(&after));
+    assert!(
+        replayed.settled(&split.key).is_none(),
+        "the split record is lost, not resurrected corrupt"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn writer_with_stale_view_resets_after_truncation() {
+    let path = temp_path("stale");
+    let _ = std::fs::remove_file(&path);
+    let mut a = Ledger::open(&path).unwrap();
+    for seed in 0..4 {
+        a.append(record(seed)).unwrap();
+    }
+    // The file shrinks to one record under a's feet.
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let first_line = contents.lines().next().unwrap();
+    std::fs::write(&path, format!("{first_line}\n")).unwrap();
+
+    a.refresh().unwrap();
+    assert_eq!(a.records_on_disk(), 1, "full re-replay after shrink");
+    assert_eq!(a.distinct_trials(), 1);
+    assert!(a.settled(&record(0).key).is_some());
+    assert!(a.settled(&record(3).key).is_none());
+
+    // And appending through the stale-then-reset instance stays sound.
+    a.append(record(9)).unwrap();
+    let replayed = Ledger::open(&path).unwrap();
+    assert_eq!(replayed.records_on_disk(), 2);
+    assert_eq!(replayed.malformed_lines(), 0);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -142,7 +142,7 @@ pub enum Frame {
 /// the line and reports [`Frame::TooLarge`] when the terminator finally
 /// arrives.
 ///
-/// The blocking [`LineReader`] (threaded transport) and the epoll
+/// The blocking `LineReader` (threaded transport) and the epoll
 /// reactor's nonblocking read path both frame through this one type, so
 /// the 64 KiB cap, CR stripping, and lossy UTF-8 decoding are identical
 /// by construction across transports.

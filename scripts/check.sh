@@ -165,6 +165,19 @@ if ! grep -q "smoke: 0 trained, 4 from ledger" <<< "$rerun"; then
   exit 1
 fi
 
+# Distributed-execution crash gate: a three-worker fleet leases trials
+# from a shared ledger and one worker is SIGKILLed at a seeded point
+# mid-sweep; a second scenario truncates the trials ledger mid-record
+# after a completed fleet run and resumes with a fresh fleet. In both,
+# the resumed aggregate report must be byte-identical to an
+# uninterrupted single-process run, the final aggregation pass must
+# train nothing, and lease accounting must bound training (at most
+# 1 + reclaims per trial when no ledger bytes were lost). The binary
+# cleans up its own scratch directory on success.
+echo "== exp_torture --smoke (worker SIGKILL + ledger truncation fleet gate)"
+cargo build --release -q -p ct-bench --bin exp_torture
+./target/release/exp_torture --smoke
+
 # Streaming continual-learning smoke: a bounded drifting stream killed
 # after 2 chunks and resumed from its checkpoint must replay the exact
 # per-chunk coherence trajectory of an uninterrupted run, and a live

@@ -10,16 +10,34 @@
 # All harnesses share the run ledger (results/ledger/trials.jsonl), so
 # trials common to several figures train once and re-runs of completed
 # sweeps perform no training at all.
+#
+# CT_JOBS caps scheduler fan-out and CT_TIMEOUT_MS sets the soft
+# per-trial timeout; both are forwarded to every harness (unset means
+# the per-harness defaults). CT_WORKERS, when set, first drains the
+# registry grids through a fleet of that many worker processes leasing
+# trials over the shared ledger (DESIGN.md §12), so the harness passes
+# below serve their trials from the ledger instead of training inline.
 set -e
 cd "$(dirname "$0")/.."
 cargo build --release -p ct-bench
 export CT_SCALE="${CT_SCALE:-quick}"
+if [ -n "${CT_WORKERS:-}" ]; then
+  cargo build --release -p ct-cli
+  echo "== fleet pre-pass (workers=$CT_WORKERS) =="
+  mkdir -p results
+  ./target/release/contratopic experiment --op run --workers "$CT_WORKERS" \
+    --scale "$CT_SCALE" \
+    ${CT_SEEDS:+--seeds "$CT_SEEDS"} \
+    ${CT_TIMEOUT_MS:+--timeout-ms "$CT_TIMEOUT_MS"} \
+    --ledger results/ledger/trials.jsonl --out results
+fi
 # Tables land in results/<bin>.txt; live training progress (stderr) goes
 # to results/<bin>.progress so the recorded tables stay clean.
 run() {
   seeds="${CT_SEEDS:-$2}"
   echo "== $1 (seeds=$seeds) =="
-  CT_SEEDS=$seeds ./target/release/"$1" > "results/$1.txt" 2> "results/$1.progress"
+  CT_SEEDS=$seeds CT_JOBS="${CT_JOBS:-}" CT_TIMEOUT_MS="${CT_TIMEOUT_MS:-}" \
+    ./target/release/"$1" > "results/$1.txt" 2> "results/$1.progress"
 }
 run table1_datasets 1
 run fig2_interpretability 2
